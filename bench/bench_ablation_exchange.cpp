@@ -1,0 +1,81 @@
+// Ablation: the batched halo exchange of paper section 3.1.3 ("a linked
+// list is utilized to gather variables for exchange, and a single call to
+// the communication interface efficiently completes the data exchange for
+// all listed variables"). Compares one batched call against per-variable
+// calls: identical bytes, very different message counts and wall time.
+#include <cstdio>
+
+#include "grist/common/timer.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/io/table.hpp"
+#include "grist/network/fat_tree.hpp"
+#include "grist/parallel/exchange.hpp"
+
+using namespace grist;
+
+int main() {
+  std::printf("== Ablation: batched vs per-variable halo exchange ==\n\n");
+  const grid::HexMesh mesh = grid::buildHexMesh(5);
+  const Index nranks = 16;
+  const parallel::Decomposition decomp = parallel::decompose(mesh, nranks);
+  const int nlev = 30, nvars = 8;
+
+  // One block of per-rank fields per variable.
+  std::vector<std::vector<parallel::Field>> vars(nvars);
+  for (int v = 0; v < nvars; ++v) {
+    for (Index r = 0; r < nranks; ++r) {
+      vars[v].emplace_back(decomp.domains[r].mesh.ncells, nlev, 1.0 + v);
+    }
+  }
+
+  const int reps = 50;
+  parallel::Communicator comm(decomp);
+
+  // Batched: all variables in one exchange call.
+  Timer batched_timer;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<parallel::ExchangeList> lists(nranks);
+    for (Index r = 0; r < nranks; ++r) {
+      for (int v = 0; v < nvars; ++v) lists[r].addCellField(vars[v][r]);
+    }
+    comm.exchange(lists);
+  }
+  const double t_batched = batched_timer.elapsed() / reps;
+  const parallel::CommStats batched = comm.stats();
+
+  comm.resetStats();
+  Timer pervar_timer;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int v = 0; v < nvars; ++v) {
+      std::vector<parallel::ExchangeList> lists(nranks);
+      for (Index r = 0; r < nranks; ++r) lists[r].addCellField(vars[v][r]);
+      comm.exchange(lists);
+    }
+  }
+  const double t_pervar = pervar_timer.elapsed() / reps;
+  const parallel::CommStats pervar = comm.stats();
+
+  io::Table table({"Strategy", "Messages/step", "Bytes/step", "Wall/step (ms)"});
+  table.addRow({"one batched call",
+                io::Table::num(static_cast<double>(batched.messages) / reps, 0),
+                io::Table::num(static_cast<double>(batched.bytes) / reps, 0),
+                io::Table::num(t_batched * 1e3, 3)});
+  table.addRow({"per-variable calls",
+                io::Table::num(static_cast<double>(pervar.messages) / reps, 0),
+                io::Table::num(static_cast<double>(pervar.bytes) / reps, 0),
+                io::Table::num(t_pervar * 1e3, 3)});
+  table.print();
+
+  // Project the latency cost at machine scale through the fat-tree model.
+  const network::FatTreeModel net;
+  const double msg_bytes = static_cast<double>(batched.bytes) / batched.messages;
+  const double t_one = net.haloExchangeTime(524288, msg_bytes * 6, 6);
+  const double t_many = nvars * net.haloExchangeTime(524288, msg_bytes * 6 / nvars, 6);
+  std::printf(
+      "\nAt 524,288 CGs the fat-tree model prices the same traffic at\n"
+      "%.1f us (batched) vs %.1f us (per-variable) per step: the %dx\n"
+      "message-count reduction is what keeps the latency term flat in the\n"
+      "paper's weak-scaling curve.\n",
+      t_one * 1e6, t_many * 1e6, nvars);
+  return 0;
+}

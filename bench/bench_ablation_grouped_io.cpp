@@ -1,0 +1,51 @@
+// Ablation: the grouped parallel I/O strategy of paper section 3.1.3.
+// Sweeps the group size for a fixed rank count: file opens fall linearly
+// with the group size while aggregation traffic rises, with the sweet spot
+// in between -- the trade the paper's design makes at 10^5 processes.
+#include <cstdio>
+#include <filesystem>
+
+#include "grist/common/timer.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/io/grouped_writer.hpp"
+#include "grist/io/table.hpp"
+
+using namespace grist;
+
+int main() {
+  std::printf("== Ablation: grouped parallel I/O (group-size sweep) ==\n\n");
+  const grid::HexMesh mesh = grid::buildHexMesh(5);
+  const Index nranks = 64;
+  const parallel::Decomposition decomp = parallel::decompose(mesh, nranks);
+  std::vector<parallel::Field> fields;
+  for (Index r = 0; r < nranks; ++r) {
+    parallel::Field f(decomp.domains[r].mesh.ncells, 30, 0.0);
+    for (Index lc = 0; lc < decomp.domains[r].ncells_owned; ++lc) {
+      for (int k = 0; k < 30; ++k) f(lc, k) = 0.001 * lc + k;
+    }
+    fields.push_back(std::move(f));
+  }
+
+  const auto dir = std::filesystem::temp_directory_path() / "grist_io_ablation";
+  io::Table table({"Group size", "Files", "File opens", "Aggregation msgs",
+                   "Wall (ms)"});
+  for (const Index group : {Index{1}, Index{4}, Index{16}, Index{64}}) {
+    std::filesystem::remove_all(dir);
+    io::GroupedWriter writer(dir.string(), nranks, group);
+    Timer timer;
+    writer.writeCellField("state", decomp, fields);
+    const double wall = timer.elapsed();
+    table.addRow({std::to_string(group), std::to_string(writer.groups()),
+                  std::to_string(writer.stats().file_opens),
+                  std::to_string(writer.stats().aggregation_messages),
+                  io::Table::num(wall * 1e3, 1)});
+  }
+  table.print();
+  std::filesystem::remove_all(dir);
+
+  std::printf(
+      "\nExtrapolation: at the paper's 524,288 processes, per-rank output\n"
+      "means 524,288 file creates per snapshot -- the filesystem collapse\n"
+      "grouped I/O exists to avoid; with 256-rank groups it is 2,048.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: the BFS index reordering of paper section 3.1.3 ("optimize the
+// index sequence using the breadth-first-search method to enhance the cache
+// hit rate"). Measured two ways: host wall time of the production dycore
+// kernels, and LDCache hit ratio / cycles on the SW26010P simulator.
+#include <cstdio>
+
+#include "grist/common/timer.hpp"
+#include "grist/dycore/kernels.hpp"
+#include "grist/grid/reorder.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/io/table.hpp"
+#include "grist/parallel/field.hpp"
+#include "grist/swgomp/sim_kernels.hpp"
+
+using namespace grist;
+
+namespace {
+
+double hostKernelSeconds(const grid::HexMesh& mesh, int nlev, int reps) {
+  const parallel::Field delp(mesh.ncells, nlev, 500.0);
+  const parallel::Field u(mesh.nedges, nlev, 10.0);
+  parallel::Field flux(mesh.nedges, nlev, 0.0);
+  parallel::Field div(mesh.ncells, nlev, 0.0);
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    dycore::kernels::primalNormalFluxEdge<double>(mesh, mesh.nedges, nlev,
+                                                  delp.data(), u.data(), flux.data());
+    dycore::kernels::divAtCell<double>(mesh, mesh.ncells, nlev, flux.data(),
+                                       div.data());
+  }
+  return timer.elapsed() / reps;
+}
+
+} // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: BFS index reordering (paper section 3.1.3) ==\n\n"
+      "Raw bisection numbering scatters neighbor indices across the array;\n"
+      "BFS renumbering makes them adjacent.\n\n");
+
+  const int nlev = 30;
+  const grid::HexMesh raw = grid::buildHexMesh(6);
+  const grid::HexMesh bfs = grid::applyPermutation(raw, grid::bfsPermutation(raw));
+
+  io::Table spread({"Numbering", "Normalized neighbor-id spread"});
+  spread.addRow({"raw bisection", io::Table::num(grid::indexSpread(raw), 4)});
+  spread.addRow({"BFS reordered", io::Table::num(grid::indexSpread(bfs), 4)});
+  spread.print();
+
+  std::printf("\n-- host: flux + divergence kernels, G6 x %d levels --\n\n", nlev);
+  const double t_raw = hostKernelSeconds(raw, nlev, 5);
+  const double t_bfs = hostKernelSeconds(bfs, nlev, 5);
+  io::Table host({"Numbering", "Wall per sweep (ms)", "Speedup"});
+  host.addRow({"raw bisection", io::Table::num(t_raw * 1e3, 2), "1.00x"});
+  host.addRow({"BFS reordered", io::Table::num(t_bfs * 1e3, 2),
+               io::Table::num(t_raw / t_bfs, 2) + "x"});
+  host.print();
+
+  std::printf("\n-- simulator: div_at_cell on one CG (G4 slice, LDCache stats) --\n\n");
+  const grid::HexMesh raw4 = grid::buildHexMesh(4);
+  const grid::HexMesh bfs4 = grid::applyPermutation(raw4, grid::bfsPermutation(raw4));
+  io::Table sim({"Numbering", "Region cycles", "LDCache hit ratio"});
+  for (const auto& [name, mesh] : {std::pair<const char*, const grid::HexMesh*>{
+                                       "raw bisection", &raw4},
+                                   {"BFS reordered", &bfs4}}) {
+    const grid::TrskWeights trsk = grid::buildTrskWeights(*mesh);
+    sunway::CoreGroup cg;
+    swgomp::SimConfig cfg;
+    cfg.nlev = nlev;
+    cfg.policy = swgomp::AllocPolicy::kDistributed;
+    const double cycles = swgomp::runSimKernel(swgomp::SimKernel::kDivAtCell, *mesh,
+                                               trsk, cfg, cg);
+    sim.addRow({name, io::Table::num(cycles, 0),
+                io::Table::num(cg.cpe(0).cache().hitRatio(), 4)});
+  }
+  sim.print();
+  return 0;
+}

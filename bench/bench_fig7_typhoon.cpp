@@ -1,0 +1,135 @@
+// Fig. 7 reproduction: the "23.7" extreme-rainfall experiment. The paper
+// runs super-typhoon Doksuri at G11L60 (coarser horizontal, finer vertical)
+// and G12L30 (finer horizontal, coarser vertical) against CMPA rain
+// observations, and finds the finer HORIZONTAL grid wins: better rain band,
+// higher spatial correlation.
+//
+// Data-gate substitution (DESIGN.md): ERA5 initial conditions and CMPA
+// observations are proprietary, so the storm is an idealized warm-core
+// vortex and the "observation" is the finest run (G6L30) coarse-grained to
+// the comparison grid. The claim under test is the resolution ORDERING.
+#include <cstdio>
+
+#include "grist/common/timer.hpp"
+#include "grist/core/model.hpp"
+#include "grist/dycore/diagnostics.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/io/table.hpp"
+#include "grist/ml/traindata.hpp"
+
+using namespace grist;
+
+namespace {
+
+struct RunResult {
+  std::vector<double> rain_on_comparison_grid;  // mm/day, G4 cells
+  double max_rain = 0;
+  double wall = 0;
+};
+
+// Map a run's rain field onto the comparison grid: fine grids aggregate
+// (area-weighted), coarser grids inject by nearest-cell lookup -- exactly
+// how the paper regrids model output onto the verification grid.
+std::vector<double> regrid(const grid::HexMesh& from, const grid::HexMesh& to,
+                           const std::vector<double>& rain) {
+  std::vector<double> out(to.ncells);
+  if (from.ncells >= to.ncells) {
+    const std::vector<Index> map = ml::coarseMap(from, to);
+    parallel::Field field(from.ncells, 1);
+    for (Index c = 0; c < from.ncells; ++c) field(c, 0) = rain[c];
+    const parallel::Field agg = ml::coarseGrainCells(from, to, map, field);
+    for (Index c = 0; c < to.ncells; ++c) out[c] = agg(c, 0);
+  } else {
+    const std::vector<Index> map = ml::coarseMap(to, from);  // to-cell -> from-cell
+    for (Index c = 0; c < to.ncells; ++c) out[c] = rain[map[c]];
+  }
+  return out;
+}
+
+RunResult runCase(int level, int nlev, double dt, int nsteps,
+                  const grid::HexMesh& comparison_grid) {
+  const grid::HexMesh mesh = grid::buildHexMesh(level);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  core::ModelConfig cfg;
+  cfg.dyn.nlev = nlev;
+  cfg.dyn.dt = dt;
+  cfg.dyn.ns = precision::NsMode::kSingle;  // MIX, as the production runs
+  // Hydrostatic-scale stabilizers: quasi-hydrostatic w damping and enhanced
+  // horizontal dissipation (these grids cannot resolve the storm's moist
+  // updrafts explicitly).
+  cfg.dyn.w_damp_tau = 2.0 * dt;
+  cfg.dyn.div_damp = 0.06;
+  cfg.dyn.diff_coef = 0.02;
+  cfg.trac_interval = 4;
+  cfg.phy_interval = 4;
+  dycore::TyphoonParams storm;  // same storm in every run
+  core::Model model(mesh, trsk, cfg, dycore::initTyphoon(mesh, cfg.dyn, storm, 3));
+  Timer timer;
+  model.run(nsteps);
+  RunResult out;
+  out.wall = timer.elapsed();
+  const std::vector<double> rain = model.meanPrecipRate();
+  for (const double r : rain) out.max_rain = std::max(out.max_rain, r);
+  out.rain_on_comparison_grid = regrid(mesh, comparison_grid, rain);
+  return out;
+}
+
+} // namespace
+
+int main() {
+  std::printf(
+      "== Fig. 7: idealized-typhoon extreme rainfall, resolution sensitivity ==\n"
+      "   paper analog: G11L60 -> G4L40, G12L30 -> G5L20, CMPA obs -> G6L20 run\n\n");
+
+  // Verification happens on the G5 grid (fine enough to discriminate the
+  // rain-band structure), within 25 degrees of the storm center -- the
+  // analog of the paper's North China verification box.
+  const grid::HexMesh comparison = grid::buildHexMesh(5);
+  const double hours = 6.0;
+  dycore::TyphoonParams storm;
+  const Vec3 center = toCartesian({storm.lon0, storm.lat0});
+  std::vector<bool> storm_region(comparison.ncells);
+  for (Index c = 0; c < comparison.ncells; ++c) {
+    storm_region[c] =
+        greatCircleDistance(comparison.cell_x[c], center, 1.0) < 25.0 * constants::kPi / 180.0;
+  }
+
+  // "Observation": the finest horizontal grid we can afford.
+  std::printf("running truth (G6, ~112 km, 20 levels)...\n");
+  const RunResult truth =
+      runCase(6, 20, 120.0, static_cast<int>(hours * 3600 / 120), comparison);
+  // Coarse horizontal, fine vertical (the G11L60 analog).
+  std::printf("running coarse-horizontal case (G4, ~446 km, 40 levels)...\n");
+  const RunResult coarse_h =
+      runCase(4, 40, 300.0, static_cast<int>(hours * 3600 / 300), comparison);
+  // Fine horizontal, coarse vertical (the G12L30 analog).
+  std::printf("running fine-horizontal case (G5, ~223 km, 20 levels)...\n\n");
+  const RunResult fine_h =
+      runCase(5, 20, 240.0, static_cast<int>(hours * 3600 / 240), comparison);
+
+  const double corr_coarse = dycore::patternCorrelation(
+      comparison, coarse_h.rain_on_comparison_grid, truth.rain_on_comparison_grid,
+      storm_region);
+  const double corr_fine = dycore::patternCorrelation(
+      comparison, fine_h.rain_on_comparison_grid, truth.rain_on_comparison_grid,
+      storm_region);
+
+  io::Table table({"Case", "Analog of", "Max rain (mm/day)",
+                   "Spatial corr vs obs", "Wall (s)"});
+  table.addRow({"G6L20 (truth)", "CMPA observation", io::Table::num(truth.max_rain, 1),
+                "1.000", io::Table::num(truth.wall, 1)});
+  table.addRow({"G4L40", "G11L60", io::Table::num(coarse_h.max_rain, 1),
+                io::Table::num(corr_coarse, 3), io::Table::num(coarse_h.wall, 1)});
+  table.addRow({"G5L20", "G12L30", io::Table::num(fine_h.max_rain, 1),
+                io::Table::num(corr_fine, 3), io::Table::num(fine_h.wall, 1)});
+  table.print();
+
+  std::printf(
+      "\nPaper's finding: the finer-horizontal G12L30 beats G11L60 on rain-band\n"
+      "structure and spatial correlation despite having HALF the vertical\n"
+      "levels (\"the increase of horizontal resolutions seems far more\n"
+      "important than the increase of vertical levels\"). Reproduced iff\n"
+      "corr(G5L20) > corr(G4L40): %s (%.3f vs %.3f)\n",
+      corr_fine > corr_coarse ? "YES" : "NO", corr_fine, corr_coarse);
+  return 0;
+}

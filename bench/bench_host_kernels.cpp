@@ -1,0 +1,106 @@
+// Host-side microbenchmarks (google-benchmark) of the production dycore
+// kernels in both precisions. These are NOT a paper figure; they document
+// this build's raw kernel throughput, and back the note in section 4.6 that
+// mixed precision alone buys little on a conventional cache-rich CPU (the
+// big wins in Fig. 9 come from the CPE memory system, reproduced in
+// bench_fig9_kernels).
+#include <benchmark/benchmark.h>
+
+#include "grist/dycore/kernels.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/parallel/field.hpp"
+
+namespace {
+
+using namespace grist;
+
+struct Fixture {
+  grid::HexMesh mesh = grid::buildHexMesh(5);
+  grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  int nlev = 30;
+  parallel::Field delp{mesh.ncells, nlev, 500.0};
+  parallel::Field theta{mesh.ncells, nlev, 300.0};
+  parallel::Field phi{mesh.ncells, nlev + 1, 0.0};
+  parallel::Field u{mesh.nedges, nlev, 10.0};
+  parallel::Field flux{mesh.nedges, nlev, 0.0};
+  parallel::Field out_cell{mesh.ncells, nlev, 0.0};
+  parallel::Field out_edge{mesh.nedges, nlev, 0.0};
+  parallel::Field vor{mesh.nvertices, nlev, 0.0};
+  parallel::Field qv{mesh.nvertices, nlev, 1.0e-8};
+
+  Fixture() {
+    // Hydrostatic-ish phi so compute_rrr's pow() sees sane ratios.
+    for (Index c = 0; c < mesh.ncells; ++c) {
+      for (int k = nlev; k >= 0; --k) phi(c, k) = (nlev - k) * 2000.0;
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+template <typename NS>
+void BM_PrimalNormalFlux(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    dycore::kernels::primalNormalFluxEdge<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                              f.delp.data(), f.u.data(),
+                                              f.flux.data());
+    benchmark::DoNotOptimize(f.flux.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+template <typename NS>
+void BM_DivAtCell(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    dycore::kernels::divAtCell<NS>(f.mesh, f.mesh.ncells, f.nlev, f.flux.data(),
+                                   f.out_cell.data());
+    benchmark::DoNotOptimize(f.out_cell.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
+}
+
+template <typename NS>
+void BM_ComputeRrr(benchmark::State& state) {
+  Fixture& f = fixture();
+  parallel::Field alpha(f.mesh.ncells, f.nlev), p(f.mesh.ncells, f.nlev),
+      exner(f.mesh.ncells, f.nlev), pi(f.mesh.ncells, f.nlev);
+  for (auto _ : state) {
+    dycore::kernels::computeRrr<NS>(f.mesh.ncells, f.nlev, 225.0, f.delp.data(),
+                                    f.theta.data(), f.phi.data(), alpha.data(),
+                                    p.data(), exner.data(), pi.data());
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
+}
+
+template <typename NS>
+void BM_CoriolisTerm(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    f.out_edge.fill(0.0);
+    dycore::kernels::calcCoriolisTerm<NS>(f.mesh, f.trsk, f.mesh.nedges, f.nlev,
+                                          f.flux.data(), f.qv.data(),
+                                          f.out_edge.data());
+    benchmark::DoNotOptimize(f.out_edge.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(BM_PrimalNormalFlux, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_PrimalNormalFlux, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_DivAtCell, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_DivAtCell, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ComputeRrr, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ComputeRrr, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_CoriolisTerm, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_CoriolisTerm, float)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

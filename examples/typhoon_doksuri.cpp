@@ -1,0 +1,89 @@
+// Idealized-typhoon case study (the paper's "23.7" Doksuri experiment,
+// section 4.4): spin an idealized warm-core vortex under the MIX-PHY
+// scheme, track its center, intensity and rainfall, and write the rain
+// field through the grouped parallel I/O layer.
+//
+//   ./typhoon_doksuri [grid_level=4] [hours=12]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "grist/core/model.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/io/grouped_writer.hpp"
+#include "grist/parallel/decompose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace grist;
+  const int level = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double hours = argc > 2 ? std::atof(argv[2]) : 12.0;
+
+  std::printf("grist-sw idealized typhoon (G%d, %.0f h, MIX-PHY)\n\n", level, hours);
+  const grid::HexMesh mesh = grid::buildHexMesh(level);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+
+  core::ModelConfig cfg;
+  cfg.dyn.nlev = 20;
+  cfg.dyn.dt = level >= 5 ? 240.0 : 300.0;
+  cfg.dyn.ns = precision::NsMode::kSingle;
+  cfg.dyn.w_damp_tau = 2.0 * cfg.dyn.dt;
+  cfg.dyn.div_damp = 0.06;
+  cfg.dyn.diff_coef = 0.02;
+  cfg.trac_interval = 4;
+  cfg.phy_interval = 4;
+
+  dycore::TyphoonParams storm;
+  core::Model model(mesh, trsk, cfg, dycore::initTyphoon(mesh, cfg.dyn, storm, 3));
+
+  // Track the minimum surface pressure within 40 degrees of the genesis
+  // point (a global minimum search can lock onto polar lows instead).
+  const Vec3 genesis = toCartesian({storm.lon0, storm.lat0});
+  const auto storm_center = [&]() {
+    const auto ps = model.state().surfacePressure(cfg.dyn.ptop);
+    Index best = kInvalidIndex;
+    for (Index c = 0; c < mesh.ncells; ++c) {
+      if (greatCircleDistance(mesh.cell_x[c], genesis, 1.0) > 0.7) continue;
+      if (best == kInvalidIndex || ps[c] < ps[best]) best = c;
+    }
+    return std::make_pair(best, ps[best]);
+  };
+
+  std::printf("%7s %10s %10s %10s %12s\n", "sim h", "lon", "lat", "min ps",
+              "max rain");
+  const int nsteps = static_cast<int>(hours * 3600.0 / cfg.dyn.dt);
+  const int report = std::max(1, nsteps / 8);
+  for (int s = 0; s < nsteps; ++s) {
+    model.step();
+    if ((s + 1) % report == 0) {
+      const auto [cell, ps_min] = storm_center();
+      double rain_max = 0;
+      for (const double r : model.meanPrecipRate()) rain_max = std::max(rain_max, r);
+      std::printf("%7.1f %9.1fE %9.1fN %8.1f hPa %9.2f mm/d\n",
+                  model.simSeconds() / 3600.0, mesh.cell_ll[cell].lon * 57.2958,
+                  mesh.cell_ll[cell].lat * 57.2958, ps_min / 100.0, rain_max);
+    }
+  }
+
+  // Write the mean rain-rate field via the grouped parallel writer (the
+  // paper's grouped I/O strategy, section 3.1.3).
+  const Index nranks = 8;
+  const parallel::Decomposition decomp = parallel::decompose(mesh, nranks);
+  std::vector<parallel::Field> rank_rain;
+  const auto rain = model.meanPrecipRate();
+  for (Index r = 0; r < nranks; ++r) {
+    const auto& dom = decomp.domains[r];
+    parallel::Field f(dom.mesh.ncells, 1, 0.0);
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+      f(lc, 0) = rain[dom.cell_global[lc]];
+    }
+    rank_rain.push_back(std::move(f));
+  }
+  const std::string outdir =
+      (std::filesystem::temp_directory_path() / "grist_typhoon_out").string();
+  io::GroupedWriter writer(outdir, nranks, /*group_size=*/4);
+  writer.writeCellField("rain_rate", decomp, rank_rain);
+  std::printf("\nrain field written via grouped I/O (%lld write calls, %lld bytes) to %s\n",
+              static_cast<long long>(writer.stats().write_calls),
+              static_cast<long long>(writer.stats().bytes), outdir.c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Tiny leveled logger. Climate-model runs are long; logs are the main
+// user-facing progress channel, so keep the format stable and grep-friendly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace grist::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: Info.
+void setLevel(Level level);
+Level level();
+
+/// Emit one formatted line ("[grist][INFO] ...") to stderr.
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+} // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError) write(Level::kError, detail::concat(args...));
+}
+
+} // namespace grist::log

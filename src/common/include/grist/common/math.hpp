@@ -1,0 +1,97 @@
+// Small math utilities: physical constants, 3-vectors, and spherical
+// geometry helpers used by the icosahedral grid generator and the dycore.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "grist/common/types.hpp"
+
+namespace grist {
+
+/// Physical and planetary constants (GRIST uses an Earth-like sphere; the
+/// small-planet idealized tests rescale `rearth`).
+namespace constants {
+inline constexpr double kEarthRadius = 6.371229e6;  ///< m
+inline constexpr double kOmega = 7.292e-5;          ///< rotation rate, 1/s
+inline constexpr double kGravity = 9.80616;         ///< m/s^2
+inline constexpr double kRd = 287.04;               ///< dry gas constant, J/kg/K
+inline constexpr double kCp = 1004.64;              ///< dry heat capacity, J/kg/K
+inline constexpr double kRv = 461.6;                ///< vapor gas constant
+inline constexpr double kLv = 2.501e6;              ///< latent heat of vaporization
+inline constexpr double kP0 = 1.0e5;                ///< reference pressure, Pa
+inline constexpr double kKappa = kRd / kCp;
+inline constexpr double kPi = 3.14159265358979323846;
+} // namespace constants
+
+/// Minimal 3-vector for spherical geometry; value-semantic and constexpr.
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+/// Geographic coordinate (radians).
+struct LonLat {
+  double lon = 0;  ///< [-pi, pi]
+  double lat = 0;  ///< [-pi/2, pi/2]
+};
+
+/// Unit-sphere Cartesian point from geographic coordinates.
+inline Vec3 toCartesian(const LonLat& g) {
+  const double c = std::cos(g.lat);
+  return {c * std::cos(g.lon), c * std::sin(g.lon), std::sin(g.lat)};
+}
+
+/// Geographic coordinates of a (not necessarily unit) Cartesian point.
+inline LonLat toLonLat(const Vec3& p) {
+  return {std::atan2(p.y, p.x), std::atan2(p.z, std::sqrt(p.x * p.x + p.y * p.y))};
+}
+
+/// Great-circle distance between two unit vectors, on a sphere of radius r.
+inline double greatCircleDistance(const Vec3& a, const Vec3& b, double r) {
+  // atan2 form is accurate for both small and near-antipodal separations.
+  const double s = a.cross(b).norm();
+  const double c = a.dot(b);
+  return r * std::atan2(s, c);
+}
+
+/// Signed area of the spherical triangle (a,b,c) on the unit sphere
+/// (positive when counterclockwise seen from outside).
+inline double sphericalTriangleArea(const Vec3& a, const Vec3& b, const Vec3& c) {
+  // L'Huilier-free formula via the scalar triple product (Eriksson 1990):
+  // tan(E/2) = |a.(b x c)| / (1 + a.b + b.c + c.a), E = spherical excess.
+  const double triple = a.dot(b.cross(c));
+  const double denom = 1.0 + a.dot(b) + b.dot(c) + c.dot(a);
+  const double e = 2.0 * std::atan2(std::abs(triple), denom);
+  return triple >= 0 ? e : -e;
+}
+
+/// Circumcenter of a spherical triangle, projected to the unit sphere.
+/// This is the Voronoi (dual) vertex of the icosahedral triangulation.
+inline Vec3 sphericalCircumcenter(const Vec3& a, const Vec3& b, const Vec3& c) {
+  Vec3 n = (b - a).cross(c - a);
+  // Orient towards the triangle (the three points are on one hemisphere for
+  // any refined icosahedral triangle).
+  if (n.dot(a) < 0) n = n * -1.0;
+  return n.normalized();
+}
+
+/// x clamped into [lo, hi].
+template <typename T>
+constexpr T clamp(T x, T lo, T hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+} // namespace grist

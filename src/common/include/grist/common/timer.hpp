@@ -1,0 +1,59 @@
+// Wall-clock timing with a process-global named-section registry, used by
+// the model driver to report the dynamics/physics/communication split that
+// the paper's scaling discussion relies on (sections 4.7-4.8).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace grist {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time per named section across the whole process.
+/// Thread-safe for distinct sections via per-call locking.
+class TimingRegistry {
+ public:
+  static TimingRegistry& instance();
+
+  void add(const std::string& section, double seconds);
+  double total(const std::string& section) const;
+  /// Section name -> accumulated seconds; a snapshot copy.
+  std::map<std::string, double> snapshot() const;
+  void clear();
+
+ private:
+  TimingRegistry() = default;
+  mutable std::map<std::string, double> totals_;
+};
+
+/// RAII scope timer feeding TimingRegistry.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string section) : section_(std::move(section)) {}
+  ~ScopedTimer() { TimingRegistry::instance().add(section_, timer_.elapsed()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string section_;
+  Timer timer_;
+};
+
+} // namespace grist

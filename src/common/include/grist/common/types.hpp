@@ -1,0 +1,24 @@
+// Fundamental index and scalar types shared by every grist-sw subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace grist {
+
+/// Index type for mesh entities (cells, edges, vertices). 32-bit signed is
+/// enough for every grid we can hold in memory (G8 has ~2e6 edges); analytic
+/// counts for larger grids use 64-bit (see grid::GridCounts).
+using Index = std::int32_t;
+
+/// Invalid/absent index sentinel (e.g. the missing 6th edge of a pentagon).
+inline constexpr Index kInvalidIndex = -1;
+
+/// Default high-precision scalar: the "gold standard" of the paper's
+/// mixed-precision methodology (section 3.4.1).
+using Real = double;
+
+/// Reduced-precision scalar used for precision-insensitive terms.
+using RealSP = float;
+
+} // namespace grist

@@ -1,0 +1,34 @@
+#include "grist/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace grist::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+  }
+  return "?";
+}
+
+} // namespace
+
+void setLevel(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[grist][%s] %s\n", levelName(lvl), message.c_str());
+}
+
+} // namespace grist::log

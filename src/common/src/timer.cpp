@@ -1,0 +1,36 @@
+#include "grist/common/timer.hpp"
+
+#include <mutex>
+
+namespace grist {
+namespace {
+std::mutex g_mutex;
+}
+
+TimingRegistry& TimingRegistry::instance() {
+  static TimingRegistry registry;
+  return registry;
+}
+
+void TimingRegistry::add(const std::string& section, double seconds) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  totals_[section] += seconds;
+}
+
+double TimingRegistry::total(const std::string& section) const {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = totals_.find(section);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> TimingRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return totals_;
+}
+
+void TimingRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  totals_.clear();
+}
+
+} // namespace grist

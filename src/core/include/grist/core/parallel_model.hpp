@@ -1,0 +1,49 @@
+// Multi-rank (in-process) dynamical-core runs: each rank owns a LocalDomain,
+// steps its own Dycore, and halo-exchanges the five prognostic fields after
+// every Runge-Kutta stage through the batched exchange layer. Used for the
+// decomposition correctness gate (rank runs must match the single-domain
+// run bitwise in double precision) and for the measured end of the scaling
+// benchmarks (Figs. 10-11).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grist/dycore/dycore.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/parallel/decompose.hpp"
+#include "grist/parallel/exchange.hpp"
+
+namespace grist::core {
+
+class ParallelModel {
+ public:
+  /// Decomposes `mesh` into `nranks` domains and scatters `global_initial`.
+  /// The mesh and TRSK weights must outlive the model.
+  ParallelModel(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+                dycore::DycoreConfig config, Index nranks,
+                const dycore::State& global_initial);
+
+  /// One lockstep dynamics step across all ranks (threads + stage barriers).
+  void step();
+  void run(int nsteps);
+
+  /// Reassemble the global prognostic state from rank-owned entities.
+  dycore::State gatherState() const;
+
+  Index nranks() const { return decomp_.nranks; }
+  const parallel::CommStats& commStats() const { return comm_.stats(); }
+  const parallel::Decomposition& decomposition() const { return decomp_; }
+
+ private:
+  const grid::HexMesh& mesh_;
+  dycore::DycoreConfig config_;
+  parallel::Decomposition decomp_;
+  parallel::Communicator comm_;
+  std::vector<grid::TrskWeights> local_trsk_;
+  std::vector<std::unique_ptr<dycore::Dycore>> dycores_;
+  std::vector<dycore::State> states_;
+  std::vector<parallel::ExchangeList> lists_;
+};
+
+} // namespace grist::core

@@ -1,0 +1,137 @@
+#include "grist/core/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "grist/common/math.hpp"
+#include "grist/dycore/tracer.hpp"
+#include "grist/dycore/vertical_remap.hpp"
+#include "grist/physics/held_suarez.hpp"
+
+namespace grist::core {
+
+namespace {
+
+std::vector<double> initialSkinTemperature(const grid::HexMesh& mesh) {
+  // Zonally symmetric SST-like profile: warm tropics, cold poles.
+  std::vector<double> tskin(mesh.ncells);
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    const double lat = mesh.cell_ll[c].lat;
+    tskin[c] = 302.0 - 32.0 * std::pow(std::sin(lat), 2.0);
+  }
+  return tskin;
+}
+
+} // namespace
+
+Model::Model(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+             ModelConfig config, dycore::State initial)
+    : mesh_(mesh),
+      config_(std::move(config)),
+      dycore_(mesh, trsk, config_.dyn),
+      coupler_(mesh, config_.dyn.nlev),
+      state_(std::move(initial)),
+      delp_at_tracer_start_(state_.delp),
+      tskin_(initialSkinTemperature(mesh)),
+      precip_accum_(mesh.ncells, 0.0),
+      phys_in_(mesh.ncells, config_.dyn.nlev),
+      phys_out_(mesh.ncells, config_.dyn.nlev) {
+  if (state_.tracers.size() < 3) {
+    throw std::invalid_argument("Model: state needs >= 3 tracers (qv, qc, qr)");
+  }
+  if (config_.trac_interval < 1 || config_.phy_interval < 1) {
+    throw std::invalid_argument("Model: bad timestep hierarchy");
+  }
+  if (config_.scheme == PhysicsScheme::kHeldSuarez) {
+    suite_ = std::make_unique<physics::HeldSuarezSuite>();
+  } else if (config_.scheme == PhysicsScheme::kMl) {
+    if (!config_.q1q2 || !config_.rad_mlp) {
+      throw std::invalid_argument("Model: ML scheme requires trained networks");
+    }
+    suite_ = std::make_unique<ml::MlPhysicsSuite>(
+        mesh.ncells, config_.dyn.nlev, config_.q1q2, config_.rad_mlp, config_.ml);
+  } else {
+    // Scale-aware convection: pass the mesh's own spacing.
+    config_.conventional.grid_dx = mesh.meanSpacing();
+    suite_ = std::make_unique<physics::ConventionalSuite>(
+        mesh.ncells, config_.dyn.nlev, config_.conventional);
+  }
+  dycore_.resetAccumulatedFlux();
+}
+
+void Model::resyncAfterRestart() {
+  dycore_.resetAccumulatedFlux();
+  delp_at_tracer_start_ = state_.delp;
+  dyn_steps_ = 0;
+}
+
+void Model::setTskin(std::vector<double> tskin) {
+  if (static_cast<Index>(tskin.size()) != mesh_.ncells) {
+    throw std::invalid_argument("Model::setTskin: size mismatch");
+  }
+  tskin_ = std::move(tskin);
+}
+
+const char* Model::schemeName() const {
+  return schemeLabel(config_.dyn.ns, config_.scheme);
+}
+
+void Model::step() {
+  dycore_.step(state_);
+  ++dyn_steps_;
+  sim_seconds_ += config_.dyn.dt;
+  if (dyn_steps_ % config_.trac_interval == 0) tracerStep();
+  if (dyn_steps_ % config_.phy_interval == 0) physicsStep();
+}
+
+void Model::run(int ndyn_steps) {
+  for (int i = 0; i < ndyn_steps; ++i) step();
+}
+
+void Model::tracerStep() {
+  const int nsub = dycore_.accumulatedSteps();
+  if (nsub == 0) return;
+  parallel::Field mean_flux = dycore_.accumulatedMassFlux();
+  for (std::size_t i = 0; i < mean_flux.size(); ++i) {
+    mean_flux.data()[i] /= static_cast<double>(nsub);
+  }
+  dycore::TracerTransportArgs args;
+  args.mesh = &mesh_;
+  args.ncells_prog = mesh_.ncells;
+  args.nlev = config_.dyn.nlev;
+  args.dt = nsub * config_.dyn.dt;
+  args.mean_flux = mean_flux.data();
+  args.delp_old = delp_at_tracer_start_.data();
+  args.delp_new = state_.delp.data();
+  for (auto& tracer : state_.tracers) {
+    dycore::tracerTransport(args, config_.dyn.ns, tracer.data());
+  }
+  dycore_.resetAccumulatedFlux();
+  // Vertically-Lagrangian layers drift between remaps; bring the columns
+  // back to reference levels on the tracer cadence (as production
+  // mass-coordinate cores do) so thin layers cannot be drained to zero.
+  dycore::verticalRemap(mesh_.ncells, config_.dyn.nlev, config_.dyn.ptop, state_);
+  delp_at_tracer_start_ = state_.delp;
+}
+
+void Model::physicsStep() {
+  const double dt_phy = config_.phy_interval * config_.dyn.dt;
+  coupler_.stateToPhysics(state_, tskin_, sim_seconds_, phys_in_);
+  suite_->run(phys_in_, dt_phy, phys_out_);
+  coupler_.applyTendencies(phys_out_, dt_phy, state_);
+  // Land state and precipitation bookkeeping.
+  tskin_ = phys_out_.tskin_new;
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    precip_accum_[c] += phys_out_.precip[c] * dt_phy / 86400.0;  // mm
+  }
+}
+
+std::vector<double> Model::meanPrecipRate() const {
+  std::vector<double> rate(precip_accum_.size(), 0.0);
+  const double days = simDays();
+  if (days <= 0) return rate;
+  for (std::size_t c = 0; c < rate.size(); ++c) rate[c] = precip_accum_[c] / days;
+  return rate;
+}
+
+} // namespace grist::core

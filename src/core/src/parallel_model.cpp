@@ -1,0 +1,162 @@
+#include "grist/core/parallel_model.hpp"
+
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace grist::core {
+
+using dycore::State;
+using grid::TrskWeights;
+using parallel::LocalDomain;
+
+namespace {
+
+// Remap the global TRSK table onto a rank's local edge ids. Only owned
+// edges compute tendencies, and their neighbor edges (the edge rings of
+// their two cells) are always local with halo depth 2.
+TrskWeights localTrsk(const TrskWeights& global, const LocalDomain& dom) {
+  std::unordered_map<Index, Index> edge_l;
+  edge_l.reserve(dom.edge_global.size());
+  for (Index le = 0; le < static_cast<Index>(dom.edge_global.size()); ++le) {
+    edge_l.emplace(dom.edge_global[le], le);
+  }
+  TrskWeights local;
+  const Index nlocal = static_cast<Index>(dom.edge_global.size());
+  local.offset.assign(nlocal + 1, 0);
+  for (Index le = 0; le < nlocal; ++le) {
+    local.offset[le + 1] = local.offset[le];
+    if (le >= dom.nedges_owned) continue;  // halo edges never compute
+    const Index ge = dom.edge_global[le];
+    for (Index j = global.offset[ge]; j < global.offset[ge + 1]; ++j) {
+      const auto it = edge_l.find(global.edge[j]);
+      if (it == edge_l.end()) {
+        throw std::logic_error("localTrsk: neighbor edge missing from halo");
+      }
+      local.edge.push_back(it->second);
+      local.weight.push_back(global.weight[j]);
+      ++local.offset[le + 1];
+    }
+  }
+  return local;
+}
+
+// Scatter the global state into a rank-local state (all local entities).
+State scatterState(const State& global, const LocalDomain& dom, int nlev,
+                   int ntracers) {
+  State local(dom.mesh, nlev, ntracers);
+  for (Index lc = 0; lc < dom.mesh.ncells; ++lc) {
+    const Index g = dom.cell_global[lc];
+    for (int k = 0; k < nlev; ++k) {
+      local.delp(lc, k) = global.delp(g, k);
+      local.theta(lc, k) = global.theta(g, k);
+      for (int t = 0; t < ntracers; ++t) {
+        local.tracers[t](lc, k) = global.tracers[t](g, k);
+      }
+    }
+    for (int k = 0; k <= nlev; ++k) {
+      local.w(lc, k) = global.w(g, k);
+      local.phi(lc, k) = global.phi(g, k);
+    }
+  }
+  for (Index le = 0; le < dom.mesh.nedges; ++le) {
+    const Index g = dom.edge_global[le];
+    for (int k = 0; k < nlev; ++k) local.u(le, k) = global.u(g, k);
+  }
+  return local;
+}
+
+} // namespace
+
+ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
+                             dycore::DycoreConfig config, Index nranks,
+                             const State& global_initial)
+    : mesh_(mesh),
+      config_(config),
+      decomp_(parallel::decompose(mesh, nranks, /*halo_depth=*/2)),
+      comm_(decomp_) {
+  const int ntracers = static_cast<int>(global_initial.tracers.size());
+  // Dycores hold references into local_trsk_; reserve so push_back never
+  // reallocates under them.
+  local_trsk_.reserve(decomp_.nranks);
+  dycores_.reserve(decomp_.nranks);
+  states_.reserve(decomp_.nranks);
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    const LocalDomain& dom = decomp_.domains[r];
+    local_trsk_.push_back(localTrsk(trsk, dom));
+    dycore::Bounds bounds;
+    bounds.cells_prog = dom.ncells_owned;
+    bounds.cells_diag = dom.ncells_inner1;
+    bounds.edges_prog = dom.nedges_owned;
+    bounds.vertices_diag = dom.nvtx_complete;
+    dycores_.push_back(std::make_unique<dycore::Dycore>(dom.mesh, local_trsk_[r],
+                                                        config_, bounds));
+    states_.push_back(scatterState(global_initial, dom, config_.nlev, ntracers));
+  }
+  // Exchange lists reference stable field storage inside states_.
+  lists_.resize(decomp_.nranks);
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    State& s = states_[r];
+    lists_[r].addCellField(s.delp);
+    lists_[r].addCellField(s.theta);
+    lists_[r].addCellField(s.w);
+    lists_[r].addCellField(s.phi);
+    lists_[r].addEdgeField(s.u);
+  }
+  // Initial halo fill (scatterState already fills halos, but this exercises
+  // the exchange path and guards against stale construction).
+  comm_.exchange(lists_);
+}
+
+void ParallelModel::step() {
+  // Lockstep stages: every rank runs in its own thread; the Dycore's
+  // exchange callback parks at a barrier whose completion step runs the
+  // batched halo exchange for all ranks at once.
+  const Index n = decomp_.nranks;
+  std::barrier barrier(static_cast<std::ptrdiff_t>(n),
+                       [this]() noexcept { comm_.exchange(lists_); });
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (Index r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &barrier]() {
+      dycores_[r]->step(states_[r],
+                        [&barrier](State&) { barrier.arrive_and_wait(); });
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void ParallelModel::run(int nsteps) {
+  for (int i = 0; i < nsteps; ++i) step();
+}
+
+State ParallelModel::gatherState() const {
+  const int ntracers = static_cast<int>(states_[0].tracers.size());
+  State global(mesh_, config_.nlev, ntracers);
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    const LocalDomain& dom = decomp_.domains[r];
+    const State& local = states_[r];
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+      const Index g = dom.cell_global[lc];
+      for (int k = 0; k < config_.nlev; ++k) {
+        global.delp(g, k) = local.delp(lc, k);
+        global.theta(g, k) = local.theta(lc, k);
+        for (int t = 0; t < ntracers; ++t) {
+          global.tracers[t](g, k) = local.tracers[t](lc, k);
+        }
+      }
+      for (int k = 0; k <= config_.nlev; ++k) {
+        global.w(g, k) = local.w(lc, k);
+        global.phi(g, k) = local.phi(lc, k);
+      }
+    }
+    for (Index le = 0; le < dom.nedges_owned; ++le) {
+      const Index g = dom.edge_global[le];
+      for (int k = 0; k < config_.nlev; ++k) global.u(g, k) = local.u(le, k);
+    }
+  }
+  return global;
+}
+
+} // namespace grist::core

@@ -1,0 +1,39 @@
+// Dynamical-core run configuration. The defaults follow the paper's Table 2
+// ratios: tracer transport runs on accumulated mass fluxes every
+// `tracer_ratio` dynamics steps (Dyn:Trac = 4:30 in the paper).
+#pragma once
+
+#include "grist/common/types.hpp"
+#include "grist/precision/ns.hpp"
+
+namespace grist::dycore {
+
+struct DycoreConfig {
+  int nlev = 30;          ///< vertical layers (Table 2 uses 30)
+  double dt = 300.0;      ///< dynamics step, seconds
+  int ntracers = 1;
+  precision::NsMode ns = precision::NsMode::kDouble;
+
+  double ptop = 225.0;    ///< model-top pressure, Pa (paper: 2.25 hPa)
+  double p_surface = 1.0e5;
+
+  /// Divergence damping coefficient (nondimensional; scaled by dx^2/dt).
+  double div_damp = 0.02;
+  /// Second-order horizontal diffusion coefficient for u/theta (same scaling).
+  double diff_coef = 0.005;
+  /// Rayleigh damping time scale for w near the model top, seconds
+  /// (0 disables).
+  double w_damp_tau = 0.0;
+};
+
+/// Compute loop bounds: a global run computes on every entity; a
+/// decomposed rank computes prognostics on owned entities and diagnostics
+/// on the owned + first-ring band (see parallel::LocalDomain).
+struct Bounds {
+  Index cells_prog = 0;   ///< prognostic cell updates
+  Index cells_diag = 0;   ///< diagnostic cell updates (>= cells_prog)
+  Index edges_prog = 0;
+  Index vertices_diag = 0;
+};
+
+} // namespace grist::dycore

@@ -1,0 +1,41 @@
+// Global diagnostics: conserved integrals and the field statistics the
+// experiment harness reports (pattern correlation for Fig. 7/8, extrema for
+// monotonicity checks).
+#pragma once
+
+#include <vector>
+
+#include "grist/dycore/state.hpp"
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::dycore {
+
+/// Global dry-air mass, kg: sum delp * A / g.
+double totalDryMass(const grid::HexMesh& mesh, const State& state);
+
+/// Global tracer mass, kg: sum delp * q * A / g.
+double totalTracerMass(const grid::HexMesh& mesh, const State& state, int tracer);
+
+/// Mass-weighted potential temperature integral (conserved by advection).
+double totalThetaMass(const grid::HexMesh& mesh, const State& state);
+
+/// Global kinetic energy proxy: sum over edges of (le de / 2) delp_e u^2 / g.
+double totalKineticEnergy(const grid::HexMesh& mesh, const State& state);
+
+struct FieldExtrema {
+  double min = 0, max = 0;
+};
+FieldExtrema tracerExtrema(const State& state, int tracer);
+
+/// Area-weighted centered pattern correlation of two cell fields (the
+/// spatial correlation metric the paper quotes for Fig. 7).
+double patternCorrelation(const grid::HexMesh& mesh, const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Same, restricted to cells where mask[c] is true (e.g. the rainfall
+/// verification region around the storm, like the paper's North China box).
+double patternCorrelation(const grid::HexMesh& mesh, const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const std::vector<bool>& mask);
+
+} // namespace grist::dycore

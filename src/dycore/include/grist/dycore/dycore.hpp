@@ -1,0 +1,75 @@
+// The GRIST-style layer-averaged nonhydrostatic solver (paper section
+// 3.1.2): horizontally explicit (3-stage Wicker-Skamarock Runge-Kutta on
+// the vector-invariant equations), vertically implicit (per-column
+// tridiagonal acoustic solve for w and phi). Mixed precision is selected at
+// runtime via DycoreConfig::ns and dispatched to the templated kernels.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grist/dycore/config.hpp"
+#include "grist/dycore/state.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/parallel/field.hpp"
+
+namespace grist::dycore {
+
+class Dycore {
+ public:
+  /// The mesh and TRSK weights must outlive the Dycore. `bounds` restricts
+  /// compute to a rank's owned/diagnostic entities; the default covers the
+  /// whole mesh (single-domain run).
+  Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+         DycoreConfig config);
+  Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+         DycoreConfig config, Bounds bounds);
+
+  /// Called after every internal stage update so decomposed runs can
+  /// refresh halos of the five prognostic fields; single-domain runs pass
+  /// nothing.
+  using ExchangeFn = std::function<void(State&)>;
+
+  /// Advance one dynamics step of config().dt seconds (three RK stages +
+  /// one vertical implicit solve). `exchange`, when provided, is invoked
+  /// after each stage and after the vertical solve.
+  void step(State& state, const ExchangeFn& exchange = {});
+
+  /// Accumulated horizontal dry-mass flux (edges x nlev) since the last
+  /// resetAccumulatedFlux(); always double precision (paper section 3.4.2:
+  /// the mass flux delta-pi*V feeding tracer transport must stay double).
+  const parallel::Field& accumulatedMassFlux() const { return acc_flux_; }
+  /// Number of dynamics steps accumulated (to average the flux).
+  int accumulatedSteps() const { return acc_steps_; }
+  void resetAccumulatedFlux();
+
+  const DycoreConfig& config() const { return config_; }
+  const Bounds& bounds() const { return bounds_; }
+
+  /// Relative vorticity diagnostic at dual vertices for the current u
+  /// (the paper's second mixed-precision observation point, "vor").
+  std::vector<double> relativeVorticity(const State& state) const;
+
+ private:
+  template <typename NS>
+  void stepImpl(State& state, const ExchangeFn& exchange);
+
+  template <typename NS>
+  void computeTendencies(const State& state);
+
+  const grid::HexMesh& mesh_;
+  const grid::TrskWeights& trsk_;
+  DycoreConfig config_;
+  Bounds bounds_;
+
+  // Scratch (allocated once).
+  parallel::Field flux_, uflux_, div_flux_, ke_, alpha_, p_, exner_, pi_mid_;
+  parallel::Field div_u_, thetam_tend_, delp_tend_, u_tend_, scalar_del2_;
+  parallel::Field vor_, qv_;
+  parallel::Field delp0_, thetam0_, u0_;  // step-start copies for RK
+  parallel::Field acc_flux_;
+  int acc_steps_ = 0;
+};
+
+} // namespace grist::dycore

@@ -1,0 +1,62 @@
+// Initial conditions for the paper's hierarchy of tests (section 3.4.2):
+// a resting hydrostatic atmosphere, a baroclinic zonal jet with a
+// perturbation (Jablonowski-Williamson-like), an idealized tropical
+// cyclone vortex (Rotunno-Emanuel-like), and a warm bubble for
+// small-planet nonhydrostatic tests.
+#pragma once
+
+#include "grist/dycore/config.hpp"
+#include "grist/dycore/state.hpp"
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::dycore {
+
+/// Hydrostatically balanced isothermal-ish resting atmosphere: horizontally
+/// uniform delp/theta, u = w = 0, phi integrated so that p == pi exactly
+/// (the discrete rest state of this solver).
+State initRestState(const grid::HexMesh& mesh, const DycoreConfig& config,
+                    double t_surface = 300.0, int ntracers = 1);
+
+/// Resting atmosphere over topography: surface geopotential phi_s = g*z_s
+/// per cell, columns hydrostatically balanced above it (surface pressure is
+/// reduced over high ground so mass-coordinate surfaces stay level). The
+/// classic PGF-error test: flow spun up from this state is pure
+/// discretization error.
+State initRestStateOverTopography(const grid::HexMesh& mesh,
+                                  const DycoreConfig& config,
+                                  const std::vector<double>& surface_height_m,
+                                  double t_surface = 300.0, int ntracers = 1);
+
+/// Isolated Gaussian mountain (height peak_m, half-width halfwidth_m at
+/// lon0/lat0) as a surface-height field for the topography tests.
+std::vector<double> gaussianMountain(const grid::HexMesh& mesh, double lon0,
+                                     double lat0, double peak_m,
+                                     double halfwidth_m);
+
+/// Baroclinic wave: a balanced zonal jet plus a localized streamfunction
+/// perturbation that breaks into a growing wave (the JW06-style dycore
+/// benchmark the paper uses in its precision hierarchy).
+State initBaroclinicWave(const grid::HexMesh& mesh, const DycoreConfig& config,
+                         int ntracers = 1);
+
+/// Idealized tropical cyclone: warm-core gradient-balanced vortex at
+/// (lon0, lat0) with maximum wind vmax (m/s) and size rm (m); moisture
+/// tracer 0 initialized with a moist envelope so that physics can rain.
+struct TyphoonParams {
+  double lon0 = 2.35;     ///< ~135E, northwest Pacific
+  double lat0 = 0.35;     ///< ~20N
+  double vmax = 25.0;
+  double rm = 250.0e3;
+  double background_u = 4.0;  ///< weak westerly steering flow
+};
+State initTyphoon(const grid::HexMesh& mesh, const DycoreConfig& config,
+                  const TyphoonParams& params = {}, int ntracers = 1);
+
+/// Warm bubble on a (small) planet: theta anomaly of amplitude dtheta K and
+/// radius rbubble (m) centered at (lon0, lat0) near the surface; drives a
+/// nonhydrostatic updraft resolved by the vertical implicit solver.
+State initWarmBubble(const grid::HexMesh& mesh, const DycoreConfig& config,
+                     double dtheta = 2.0, double rbubble = 50.0e3,
+                     int ntracers = 1);
+
+} // namespace grist::dycore

@@ -1,0 +1,340 @@
+// Dynamical-core compute kernels on the hexagonal C-grid.
+//
+// Every kernel the paper's Fig. 9 benchmarks is here under its GRIST name:
+//   primal_normal_flux_edge, compute_rrr, calc_coriolis_term,
+//   tend_grad_ke_at_edge, tracer_transport_hori_flux_limiter (tracer.hpp),
+// plus the remaining operators the solver needs (divergence, vorticity,
+// del2 damping, vertical implicit solve).
+//
+// Mixed precision (paper section 3.4): kernels are templated on NS. Fields
+// are stored in double; precision-INSENSITIVE arithmetic is performed after
+// an on-the-fly cast to NS. Precision-SENSITIVE terms -- the pressure
+// gradient, the gravity/acoustic terms of the vertical implicit solve, and
+// the accumulated tracer mass flux -- are hard-coded to double and have no
+// NS template parameter.
+#pragma once
+
+#include <cmath>
+
+#include "grist/common/math.hpp"
+#include "grist/dycore/config.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/precision/ns.hpp"
+
+namespace grist::dycore::kernels {
+
+using grid::HexMesh;
+using grid::TrskWeights;
+
+// ---------------------------------------------------------------------------
+// primal_normal_flux_edge: horizontal dry-mass flux at edges,
+//   flux(e,k) = le * u(e,k) * delp_e(e,k),
+// with a ratio-limited upwind-biased interpolation of delp to the edge (the
+// divisions here are why the paper sees a large single-precision win for
+// this kernel).
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void primalNormalFluxEdge(const HexMesh& m, Index nedges, int nlev,
+                          const double* delp, const double* u, double* flux) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index c1 = m.edge_cell[e][0];
+    const Index c2 = m.edge_cell[e][1];
+    const NS le = static_cast<NS>(m.edge_le[e]);
+    for (int k = 0; k < nlev; ++k) {
+      const NS h1 = static_cast<NS>(delp[c1 * nlev + k]);
+      const NS h2 = static_cast<NS>(delp[c2 * nlev + k]);
+      const NS ue = static_cast<NS>(u[e * nlev + k]);
+      // Upwind-biased blend: the ratio r guards against over-steepening.
+      const NS centered = NS(0.5) * (h1 + h2);
+      const NS upwind = ue >= NS(0) ? h1 : h2;
+      const NS r = upwind / centered;  // > 0 for positive thickness
+      const NS blend = NS(1) / (NS(1) + r * r);
+      const NS he = centered + blend * (upwind - centered) * NS(0.5);
+      flux[e * nlev + k] = static_cast<double>(le * ue * he);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// div_at_cell: divergence of an edge flux, (1/A_c) sum_e s_{c,e} flux(e,k).
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void divAtCell(const HexMesh& m, Index ncells, int nlev, const double* flux,
+               double* div) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    for (int k = 0; k < nlev; ++k) div[c * nlev + k] = 0.0;
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
+      for (int k = 0; k < nlev; ++k) {
+        div[c * nlev + k] += static_cast<double>(
+            sign * static_cast<NS>(flux[e * nlev + k]) * inv_area);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kinetic_energy at cells: ke_c = (1/A_c) sum_e (le de / 4) u_e^2.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void kineticEnergy(const HexMesh& m, Index ncells, int nlev, const double* u,
+                   double* ke) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    for (int k = 0; k < nlev; ++k) ke[c * nlev + k] = 0.0;
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const NS weight =
+          static_cast<NS>(0.25 * m.edge_le[e] * m.edge_de[e]) * inv_area;
+      for (int k = 0; k < nlev; ++k) {
+        const NS ue = static_cast<NS>(u[e * nlev + k]);
+        ke[c * nlev + k] += static_cast<double>(weight * ue * ue);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// tend_grad_ke_at_edge: -(ke(c2) - ke(c1)) / de, the kernel of the paper's
+// Fig. 4 listing.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void tendGradKeAtEdge(const HexMesh& m, Index nedges, int nlev, const double* ke,
+                      double* tend_u) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index c1 = m.edge_cell[e][0];
+    const Index c2 = m.edge_cell[e][1];
+    const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
+    for (int k = 0; k < nlev; ++k) {
+      tend_u[e * nlev + k] += static_cast<double>(
+          -(static_cast<NS>(ke[c2 * nlev + k]) - static_cast<NS>(ke[c1 * nlev + k])) *
+          inv_de);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vorticity at dual vertices: zeta_v = (1/A_v) sum_e c_{v,e} de u_e, and the
+// edge-mean mass-weighted absolute vorticity q used by the Coriolis term.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void vorticityAtVertex(const HexMesh& m, Index nvertices, int nlev,
+                       const double* u, double* vor) {
+#pragma omp parallel for schedule(static)
+  for (Index v = 0; v < nvertices; ++v) {
+    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
+    for (int k = 0; k < nlev; ++k) {
+      NS acc = NS(0);
+      for (int j = 0; j < 3; ++j) {
+        const Index e = m.vtx_edges[v][j];
+        acc += static_cast<NS>(m.vtx_edge_sign[v][j] * m.edge_de[e]) *
+               static_cast<NS>(u[e * nlev + k]);
+      }
+      vor[v * nlev + k] = static_cast<double>(acc * inv_area);
+    }
+  }
+}
+
+/// Mass-weighted potential vorticity at vertices:
+///   q_v = (zeta_v + f_v) / delp_v, delp_v = kite-weighted cell average.
+template <precision::NsReal NS>
+void potentialVorticityAtVertex(const HexMesh& m, Index nvertices, int nlev,
+                                const double* vor, const double* delp,
+                                double omega, double* qv) {
+#pragma omp parallel for schedule(static)
+  for (Index v = 0; v < nvertices; ++v) {
+    const NS f = static_cast<NS>(2.0 * omega * m.vtx_x[v].z);
+    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
+    for (int k = 0; k < nlev; ++k) {
+      NS hv = NS(0);
+      for (int j = 0; j < 3; ++j) {
+        hv += static_cast<NS>(m.vtx_kite_area[v][j]) *
+              static_cast<NS>(delp[m.vtx_cells[v][j] * nlev + k]);
+      }
+      hv *= inv_area;
+      qv[v * nlev + k] =
+          static_cast<double>((static_cast<NS>(vor[v * nlev + k]) + f) / hv);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// calc_coriolis_term: TRSK nonlinear Coriolis / vorticity flux,
+//   tend_u(e) += sum_{e'} w_{e,e'} flux(e') * qbar(e,e'),
+// qbar = mean of the edge PVs; energy-neutral by the weight antisymmetry.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void calcCoriolisTerm(const HexMesh& m, const TrskWeights& trsk, Index nedges,
+                      int nlev, const double* flux, const double* qv,
+                      double* tend_u) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index v1 = m.edge_vertex[e][0];
+    const Index v2 = m.edge_vertex[e][1];
+    for (int k = 0; k < nlev; ++k) {
+      const NS qe =
+          NS(0.5) * (static_cast<NS>(qv[v1 * nlev + k]) + static_cast<NS>(qv[v2 * nlev + k]));
+      NS acc = NS(0);
+      for (Index j = trsk.offset[e]; j < trsk.offset[e + 1]; ++j) {
+        const Index ep = trsk.edge[j];
+        const NS qep = NS(0.5) * (static_cast<NS>(qv[m.edge_vertex[ep][0] * nlev + k]) +
+                                  static_cast<NS>(qv[m.edge_vertex[ep][1] * nlev + k]));
+        // flux carries an le factor; remove e''s own length scale so the
+        // TRSK weight (which already holds le'/de) is applied to delp*u.
+        acc += static_cast<NS>(trsk.weight[j]) *
+               static_cast<NS>(flux[ep * nlev + k]) *
+               static_cast<NS>(1.0 / m.edge_le[ep]) * NS(0.5) * (qe + qep);
+      }
+      tend_u[e * nlev + k] += static_cast<double>(acc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// compute_rrr: thermodynamic diagnostics per layer (the "rho/p/Pi" kernel).
+// Inputs delp, theta, phi; outputs specific volume alpha, full pressure p,
+// Exner Pi, and hydrostatic mid-level mass coordinate pi_mid.
+// p is always computed in double: it feeds the pressure-gradient and
+// gravity terms, which the paper identifies as precision-sensitive. The
+// pow() calls dominating this kernel still run in NS for alpha/Pi.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void computeRrr(Index ncells, int nlev, double ptop, const double* delp,
+                    const double* theta, const double* phi, double* alpha,
+                    double* p, double* exner, double* pi_mid) {
+  using namespace constants;
+  const double gamma = kCp / (kCp - kRd);  // cp/cv
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    double pi_acc = ptop;
+    for (int k = 0; k < nlev; ++k) {
+      const double dp = delp[c * nlev + k];
+      pi_mid[c * nlev + k] = pi_acc + 0.5 * dp;
+      pi_acc += dp;
+      // Layer thickness in geopotential; positive by construction.
+      const NS dphi = static_cast<NS>(phi[c * (nlev + 1) + k] -
+                                      phi[c * (nlev + 1) + k + 1]);
+      const NS a = dphi / static_cast<NS>(dp);
+      alpha[c * nlev + k] = static_cast<double>(a);
+      // Equation of state: p = p0 (rho Rd theta / p0)^(cp/cv), rho = dp/dphi
+      // (delta-pi = g rho delta-z and delta-phi = g delta-z).
+      // Double on purpose: p feeds the sensitive PGF/gravity terms.
+      const double rho = dp / static_cast<double>(dphi);
+      const double pk = kP0 * std::pow(rho * kRd * theta[c * nlev + k] / kP0, gamma);
+      p[c * nlev + k] = pk;
+      exner[c * nlev + k] = static_cast<double>(
+          std::pow(static_cast<NS>(pk / kP0), static_cast<NS>(kKappa)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// calc_pressure_gradient (SENSITIVE -- double only):
+//   tend_u(e) -= [ (phm(c2)-phm(c1)) + alpha_e ((p-pi)(c2)-(p-pi)(c1)) ] / de
+// phm = mid-level geopotential. In the hydrostatic limit p == pi and this
+// collapses to the classic -grad(phi) PGF on mass surfaces.
+// ---------------------------------------------------------------------------
+void calcPressureGradient(const HexMesh& m, Index nedges, int nlev,
+                          const double* phi, const double* alpha, const double* p,
+                          const double* pi_mid, double* tend_u);
+
+// ---------------------------------------------------------------------------
+// del2 damping on u: nu * [ grad(div) - curl(zeta) ] . n, plus divergence
+// damping with its own (larger) coefficient; the standard stabilizers of an
+// explicit horizontal solver.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void del2Momentum(const HexMesh& m, Index nedges, int nlev, const double* div_u,
+                  const double* vor, double nu_div, double nu_vor,
+                  double* tend_u) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index c1 = m.edge_cell[e][0];
+    const Index c2 = m.edge_cell[e][1];
+    const Index v1 = m.edge_vertex[e][0];
+    const Index v2 = m.edge_vertex[e][1];
+    const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
+    const NS inv_le = static_cast<NS>(1.0 / m.edge_le[e]);
+    // Scale del2 by local grid size^2 so damping is resolution-uniform.
+    const NS scale = static_cast<NS>(m.edge_de[e] * m.edge_de[e]);
+    for (int k = 0; k < nlev; ++k) {
+      const NS grad_div =
+          (static_cast<NS>(div_u[c2 * nlev + k]) - static_cast<NS>(div_u[c1 * nlev + k])) *
+          inv_de;
+      const NS curl_vor =
+          (static_cast<NS>(vor[v2 * nlev + k]) - static_cast<NS>(vor[v1 * nlev + k])) *
+          inv_le;
+      tend_u[e * nlev + k] += static_cast<double>(
+          scale * (static_cast<NS>(nu_div) * grad_div - static_cast<NS>(nu_vor) * curl_vor));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal flux-form advection of a cell scalar (theta): the tendency of
+// the mass-weighted quantity, -div(flux * s_edge), with upwind-biased s_e.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void scalarFluxTendency(const HexMesh& m, Index ncells, int nlev,
+                        const double* flux, const double* scalar, double* tend) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    for (int k = 0; k < nlev; ++k) tend[c * nlev + k] = 0.0;
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const Index c1 = m.edge_cell[e][0];
+      const Index c2 = m.edge_cell[e][1];
+      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
+      for (int k = 0; k < nlev; ++k) {
+        const NS f = static_cast<NS>(flux[e * nlev + k]);
+        // Upwind in the direction of the mass flux (f > 0 means c1 -> c2).
+        const NS se = f >= NS(0) ? static_cast<NS>(scalar[c1 * nlev + k])
+                                 : static_cast<NS>(scalar[c2 * nlev + k]);
+        tend[c * nlev + k] -= static_cast<double>(sign * f * se * inv_area);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cell-scalar del2 diffusion: nu * dx^2 * Laplacian(s).
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void del2Scalar(const HexMesh& m, Index ncells, int nlev, const double* scalar,
+                double nu, double* tend) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const Index nb = m.cell_cells[j];
+      const NS w = static_cast<NS>(m.edge_le[e] / m.edge_de[e] * m.edge_de[e] *
+                                   m.edge_de[e] * nu) *
+                   inv_area;
+      for (int k = 0; k < nlev; ++k) {
+        tend[c * nlev + k] += static_cast<double>(
+            w * (static_cast<NS>(scalar[nb * nlev + k]) -
+                 static_cast<NS>(scalar[c * nlev + k])));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vert_implicit_solver (SENSITIVE -- double only): fully implicit update of
+// (w, phi) coupling the vertical acoustic terms; Thomas algorithm per
+// column. See dycore.cpp for the discretization notes.
+// ---------------------------------------------------------------------------
+void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
+                        const double* delp, const double* theta, const double* p,
+                        double* w, double* phi, double w_damp_tau);
+
+} // namespace grist::dycore::kernels

@@ -1,0 +1,37 @@
+// Prognostic and diagnostic model state on the hexagonal C-grid. Matches
+// the six prognostic equations of the paper's Fig. 3: dry-air mass (delp),
+// normal velocity (u), vertical velocity (w), potential temperature
+// (theta), geopotential (phi) and tracer masses.
+//
+// Vertical indexing: k = 0 is the TOP layer; interfaces run k = 0 (model
+// top) .. nlev (surface). Layers float in a Lagrangian sense within a
+// dynamics step (no cross-layer mass flux), as in vertically-Lagrangian
+// mass-coordinate cores.
+#pragma once
+
+#include <vector>
+
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/parallel/field.hpp"
+
+namespace grist::dycore {
+
+struct State {
+  int nlev = 0;
+
+  parallel::Field delp;    ///< cells x nlev: dry mass per layer, Pa
+  parallel::Field u;       ///< edges x nlev: normal velocity, m/s
+  parallel::Field w;       ///< cells x (nlev+1): vertical velocity, m/s
+  parallel::Field theta;   ///< cells x nlev: potential temperature, K
+  parallel::Field phi;     ///< cells x (nlev+1): geopotential, m^2/s^2
+  std::vector<parallel::Field> tracers;  ///< each cells x nlev: mixing ratio
+
+  State() = default;
+  State(const grid::HexMesh& mesh, int nlev_, int ntracers);
+
+  /// Surface pressure diagnostic: ptop + sum_k delp (the paper's primary
+  /// mixed-precision observation point "ps").
+  std::vector<double> surfacePressure(double ptop) const;
+};
+
+} // namespace grist::dycore

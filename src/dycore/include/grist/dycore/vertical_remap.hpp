@@ -1,0 +1,24 @@
+// Conservative vertical remapping for the vertically-Lagrangian layers.
+// Within a dynamics interval the layers float (no cross-layer mass flux);
+// strong divergence aloft can then drain individual layers toward zero
+// thickness. Production mass-coordinate cores (GRIST included) periodically
+// remap the state back to reference levels; this is that operator.
+//
+//  - dry mass:   new layers split (ps - ptop) uniformly (reference levels);
+//  - theta and tracers: first-order conservative overlap integration
+//    (mass-weighted means over the old layers intersecting each new layer);
+//  - w: linear interpolation in the mass coordinate;
+//  - phi: rebuilt hydrostatically from the remapped (delp, theta) columns
+//    (the nonhydrostatic pressure perturbation resets at remap steps).
+#pragma once
+
+#include "grist/dycore/state.hpp"
+
+namespace grist::dycore {
+
+/// Remap every column of `state` (first `ncells` cells) back to uniform
+/// reference delta-pi levels. Conserves column dry mass exactly and
+/// mass-weighted theta / tracer integrals to rounding error.
+void verticalRemap(Index ncells, int nlev, double ptop, State& state);
+
+} // namespace grist::dycore

@@ -1,0 +1,108 @@
+#include "grist/dycore/diagnostics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "grist/common/math.hpp"
+
+namespace grist::dycore {
+
+using constants::kGravity;
+
+double totalDryMass(const grid::HexMesh& mesh, const State& state) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    double column = 0.0;
+    for (int k = 0; k < state.nlev; ++k) column += state.delp(c, k);
+    total += column * mesh.cell_area[c];
+  }
+  return total / kGravity;
+}
+
+double totalTracerMass(const grid::HexMesh& mesh, const State& state, int tracer) {
+  const auto& q = state.tracers.at(tracer);
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    double column = 0.0;
+    for (int k = 0; k < state.nlev; ++k) column += state.delp(c, k) * q(c, k);
+    total += column * mesh.cell_area[c];
+  }
+  return total / kGravity;
+}
+
+double totalThetaMass(const grid::HexMesh& mesh, const State& state) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    double column = 0.0;
+    for (int k = 0; k < state.nlev; ++k) column += state.delp(c, k) * state.theta(c, k);
+    total += column * mesh.cell_area[c];
+  }
+  return total / kGravity;
+}
+
+double totalKineticEnergy(const grid::HexMesh& mesh, const State& state) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    const Index c1 = mesh.edge_cell[e][0];
+    const Index c2 = mesh.edge_cell[e][1];
+    const double weight = 0.5 * mesh.edge_le[e] * mesh.edge_de[e];
+    for (int k = 0; k < state.nlev; ++k) {
+      const double delp_e = 0.5 * (state.delp(c1, k) + state.delp(c2, k));
+      total += weight * delp_e * state.u(e, k) * state.u(e, k);
+    }
+  }
+  return total / kGravity;
+}
+
+FieldExtrema tracerExtrema(const State& state, int tracer) {
+  const auto& q = state.tracers.at(tracer);
+  FieldExtrema x{q(0, 0), q(0, 0)};
+  for (Index c = 0; c < q.entities(); ++c) {
+    for (int k = 0; k < q.components(); ++k) {
+      x.min = std::min(x.min, q(c, k));
+      x.max = std::max(x.max, q(c, k));
+    }
+  }
+  return x;
+}
+
+double patternCorrelation(const grid::HexMesh& mesh, const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  return patternCorrelation(mesh, a, b, std::vector<bool>(mesh.ncells, true));
+}
+
+double patternCorrelation(const grid::HexMesh& mesh, const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const std::vector<bool>& mask) {
+  if (a.size() != b.size() || static_cast<Index>(a.size()) != mesh.ncells ||
+      mask.size() != a.size()) {
+    throw std::invalid_argument("patternCorrelation: size mismatch");
+  }
+  double wsum = 0, mean_a = 0, mean_b = 0;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    if (!mask[c]) continue;
+    wsum += mesh.cell_area[c];
+    mean_a += mesh.cell_area[c] * a[c];
+    mean_b += mesh.cell_area[c] * b[c];
+  }
+  if (wsum == 0) return 0.0;
+  mean_a /= wsum;
+  mean_b /= wsum;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    if (!mask[c]) continue;
+    const double da = a[c] - mean_a;
+    const double db = b[c] - mean_b;
+    cov += mesh.cell_area[c] * da * db;
+    var_a += mesh.cell_area[c] * da * da;
+    var_b += mesh.cell_area[c] * db * db;
+  }
+  if (var_a == 0 || var_b == 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+} // namespace grist::dycore

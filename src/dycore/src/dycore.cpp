@@ -1,0 +1,336 @@
+#include "grist/dycore/dycore.hpp"
+
+#include <stdexcept>
+
+#include "grist/common/timer.hpp"
+#include "grist/dycore/kernels.hpp"
+
+namespace grist::dycore {
+
+using parallel::Field;
+
+namespace {
+
+Bounds fullBounds(const grid::HexMesh& mesh) {
+  return Bounds{mesh.ncells, mesh.ncells, mesh.nedges, mesh.nvertices};
+}
+
+} // namespace
+
+Dycore::Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+               DycoreConfig config)
+    : Dycore(mesh, trsk, config, fullBounds(mesh)) {}
+
+Dycore::Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
+               DycoreConfig config, Bounds bounds)
+    : mesh_(mesh), trsk_(trsk), config_(config), bounds_(bounds) {
+  if (config_.nlev < 2) throw std::invalid_argument("Dycore: nlev < 2");
+  if (config_.dt <= 0) throw std::invalid_argument("Dycore: dt <= 0");
+  const int nlev = config_.nlev;
+  flux_ = Field(mesh.nedges, nlev);
+  uflux_ = Field(mesh.nedges, nlev);
+  div_flux_ = Field(mesh.ncells, nlev);
+  ke_ = Field(mesh.ncells, nlev);
+  alpha_ = Field(mesh.ncells, nlev);
+  p_ = Field(mesh.ncells, nlev);
+  exner_ = Field(mesh.ncells, nlev);
+  pi_mid_ = Field(mesh.ncells, nlev);
+  div_u_ = Field(mesh.ncells, nlev);
+  thetam_tend_ = Field(mesh.ncells, nlev);
+  delp_tend_ = Field(mesh.ncells, nlev);
+  u_tend_ = Field(mesh.nedges, nlev);
+  scalar_del2_ = Field(mesh.ncells, nlev);
+  vor_ = Field(mesh.nvertices, nlev);
+  qv_ = Field(mesh.nvertices, nlev);
+  delp0_ = Field(mesh.ncells, nlev);
+  thetam0_ = Field(mesh.ncells, nlev);
+  u0_ = Field(mesh.nedges, nlev);
+  acc_flux_ = Field(mesh.nedges, nlev);
+}
+
+void Dycore::resetAccumulatedFlux() {
+  acc_flux_.fill(0.0);
+  acc_steps_ = 0;
+}
+
+void Dycore::step(State& state, const ExchangeFn& exchange) {
+  const ScopedTimer timer("dycore");
+  if (config_.ns == precision::NsMode::kDouble) {
+    stepImpl<double>(state, exchange);
+  } else {
+    stepImpl<float>(state, exchange);
+  }
+}
+
+template <typename NS>
+void Dycore::computeTendencies(const State& state) {
+  const int nlev = config_.nlev;
+  namespace k = kernels;
+
+  // Thermodynamic diagnostics (compute_rrr) on the diagnostic cell band.
+  k::computeRrr<NS>(bounds_.cells_diag, nlev, config_.ptop, state.delp.data(),
+                    state.theta.data(), state.phi.data(), alpha_.data(), p_.data(),
+                    exner_.data(), pi_mid_.data());
+
+  // Mass flux and plain velocity flux on ALL local edges (both cells of a
+  // local edge are always local).
+  k::primalNormalFluxEdge<NS>(mesh_, mesh_.nedges, nlev, state.delp.data(),
+                              state.u.data(), flux_.data());
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    for (int kk = 0; kk < nlev; ++kk) {
+      uflux_(e, kk) = mesh_.edge_le[e] * state.u(e, kk);
+    }
+  }
+
+  // Cell diagnostics.
+  k::divAtCell<NS>(mesh_, bounds_.cells_diag, nlev, flux_.data(), div_flux_.data());
+  k::divAtCell<NS>(mesh_, bounds_.cells_diag, nlev, uflux_.data(), div_u_.data());
+  k::kineticEnergy<NS>(mesh_, bounds_.cells_diag, nlev, state.u.data(), ke_.data());
+
+  // Vertex diagnostics.
+  k::vorticityAtVertex<NS>(mesh_, bounds_.vertices_diag, nlev, state.u.data(),
+                           vor_.data());
+  k::potentialVorticityAtVertex<NS>(mesh_, bounds_.vertices_diag, nlev, vor_.data(),
+                                    state.delp.data(), constants::kOmega, qv_.data());
+
+  // Cell tendencies.
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < bounds_.cells_prog; ++c) {
+    for (int kk = 0; kk < nlev; ++kk) delp_tend_(c, kk) = -div_flux_(c, kk);
+  }
+  k::scalarFluxTendency<NS>(mesh_, bounds_.cells_prog, nlev, flux_.data(),
+                            state.theta.data(), thetam_tend_.data());
+  // theta diffusion enters the mass-weighted tendency as delp * nu * del2.
+  scalar_del2_.fill(0.0);
+  k::del2Scalar<NS>(mesh_, bounds_.cells_prog, nlev, state.theta.data(),
+                    config_.diff_coef / config_.dt, scalar_del2_.data());
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < bounds_.cells_prog; ++c) {
+    for (int kk = 0; kk < nlev; ++kk) {
+      thetam_tend_(c, kk) += state.delp(c, kk) * scalar_del2_(c, kk);
+    }
+  }
+
+  // Edge (momentum) tendencies.
+  u_tend_.fill(0.0);
+  k::tendGradKeAtEdge<NS>(mesh_, bounds_.edges_prog, nlev, ke_.data(), u_tend_.data());
+  k::calcCoriolisTerm<NS>(mesh_, trsk_, bounds_.edges_prog, nlev, flux_.data(),
+                          qv_.data(), u_tend_.data());
+  k::calcPressureGradient(mesh_, bounds_.edges_prog, nlev, state.phi.data(),
+                          alpha_.data(), p_.data(), pi_mid_.data(), u_tend_.data());
+  k::del2Momentum<NS>(mesh_, bounds_.edges_prog, nlev, div_u_.data(), vor_.data(),
+                      config_.div_damp / config_.dt, config_.diff_coef / config_.dt,
+                      u_tend_.data());
+}
+
+template <typename NS>
+void Dycore::stepImpl(State& state, const ExchangeFn& exchange) {
+  const int nlev = config_.nlev;
+
+  // Save step-start prognostics for the Runge-Kutta combinations.
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int kk = 0; kk < nlev; ++kk) {
+      delp0_(c, kk) = state.delp(c, kk);
+      thetam0_(c, kk) = state.delp(c, kk) * state.theta(c, kk);
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    for (int kk = 0; kk < nlev; ++kk) u0_(e, kk) = state.u(e, kk);
+  }
+
+  // Wicker-Skamarock RK3: dt/3, dt/2, dt, each stage restarting from S^n.
+  const double stage_dt[3] = {config_.dt / 3.0, config_.dt / 2.0, config_.dt};
+  for (int stage = 0; stage < 3; ++stage) {
+    computeTendencies<NS>(state);
+    const double dts = stage_dt[stage];
+#pragma omp parallel for schedule(static)
+    for (Index c = 0; c < bounds_.cells_prog; ++c) {
+      for (int kk = 0; kk < nlev; ++kk) {
+        double new_delp = delp0_(c, kk) + dts * delp_tend_(c, kk);
+        const double new_thetam = thetam0_(c, kk) + dts * thetam_tend_(c, kk);
+        // Positivity backstop: a Lagrangian layer drained past 10% of its
+        // step-start mass is runaway divergence (the vertical remap
+        // restores such columns on its cadence); clamp the mass and carry
+        // theta through unchanged. Never triggers in healthy flow.
+        const double floor = 0.1 * delp0_(c, kk);
+        if (new_delp < floor) {
+          new_delp = floor;
+          state.delp(c, kk) = new_delp;
+          state.theta(c, kk) = thetam0_(c, kk) / delp0_(c, kk);
+          continue;
+        }
+        state.delp(c, kk) = new_delp;
+        state.theta(c, kk) = new_thetam / new_delp;
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (Index e = 0; e < bounds_.edges_prog; ++e) {
+      for (int kk = 0; kk < nlev; ++kk) {
+        state.u(e, kk) = u0_(e, kk) + dts * u_tend_(e, kk);
+      }
+    }
+    if (exchange) exchange(state);
+  }
+
+  // Vertically implicit acoustic adjustment of (w, phi); pressure is
+  // recomputed for the updated delp/theta in full double precision.
+  kernels::computeRrr<double>(bounds_.cells_prog, nlev, config_.ptop,
+                              state.delp.data(), state.theta.data(),
+                              state.phi.data(), alpha_.data(), p_.data(),
+                              exner_.data(), pi_mid_.data());
+  kernels::vertImplicitSolver(bounds_.cells_prog, nlev, config_.dt, config_.ptop,
+                              state.delp.data(), state.theta.data(), p_.data(),
+                              state.w.data(), state.phi.data(), config_.w_damp_tau);
+  if (exchange) exchange(state);
+
+  // Accumulate the (double-precision) mass flux driving tracer transport.
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    for (int kk = 0; kk < nlev; ++kk) acc_flux_(e, kk) += flux_(e, kk);
+  }
+  ++acc_steps_;
+}
+
+std::vector<double> Dycore::relativeVorticity(const State& state) const {
+  std::vector<double> vor(static_cast<std::size_t>(bounds_.vertices_diag) *
+                          config_.nlev);
+  kernels::vorticityAtVertex<double>(mesh_, bounds_.vertices_diag, config_.nlev,
+                                     state.u.data(), vor.data());
+  return vor;
+}
+
+// ---------------------------------------------------------------------------
+// Non-template (always double) kernels.
+// ---------------------------------------------------------------------------
+namespace kernels {
+
+void calcPressureGradient(const HexMesh& m, Index nedges, int nlev,
+                          const double* phi, const double* alpha, const double* p,
+                          const double* pi_mid, double* tend_u) {
+  (void)pi_mid;  // retained in the signature for the coupler-facing kernel set
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index c1 = m.edge_cell[e][0];
+    const Index c2 = m.edge_cell[e][1];
+    const double inv_de = 1.0 / m.edge_de[e];
+    for (int k = 0; k < nlev; ++k) {
+      // Full sigma/mass-coordinate PGF along model levels:
+      //   -grad(phi_mid) - alpha * grad(p).
+      // Over terrain-following levels these are two large canceling terms
+      // (the classic PGF-error source); the residual is measured by
+      // TopographyTest.PgfErrorFlowStaysSmall. (Subtracting pi from p here
+      // would drop the alpha*grad(pi) piece that balances grad(phi) over
+      // orography.)
+      const double phm1 =
+          0.5 * (phi[c1 * (nlev + 1) + k] + phi[c1 * (nlev + 1) + k + 1]);
+      const double phm2 =
+          0.5 * (phi[c2 * (nlev + 1) + k] + phi[c2 * (nlev + 1) + k + 1]);
+      const double alpha_e = 0.5 * (alpha[c1 * nlev + k] + alpha[c2 * nlev + k]);
+      tend_u[e * nlev + k] -=
+          ((phm2 - phm1) + alpha_e * (p[c2 * nlev + k] - p[c1 * nlev + k])) * inv_de;
+    }
+  }
+}
+
+// Fully implicit column solve for the (w, phi) acoustic coupling:
+//   phi^{+}(k) = phi^{n}(k) + dt g w^{+}(k)               (interfaces)
+//   w^{+}(k)   = w^{n}(k) + dt g [ (p^{+}_k - p^{+}_{k-1}) / dpi_k - 1 ]
+// with p linearized about the current state,
+//   p^{+}_j = p_j - (gamma p_j / dphi_j)(dphi^{+}_j - dphi_j),
+// which yields a symmetric-positive tridiagonal system in w^{+} at interior
+// interfaces (w = 0 at the top and the surface). delta-pi at interface k is
+// the mean of the adjacent layer masses. This kernel carries the gravity
+// and acoustic terms the paper pins to double precision.
+void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
+                        const double* delp, const double* theta, const double* p,
+                        double* w, double* phi, double w_damp_tau) {
+  using namespace constants;
+  const double gamma = kCp / (kCp - kRd);
+  const double g = kGravity;
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const double* dp = delp + static_cast<std::size_t>(c) * nlev;
+    const double* pc = p + static_cast<std::size_t>(c) * nlev;
+    double* wc = w + static_cast<std::size_t>(c) * (nlev + 1);
+    double* phic = phi + static_cast<std::size_t>(c) * (nlev + 1);
+
+    // Layer compressibility factor: dP_j/dphi(top of j) = -gamma p_j/dphi_j.
+    std::vector<double> comp(nlev);
+    for (int j = 0; j < nlev; ++j) {
+      const double dphi = phic[j] - phic[j + 1];
+      comp[j] = gamma * pc[j] / dphi;
+    }
+
+    // Tridiagonal system over interior interfaces k = 1..nlev-1.
+    const int n = nlev - 1;
+    std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+    for (int k = 1; k <= n; ++k) {
+      const double dpi = 0.5 * (dp[k - 1] + dp[k]);
+      const double ck = dt * g / dpi;
+      // p_k depends on phi(k) [its top] with +comp[k] and phi(k+1) with
+      // -comp[k]; p_{k-1} depends on phi(k-1) with +comp and phi(k) with -.
+      // dphi^{+}(k) = dt g w^{+}(k) at interior interfaces.
+      const double a = ck * dt * g;
+      lower[k - 1] = -a * comp[k - 1];                 // couples w(k-1)
+      diag[k - 1] = 1.0 + a * (comp[k] + comp[k - 1]); // couples w(k)
+      upper[k - 1] = -a * comp[k];                     // couples w(k+1)
+      rhs[k - 1] = wc[k] + ck * (pc[k] - pc[k - 1]) - dt * g;
+    }
+    // Thomas algorithm.
+    for (int i = 1; i < n; ++i) {
+      const double m = lower[i] / diag[i - 1];
+      diag[i] -= m * upper[i - 1];
+      rhs[i] -= m * rhs[i - 1];
+    }
+    std::vector<double> wnew(nlev + 1, 0.0);
+    if (n > 0) {
+      wnew[n] = rhs[n - 1] / diag[n - 1];
+      for (int i = n - 2; i >= 0; --i) {
+        wnew[i + 1] = (rhs[i] - upper[i] * wnew[i + 2]) / diag[i];
+      }
+    }
+    // Optional Rayleigh damping of w (quasi-hydrostatic limiter). At
+    // hydrostatic-scale grid spacings explicit moist updrafts are
+    // grid-point storms, not resolved convection; damping w on a timescale
+    // of ~2-3 steps suppresses that feedback while leaving acoustic
+    // adjustment intact. Storm-resolving runs disable it (tau = 0).
+    if (w_damp_tau > 0) {
+      for (int k = 1; k <= n; ++k) {
+        wnew[k] /= 1.0 + dt / w_damp_tau;
+      }
+    }
+    // Layer-inversion limiter: the interface displacement dt*g*w must stay
+    // well inside both adjacent layer thicknesses or delta-phi can turn
+    // negative in one step (and the EOS with it). Physical solutions sit
+    // far below this bound; it only arrests runaway columns.
+    for (int k = 1; k <= n; ++k) {
+      const double room =
+          0.25 * std::min(phic[k - 1] - phic[k], phic[k] - phic[k + 1]);
+      const double bound = room / (dt * g);
+      if (wnew[k] > bound) wnew[k] = bound;
+      if (wnew[k] < -bound) wnew[k] = -bound;
+    }
+    for (int k = 0; k <= nlev; ++k) wc[k] = wnew[k];
+    for (int k = 1; k <= n; ++k) phic[k] += dt * g * wnew[k];
+    // Constant-pressure model top: the top interface is not a rigid lid.
+    // Keep the top layer hydrostatically attached to ptop so column
+    // expansion/contraction moves phi(0) instead of squeezing the layer
+    // (a frozen phi(0) makes the top layer absorb all column volume change
+    // and its temperature run away).
+    const double pi_top_mid = ptop + 0.5 * dp[0];
+    const double alpha_top =
+        kRd * theta[c * nlev + 0] * std::pow(pi_top_mid / kP0, kKappa) / pi_top_mid;
+    phic[0] = phic[1] + alpha_top * dp[0];
+  }
+}
+
+} // namespace kernels
+
+// Explicit instantiations of the step for both precisions.
+template void Dycore::stepImpl<double>(State&, const ExchangeFn&);
+template void Dycore::stepImpl<float>(State&, const ExchangeFn&);
+
+} // namespace grist::dycore

@@ -1,0 +1,234 @@
+#include "grist/dycore/init.hpp"
+
+#include <cmath>
+
+namespace grist::dycore {
+namespace {
+
+using namespace constants;
+
+// Reference potential-temperature profile on mass levels: statically
+// stable, theta increasing with height (decreasing pi).
+double thetaProfile(double pi_mid, double t_surface) {
+  return t_surface * std::pow(kP0 / pi_mid, 0.12);
+}
+
+// Moisture-like reference profile decaying with height.
+double moistureProfile(double pi_mid) {
+  const double sigma = pi_mid / kP0;
+  return 0.016 * std::pow(sigma, 3.0);
+}
+
+// Fill a horizontally uniform hydrostatic column and integrate phi so that
+// the equation of state returns p == pi exactly (discrete rest state).
+void buildHydrostaticColumns(const grid::HexMesh& mesh, const DycoreConfig& cfg,
+                             double t_surface, State& state) {
+  const int nlev = cfg.nlev;
+  const double dpi = (cfg.p_surface - cfg.ptop) / nlev;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    double pi_top = cfg.ptop;
+    for (int k = 0; k < nlev; ++k) {
+      state.delp(c, k) = dpi;
+      const double pi_mid = pi_top + 0.5 * dpi;
+      state.theta(c, k) = thetaProfile(pi_mid, t_surface);
+      pi_top += dpi;
+    }
+    // Hydrostatic phi: phi(surface) = 0, integrate upward with
+    // dphi = alpha dpi, alpha = Rd theta Pi / p evaluated at p = pi_mid.
+    state.phi(c, nlev) = 0.0;
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double pi_mid = cfg.ptop + (k + 0.5) * dpi;
+      const double exner = std::pow(pi_mid / kP0, kKappa);
+      const double alpha = kRd * state.theta(c, k) * exner / pi_mid;
+      state.phi(c, k) = state.phi(c, k + 1) + alpha * state.delp(c, k);
+    }
+    for (int k = 0; k <= nlev; ++k) state.w(c, k) = 0.0;
+  }
+  if (!state.tracers.empty()) {
+    for (Index c = 0; c < mesh.ncells; ++c) {
+      for (int k = 0; k < nlev; ++k) {
+        const double pi_mid = cfg.ptop + (k + 0.5) * dpi;
+        state.tracers[0](c, k) = moistureProfile(pi_mid);
+      }
+    }
+  }
+}
+
+// Great-circle distance from cell c to (lon0, lat0), meters.
+double distanceTo(const grid::HexMesh& mesh, Index c, double lon0, double lat0) {
+  const Vec3 center = toCartesian({lon0, lat0});
+  return greatCircleDistance(mesh.cell_x[c], center, mesh.radius);
+}
+
+} // namespace
+
+State initRestState(const grid::HexMesh& mesh, const DycoreConfig& cfg,
+                    double t_surface, int ntracers) {
+  State state(mesh, cfg.nlev, ntracers);
+  buildHydrostaticColumns(mesh, cfg, t_surface, state);
+  state.u.fill(0.0);
+  return state;
+}
+
+std::vector<double> gaussianMountain(const grid::HexMesh& mesh, double lon0,
+                                     double lat0, double peak_m,
+                                     double halfwidth_m) {
+  std::vector<double> height(mesh.ncells);
+  const Vec3 center = toCartesian({lon0, lat0});
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    const double d = greatCircleDistance(mesh.cell_x[c], center, mesh.radius);
+    height[c] = peak_m * std::exp(-0.5 * (d / halfwidth_m) * (d / halfwidth_m));
+  }
+  return height;
+}
+
+State initRestStateOverTopography(const grid::HexMesh& mesh,
+                                  const DycoreConfig& cfg,
+                                  const std::vector<double>& surface_height_m,
+                                  double t_surface, int ntracers) {
+  if (static_cast<Index>(surface_height_m.size()) != mesh.ncells) {
+    throw std::invalid_argument("initRestStateOverTopography: height size");
+  }
+  State state(mesh, cfg.nlev, ntracers);
+  const int nlev = cfg.nlev;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    // Surface pressure from the hypsometric relation: integrate the
+    // reference theta profile downward from the flat-ground surface until
+    // the column's geopotential matches g*z_s. A short fixed-point does it:
+    //   ps = p_flat * exp(-g z_s / (Rd T_mean)).
+    const double zs = surface_height_m[c];
+    double ps = cfg.p_surface;
+    for (int it = 0; it < 4; ++it) {
+      const double t_mean = t_surface - 0.0032 * zs;  // crude mean layer temp
+      ps = cfg.p_surface * std::exp(-kGravity * zs / (kRd * t_mean));
+    }
+    const double dpi = (ps - cfg.ptop) / nlev;
+    double pi_top = cfg.ptop;
+    for (int k = 0; k < nlev; ++k) {
+      state.delp(c, k) = dpi;
+      const double pi_mid = pi_top + 0.5 * dpi;
+      state.theta(c, k) = thetaProfile(pi_mid, t_surface);
+      pi_top += dpi;
+    }
+    state.phi(c, nlev) = kGravity * zs;
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double pi_mid = cfg.ptop + (k + 0.5) * dpi;
+      const double exner = std::pow(pi_mid / kP0, kKappa);
+      const double alpha = kRd * state.theta(c, k) * exner / pi_mid;
+      state.phi(c, k) = state.phi(c, k + 1) + alpha * state.delp(c, k);
+    }
+    for (int k = 0; k <= nlev; ++k) state.w(c, k) = 0.0;
+    if (!state.tracers.empty()) {
+      for (int k = 0; k < nlev; ++k) {
+        state.tracers[0](c, k) = moistureProfile(cfg.ptop + (k + 0.5) * dpi);
+      }
+    }
+  }
+  state.u.fill(0.0);
+  return state;
+}
+
+State initBaroclinicWave(const grid::HexMesh& mesh, const DycoreConfig& cfg,
+                         int ntracers) {
+  State state = initRestState(mesh, cfg, 288.0, ntracers);
+  const int nlev = cfg.nlev;
+  const double u0 = 35.0;
+  // Midlatitude zonal jet, stronger aloft; plus a localized perturbation
+  // upstream that seeds the growing wave. The jet is not exactly balanced;
+  // the first hours perform a geostrophic adjustment, after which the
+  // baroclinic wave grows -- sufficient for the precision hierarchy tests.
+  const double pert_lon = kPi / 9.0, pert_lat = 2.0 * kPi / 9.0;
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    const double lat = mesh.edge_ll[e].lat;
+    const double lon = mesh.edge_ll[e].lon;
+    const double jet = u0 * std::pow(std::sin(2.0 * lat), 2.0);
+    // Perturbation: Gaussian bump in zonal wind.
+    const double dlon = lon - pert_lon, dlat = lat - pert_lat;
+    const double pert = 1.0 * std::exp(-(dlon * dlon + dlat * dlat) / 0.02);
+    // Zonal unit vector at the edge: z_hat x r_hat normalized.
+    const Vec3 r = mesh.edge_x[e];
+    Vec3 east{-r.y, r.x, 0};
+    const double n = east.norm();
+    if (n > 1e-12) east = east * (1.0 / n);
+    const double u_east = (jet + pert) * east.dot(mesh.edge_normal[e]);
+    for (int k = 0; k < nlev; ++k) {
+      // Vertical structure: jet maximum near 0.25 sigma.
+      const double sigma = (k + 0.5) / nlev;
+      const double taper = std::pow(std::sin(kPi * std::min(1.0, sigma + 0.25)), 2.0);
+      state.u(e, k) = u_east * taper;
+    }
+  }
+  return state;
+}
+
+State initTyphoon(const grid::HexMesh& mesh, const DycoreConfig& cfg,
+                  const TyphoonParams& prm, int ntracers) {
+  State state = initRestState(mesh, cfg, 302.0, ntracers);
+  const int nlev = cfg.nlev;
+  const Vec3 center = toCartesian({prm.lon0, prm.lat0});
+  const double dpi = (cfg.p_surface - cfg.ptop) / nlev;
+
+  // Tangential wind: linear core, algebraic decay outside rm.
+  const auto vtan = [&](double r) {
+    if (r < prm.rm) return prm.vmax * r / prm.rm;
+    return prm.vmax * std::pow(prm.rm / r, 0.6) *
+           std::max(0.0, 1.0 - r / (12.0 * prm.rm));
+  };
+
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    const Vec3 r = mesh.edge_x[e];
+    const double dist = greatCircleDistance(r, center, mesh.radius);
+    // Cyclonic (counterclockwise in the NH) tangent direction around the
+    // storm center: r_hat x (direction to center projected tangentially).
+    Vec3 to_center = center - r * r.dot(center);
+    const double tn = to_center.norm();
+    Vec3 azim{0, 0, 0};
+    if (tn > 1e-12) azim = r.cross(to_center * (1.0 / tn));
+    Vec3 east{-r.y, r.x, 0};
+    const double n = east.norm();
+    if (n > 1e-12) east = east * (1.0 / n);
+    for (int k = 0; k < nlev; ++k) {
+      const double sigma = (k + 0.5) / nlev;
+      const double taper = std::pow(sigma, 0.7);  // strongest near surface
+      const double v = vtan(dist) * taper;
+      const double steering = prm.background_u * std::sin(kPi * sigma);
+      state.u(e, k) = (azim * v + east * steering).dot(mesh.edge_normal[e]);
+    }
+  }
+  // Warm core and moist envelope.
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    const double dist = distanceTo(mesh, c, prm.lon0, prm.lat0);
+    const double core = std::exp(-0.5 * (dist / prm.rm) * (dist / prm.rm));
+    for (int k = 0; k < nlev; ++k) {
+      const double sigma = (k + 0.5) / nlev;
+      state.theta(c, k) += 3.0 * core * std::exp(-sigma * 2.0);
+      if (!state.tracers.empty()) {
+        const double pi_mid = cfg.ptop + (k + 0.5) * dpi;
+        state.tracers[0](c, k) =
+            moistureProfile(pi_mid) * (1.0 + 0.6 * std::exp(-dist / (4.0 * prm.rm)));
+      }
+    }
+  }
+  return state;
+}
+
+State initWarmBubble(const grid::HexMesh& mesh, const DycoreConfig& cfg,
+                     double dtheta, double rbubble, int ntracers) {
+  State state = initRestState(mesh, cfg, 300.0, ntracers);
+  const int nlev = cfg.nlev;
+  const double lon0 = 0.0, lat0 = 0.0;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    const double dist = distanceTo(mesh, c, lon0, lat0);
+    if (dist > 3.0 * rbubble) continue;
+    const double horiz = std::exp(-0.5 * (dist / rbubble) * (dist / rbubble));
+    for (int k = 0; k < nlev; ++k) {
+      const double sigma = (k + 0.5) / nlev;
+      // Anomaly confined to the lowest quarter of the column.
+      const double vert = std::exp(-std::pow((sigma - 0.9) / 0.1, 2.0));
+      state.theta(c, k) += dtheta * horiz * vert;
+    }
+  }
+  return state;
+}
+
+} // namespace grist::dycore

@@ -1,0 +1,26 @@
+#include "grist/dycore/state.hpp"
+
+#include <stdexcept>
+
+namespace grist::dycore {
+
+State::State(const grid::HexMesh& mesh, int nlev_, int ntracers) : nlev(nlev_) {
+  if (nlev_ < 1) throw std::invalid_argument("State: nlev < 1");
+  delp = parallel::Field(mesh.ncells, nlev);
+  u = parallel::Field(mesh.nedges, nlev);
+  w = parallel::Field(mesh.ncells, nlev + 1);
+  theta = parallel::Field(mesh.ncells, nlev);
+  phi = parallel::Field(mesh.ncells, nlev + 1);
+  tracers.reserve(ntracers);
+  for (int t = 0; t < ntracers; ++t) tracers.emplace_back(mesh.ncells, nlev);
+}
+
+std::vector<double> State::surfacePressure(double ptop) const {
+  std::vector<double> ps(delp.entities(), ptop);
+  for (Index c = 0; c < delp.entities(); ++c) {
+    for (int k = 0; k < nlev; ++k) ps[c] += delp(c, k);
+  }
+  return ps;
+}
+
+} // namespace grist::dycore

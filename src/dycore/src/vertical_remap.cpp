@@ -1,0 +1,84 @@
+#include "grist/dycore/vertical_remap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "grist/common/math.hpp"
+
+namespace grist::dycore {
+
+using namespace constants;
+
+namespace {
+
+// First-order conservative remap of one mass-weighted scalar: values[k] are
+// layer means on old interfaces pi_old; result on new interfaces pi_new.
+void remapScalar(int nlev, const double* pi_old, const double* pi_new,
+                 const double* values, double* out) {
+  for (int j = 0; j < nlev; ++j) {
+    const double lo = pi_new[j], hi = pi_new[j + 1];
+    double mass = 0.0;
+    for (int k = 0; k < nlev; ++k) {
+      const double olo = pi_old[k], ohi = pi_old[k + 1];
+      const double overlap = std::min(hi, ohi) - std::max(lo, olo);
+      if (overlap > 0) mass += overlap * values[k];
+      if (olo >= hi) break;
+    }
+    out[j] = mass / (hi - lo);
+  }
+}
+
+} // namespace
+
+void verticalRemap(Index ncells, int nlev, double ptop, State& state) {
+  const int ntracers = static_cast<int>(state.tracers.size());
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    // Old and new (uniform) interface mass coordinates.
+    std::vector<double> pi_old(nlev + 1), pi_new(nlev + 1);
+    pi_old[0] = pi_new[0] = ptop;
+    for (int k = 0; k < nlev; ++k) pi_old[k + 1] = pi_old[k] + state.delp(c, k);
+    const double ps = pi_old[nlev];
+    const double dpi = (ps - ptop) / nlev;
+    for (int k = 0; k < nlev; ++k) pi_new[k + 1] = ptop + (k + 1) * dpi;
+
+    // Skip columns already on (numerically) uniform levels.
+    double drift = 0.0;
+    for (int k = 0; k <= nlev; ++k) drift = std::max(drift, std::abs(pi_old[k] - pi_new[k]));
+    if (drift < 1e-7 * ps) continue;
+
+    std::vector<double> column(nlev), remapped(nlev);
+    const auto remap_field = [&](parallel::Field& f) {
+      for (int k = 0; k < nlev; ++k) column[k] = f(c, k);
+      remapScalar(nlev, pi_old.data(), pi_new.data(), column.data(), remapped.data());
+      for (int k = 0; k < nlev; ++k) f(c, k) = remapped[k];
+    };
+    remap_field(state.theta);
+    for (int t = 0; t < ntracers; ++t) remap_field(state.tracers[t]);
+
+    // w: linear interpolation of the interface profile in pi.
+    std::vector<double> w_old(nlev + 1);
+    for (int k = 0; k <= nlev; ++k) w_old[k] = state.w(c, k);
+    for (int k = 1; k < nlev; ++k) {
+      const double target = pi_new[k];
+      // Find the old interval containing the target.
+      int j = 1;
+      while (j < nlev && pi_old[j] < target) ++j;
+      const double t =
+          (target - pi_old[j - 1]) / std::max(1e-12, pi_old[j] - pi_old[j - 1]);
+      state.w(c, k) = (1.0 - t) * w_old[j - 1] + t * w_old[j];
+    }
+
+    // New uniform layer masses; hydrostatic phi rebuild (p = pi).
+    for (int k = 0; k < nlev; ++k) state.delp(c, k) = dpi;
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double pi_mid = ptop + (k + 0.5) * dpi;
+      const double exner = std::pow(pi_mid / kP0, kKappa);
+      const double alpha = kRd * state.theta(c, k) * exner / pi_mid;
+      state.phi(c, k) = state.phi(c, k + 1) + alpha * dpi;
+    }
+  }
+}
+
+} // namespace grist::dycore

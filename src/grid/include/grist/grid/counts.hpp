@@ -1,0 +1,41 @@
+// Analytic entity counts and nominal resolutions for icosahedral G-levels.
+// These reproduce the "Number of Cells/Edges/Vertices" columns of the
+// paper's Table 2 without having to materialize grids that do not fit in
+// memory (G12 has 167M cells).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "grist/common/math.hpp"
+
+namespace grist::grid {
+
+/// Entity counts for icosahedral grid level `level` (L bisection passes).
+struct GridCounts {
+  std::int64_t cells = 0;     ///< hexagon/pentagon primal cells
+  std::int64_t edges = 0;     ///< shared by primal and dual mesh
+  std::int64_t vertices = 0;  ///< dual (triangle) vertices
+};
+
+inline GridCounts countsForLevel(int level) {
+  const std::int64_t f = std::int64_t{1} << (2 * level);  // 4^level
+  return GridCounts{10 * f + 2, 30 * f, 20 * f};
+}
+
+/// Nominal resolution in km, defined as sqrt(mean cell area). This is the
+/// metric behind the paper's Table 2 ranges: the minimum is set by the 12
+/// pentagons (area ~ 0.69x of a hexagon) and the maximum by the largest
+/// hexagons, giving e.g. G6: 92.5~113 km, G12: 1.47~1.92 km.
+inline double nominalSpacingKm(int level) {
+  const auto counts = countsForLevel(level);
+  const double area =
+      4.0 * constants::kPi * constants::kEarthRadius * constants::kEarthRadius /
+      static_cast<double>(counts.cells);
+  return std::sqrt(area) / 1000.0;
+}
+
+inline double minSpacingKm(int level) { return 0.829 * nominalSpacingKm(level); }
+inline double maxSpacingKm(int level) { return 1.013 * nominalSpacingKm(level); }
+
+} // namespace grist::grid

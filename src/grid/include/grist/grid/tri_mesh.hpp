@@ -1,0 +1,35 @@
+// Icosahedral triangle mesh: the generator substrate for the hexagonal
+// C-grid. Repeated edge bisection of the unit icosahedron, vertices
+// projected to the unit sphere.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "grist/common/math.hpp"
+#include "grist/common/types.hpp"
+
+namespace grist::grid {
+
+/// Triangulated sphere produced by `level` bisection passes over the
+/// icosahedron. Counts: V = 10*4^L + 2, T = 20*4^L, E = 30*4^L.
+struct TriMesh {
+  int level = 0;
+  std::vector<Vec3> vertices;                    ///< unit vectors
+  std::vector<std::array<Index, 3>> triangles;   ///< ccw seen from outside
+};
+
+/// Build the level-L mesh. Throws std::invalid_argument for level < 0 and
+/// std::length_error when counts would overflow Index.
+TriMesh buildTriMesh(int level);
+
+/// Unique undirected edges (v0 < v1) with their one or two adjacent
+/// triangles; every sphere edge has exactly two.
+struct TriEdge {
+  Index v0 = kInvalidIndex, v1 = kInvalidIndex;
+  Index t0 = kInvalidIndex, t1 = kInvalidIndex;
+};
+
+std::vector<TriEdge> extractEdges(const TriMesh& mesh);
+
+} // namespace grist::grid

@@ -1,0 +1,39 @@
+// TRSK (Thuburn-Ringler-Skamarock-Klemp) tangential-velocity reconstruction
+// weights for the hexagonal C-grid, plus a Perot-style vector reconstruction
+// used as an independent cross-check in tests.
+//
+// Given normal velocities u_n on edges, the tangential velocity is
+//   u_t(e) = sum_{e' in EoE(e)} w_{e,e'} u_n(e'),
+// where EoE(e) are the other edges of the two cells adjacent to e, and the
+// weights are built from kite-area fractions (Ringler et al. 2010, JCP).
+// These weights make the Coriolis term energy-neutral, which the paper's
+// dycore relies on for stable long climate integrations.
+#pragma once
+
+#include <vector>
+
+#include "grist/common/types.hpp"
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::grid {
+
+/// CSR table: for edge e, neighbors trsk_edge[trsk_offset[e] .. [e+1]) with
+/// matching weights.
+struct TrskWeights {
+  std::vector<Index> offset;   ///< size nedges+1
+  std::vector<Index> edge;
+  std::vector<double> weight;
+};
+
+TrskWeights buildTrskWeights(const HexMesh& mesh);
+
+/// u_t at every edge from u_n at every edge using the weight table.
+void reconstructTangential(const HexMesh& mesh, const TrskWeights& weights,
+                           const double* u_normal, double* u_tangent);
+
+/// Perot reconstruction of the full velocity vector at cell centers:
+///   U_i = (1/A_i) sum_e s_{i,e} le_e u_n(e) (x_e - x_i) * radius.
+void perotCellVelocity(const HexMesh& mesh, const double* u_normal,
+                       std::vector<Vec3>& cell_velocity);
+
+} // namespace grist::grid

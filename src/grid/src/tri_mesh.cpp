@@ -1,0 +1,115 @@
+#include "grist/grid/tri_mesh.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace grist::grid {
+namespace {
+
+TriMesh baseIcosahedron() {
+  TriMesh mesh;
+  mesh.level = 0;
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  const std::array<std::array<double, 3>, 12> raw = {{
+      {-1, phi, 0}, {1, phi, 0}, {-1, -phi, 0}, {1, -phi, 0},
+      {0, -1, phi}, {0, 1, phi}, {0, -1, -phi}, {0, 1, -phi},
+      {phi, 0, -1}, {phi, 0, 1}, {-phi, 0, -1}, {-phi, 0, 1},
+  }};
+  mesh.vertices.reserve(12);
+  for (const auto& v : raw) {
+    mesh.vertices.push_back(Vec3{v[0], v[1], v[2]}.normalized());
+  }
+  mesh.triangles = {
+      {0, 11, 5},  {0, 5, 1},   {0, 1, 7},   {0, 7, 10},  {0, 10, 11},
+      {1, 5, 9},   {5, 11, 4},  {11, 10, 2}, {10, 7, 6},  {7, 1, 8},
+      {3, 9, 4},   {3, 4, 2},   {3, 2, 6},   {3, 6, 8},   {3, 8, 9},
+      {4, 9, 5},   {2, 4, 11},  {6, 2, 10},  {8, 6, 7},   {9, 8, 1},
+  };
+  return mesh;
+}
+
+// Ensures every triangle is counterclockwise when seen from outside the
+// sphere (outward normal): required so that dual-vertex circulation signs
+// are globally consistent.
+void orientOutward(TriMesh& mesh) {
+  for (auto& tri : mesh.triangles) {
+    const Vec3& a = mesh.vertices[tri[0]];
+    const Vec3& b = mesh.vertices[tri[1]];
+    const Vec3& c = mesh.vertices[tri[2]];
+    if ((b - a).cross(c - a).dot(a + b + c) < 0) std::swap(tri[1], tri[2]);
+  }
+}
+
+TriMesh subdivideOnce(const TriMesh& mesh) {
+  TriMesh out;
+  out.level = mesh.level + 1;
+  out.vertices = mesh.vertices;
+  out.triangles.reserve(mesh.triangles.size() * 4);
+
+  // Midpoint cache keyed by the undirected vertex pair.
+  std::unordered_map<std::uint64_t, Index> midpoint;
+  midpoint.reserve(mesh.triangles.size() * 2);
+  const auto midpointOf = [&](Index a, Index b) -> Index {
+    const Index lo = std::min(a, b), hi = std::max(a, b);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint32_t>(hi);
+    const auto it = midpoint.find(key);
+    if (it != midpoint.end()) return it->second;
+    const Vec3 m = (out.vertices[lo] + out.vertices[hi]).normalized();
+    const Index id = static_cast<Index>(out.vertices.size());
+    out.vertices.push_back(m);
+    midpoint.emplace(key, id);
+    return id;
+  };
+
+  for (const auto& tri : mesh.triangles) {
+    const Index m01 = midpointOf(tri[0], tri[1]);
+    const Index m12 = midpointOf(tri[1], tri[2]);
+    const Index m20 = midpointOf(tri[2], tri[0]);
+    out.triangles.push_back({tri[0], m01, m20});
+    out.triangles.push_back({tri[1], m12, m01});
+    out.triangles.push_back({tri[2], m20, m12});
+    out.triangles.push_back({m01, m12, m20});
+  }
+  return out;
+}
+
+} // namespace
+
+TriMesh buildTriMesh(int level) {
+  if (level < 0) throw std::invalid_argument("buildTriMesh: negative level");
+  // 30*4^L edges must fit in Index.
+  if (level > 13) throw std::length_error("buildTriMesh: level too large for Index");
+  TriMesh mesh = baseIcosahedron();
+  for (int i = 0; i < level; ++i) mesh = subdivideOnce(mesh);
+  orientOutward(mesh);
+  return mesh;
+}
+
+std::vector<TriEdge> extractEdges(const TriMesh& mesh) {
+  std::unordered_map<std::uint64_t, Index> seen;
+  seen.reserve(mesh.triangles.size() * 2);
+  std::vector<TriEdge> edges;
+  edges.reserve(mesh.triangles.size() * 3 / 2);
+  for (Index t = 0; t < static_cast<Index>(mesh.triangles.size()); ++t) {
+    const auto& tri = mesh.triangles[t];
+    for (int k = 0; k < 3; ++k) {
+      const Index a = tri[k], b = tri[(k + 1) % 3];
+      const Index lo = std::min(a, b), hi = std::max(a, b);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint32_t>(hi);
+      const auto it = seen.find(key);
+      if (it == seen.end()) {
+        seen.emplace(key, static_cast<Index>(edges.size()));
+        edges.push_back(TriEdge{lo, hi, t, kInvalidIndex});
+      } else {
+        edges[it->second].t1 = t;
+      }
+    }
+  }
+  return edges;
+}
+
+} // namespace grist::grid

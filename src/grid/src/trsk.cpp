@@ -1,0 +1,90 @@
+#include "grist/grid/trsk.hpp"
+
+#include <cmath>
+
+namespace grist::grid {
+
+TrskWeights buildTrskWeights(const HexMesh& m) {
+  TrskWeights w;
+  w.offset.assign(m.nedges + 1, 0);
+
+  // Count neighbors: all edges of both adjacent cells, excluding e itself.
+  for (Index e = 0; e < m.nedges; ++e) {
+    int count = 0;
+    for (const Index c : m.edge_cell[e]) count += m.cellDegree(c) - 1;
+    w.offset[e + 1] = w.offset[e] + count;
+  }
+  w.edge.assign(w.offset[m.nedges], kInvalidIndex);
+  w.weight.assign(w.offset[m.nedges], 0.0);
+
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < m.nedges; ++e) {
+    Index slot = w.offset[e];
+    // Side factor: the two per-cell circulation walks run in opposite
+    // senses relative to the edge tangent, so the side the normal enters
+    // (edge_cell[1]) contributes with +1 and the side it leaves with -1;
+    // this orients the combined estimate along t = r x n. Validated by the
+    // uniform-flow reconstruction test.
+    for (int side = 0; side < 2; ++side) {
+      const Index c = m.edge_cell[e][side];
+      const double side_sign = side == 0 ? -1.0 : 1.0;
+      const Index lo = m.cell_offset[c];
+      const int deg = m.cellDegree(c);
+      // Find e's position in the ccw ring.
+      int pos = -1;
+      for (int k = 0; k < deg; ++k) {
+        if (m.cell_edges[lo + k] == e) pos = k;
+      }
+      // Walk the ring counterclockwise starting after e, accumulating the
+      // kite-area fraction R_{c,v}/A_c of each dual vertex passed.
+      double frac = 0.0;
+      for (int step = 1; step < deg; ++step) {
+        const int kprev = (pos + step - 1) % deg;
+        const int kcur = (pos + step) % deg;
+        const Index v = m.cell_vertices[lo + kprev];  // vertex between steps
+        double kite = 0.0;
+        for (int s = 0; s < 3; ++s) {
+          if (m.vtx_cells[v][s] == c) kite = m.vtx_kite_area[v][s];
+        }
+        frac += kite / m.cell_area[c];
+        const Index eprime = m.cell_edges[lo + kcur];
+        // Orientation of e' w.r.t. cell c (outward = +1).
+        const double nsign = m.edge_cell[eprime][0] == c ? 1.0 : -1.0;
+        w.edge[slot] = eprime;
+        w.weight[slot] =
+            side_sign * nsign * (frac - 0.5) * m.edge_le[eprime] / m.edge_de[e];
+        ++slot;
+      }
+    }
+  }
+  return w;
+}
+
+void reconstructTangential(const HexMesh& m, const TrskWeights& w,
+                           const double* u_normal, double* u_tangent) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < m.nedges; ++e) {
+    double acc = 0.0;
+    for (Index k = w.offset[e]; k < w.offset[e + 1]; ++k) {
+      acc += w.weight[k] * u_normal[w.edge[k]];
+    }
+    u_tangent[e] = acc;
+  }
+}
+
+void perotCellVelocity(const HexMesh& m, const double* u_normal,
+                       std::vector<Vec3>& cell_velocity) {
+  cell_velocity.assign(m.ncells, Vec3{});
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < m.ncells; ++c) {
+    Vec3 acc{};
+    for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+      const Index e = m.cell_edges[k];
+      const Vec3 dx = (m.edge_x[e] - m.cell_x[c]) * m.radius;
+      acc = acc + dx * (m.cell_edge_sign[k] * m.edge_le[e] * u_normal[e]);
+    }
+    cell_velocity[c] = acc * (1.0 / m.cell_area[c]);
+  }
+}
+
+} // namespace grist::grid

@@ -1,0 +1,34 @@
+// Restart files: serialize the full prognostic state (plus land skin
+// temperature and simulation clock) so long climate runs can be split
+// across job allocations -- operationally essential for a model whose
+// production runs simulate years.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grist/dycore/state.hpp"
+
+namespace grist::io {
+
+struct RestartHeader {
+  Index ncells = 0;
+  Index nedges = 0;
+  int nlev = 0;
+  int ntracers = 0;
+  double sim_seconds = 0;
+};
+
+/// Write state + tskin + clock to `path` (binary, versioned magic).
+void writeRestart(const std::string& path, const dycore::State& state,
+                  const std::vector<double>& tskin, double sim_seconds);
+
+/// Read a restart written by writeRestart. Throws std::runtime_error on a
+/// missing/corrupt file or shape mismatch with the provided state.
+RestartHeader readRestart(const std::string& path, dycore::State& state,
+                          std::vector<double>& tskin);
+
+/// Peek at the header without loading the payload.
+RestartHeader readRestartHeader(const std::string& path);
+
+} // namespace grist::io

@@ -1,0 +1,30 @@
+// Plain-text table printer used by the benchmark harness so every
+// table/figure reproduction emits rows in the same aligned format the paper
+// reports (and EXPERIMENTS.md records).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grist::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with aligned columns; includes a header underline.
+  std::string str() const;
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace grist::io

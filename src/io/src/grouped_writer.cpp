@@ -1,0 +1,102 @@
+#include "grist/io/grouped_writer.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace grist::io {
+namespace {
+
+std::string groupFile(const std::string& dir, const std::string& name, Index group) {
+  return dir + "/" + name + ".g" + std::to_string(group) + ".bin";
+}
+
+} // namespace
+
+GroupedWriter::GroupedWriter(std::string directory, Index nranks, Index group_size)
+    : dir_(std::move(directory)), nranks_(nranks), group_size_(group_size) {
+  if (nranks < 1 || group_size < 1) {
+    throw std::invalid_argument("GroupedWriter: bad nranks/group_size");
+  }
+  ngroups_ = (nranks + group_size - 1) / group_size;
+  std::filesystem::create_directories(dir_);
+}
+
+void GroupedWriter::writeCellField(const std::string& name,
+                                   const parallel::Decomposition& decomp,
+                                   const std::vector<parallel::Field>& fields) {
+  if (static_cast<Index>(fields.size()) != nranks_ || decomp.nranks != nranks_) {
+    throw std::invalid_argument("GroupedWriter: rank count mismatch");
+  }
+  for (Index g = 0; g < ngroups_; ++g) {
+    const Index first = g * group_size_;
+    const Index last = std::min(nranks_, first + group_size_);
+    // Aggregation phase: members ship (global_id, values) records to the
+    // group leader; in-process this is a buffer append, but each member is
+    // one accounted message.
+    std::vector<std::int32_t> ids;
+    std::vector<double> values;
+    int ncomp = fields[first].components();
+    for (Index r = first; r < last; ++r) {
+      const auto& dom = decomp.domains[r];
+      const auto& f = fields[r];
+      if (f.components() != ncomp) {
+        throw std::invalid_argument("GroupedWriter: inconsistent components");
+      }
+      for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+        ids.push_back(dom.cell_global[lc]);
+        for (int k = 0; k < ncomp; ++k) values.push_back(f(lc, k));
+      }
+      if (r != first) ++stats_.aggregation_messages;
+    }
+    // Single write per group.
+    std::ofstream out(groupFile(dir_, name, g), std::ios::binary);
+    if (!out) throw std::runtime_error("GroupedWriter: cannot open group file");
+    ++stats_.file_opens;
+    const std::int64_t count = static_cast<std::int64_t>(ids.size());
+    const std::int64_t comp64 = ncomp;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(&comp64), sizeof(comp64));
+    out.write(reinterpret_cast<const char*>(ids.data()),
+              static_cast<std::streamsize>(ids.size() * sizeof(std::int32_t)));
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(double)));
+    ++stats_.write_calls;
+    stats_.bytes += static_cast<std::int64_t>(16 + ids.size() * sizeof(std::int32_t) +
+                                              values.size() * sizeof(double));
+  }
+}
+
+std::vector<double> GroupedWriter::readCellField(const std::string& name, Index ncells,
+                                                 int ncomp) const {
+  std::vector<double> out(static_cast<std::size_t>(ncells) * ncomp);
+  std::vector<bool> seen(ncells, false);
+  for (Index g = 0; g < ngroups_; ++g) {
+    std::ifstream in(groupFile(dir_, name, g), std::ios::binary);
+    if (!in) throw std::runtime_error("GroupedWriter: missing group file");
+    std::int64_t count = 0, comp64 = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    in.read(reinterpret_cast<char*>(&comp64), sizeof(comp64));
+    if (comp64 != ncomp) throw std::runtime_error("GroupedWriter: component mismatch");
+    std::vector<std::int32_t> ids(count);
+    std::vector<double> values(count * comp64);
+    in.read(reinterpret_cast<char*>(ids.data()),
+            static_cast<std::streamsize>(ids.size() * sizeof(std::int32_t)));
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+    for (std::int64_t i = 0; i < count; ++i) {
+      const Index c = ids[i];
+      if (c < 0 || c >= ncells) throw std::runtime_error("GroupedWriter: bad cell id");
+      seen[c] = true;
+      for (int k = 0; k < ncomp; ++k) out[static_cast<std::size_t>(c) * ncomp + k] =
+          values[static_cast<std::size_t>(i) * ncomp + k];
+    }
+  }
+  for (Index c = 0; c < ncells; ++c) {
+    if (!seen[c]) throw std::runtime_error("GroupedWriter: incomplete field");
+  }
+  return out;
+}
+
+} // namespace grist::io

@@ -1,0 +1,97 @@
+#include "grist/io/restart.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace grist::io {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4752495354535731ull;  // "GRISTSW1"
+
+void writeField(std::ofstream& out, const parallel::Field& f) {
+  out.write(reinterpret_cast<const char*>(f.data()),
+            static_cast<std::streamsize>(f.size() * sizeof(double)));
+}
+
+void readField(std::ifstream& in, parallel::Field& f) {
+  in.read(reinterpret_cast<char*>(f.data()),
+          static_cast<std::streamsize>(f.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("restart: truncated field payload");
+}
+
+} // namespace
+
+void writeRestart(const std::string& path, const dycore::State& state,
+                  const std::vector<double>& tskin, double sim_seconds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("restart: cannot open " + path);
+  const std::uint64_t magic = kMagic;
+  const std::int64_t ncells = state.delp.entities();
+  const std::int64_t nedges = state.u.entities();
+  const std::int64_t nlev = state.nlev;
+  const std::int64_t ntracers = static_cast<std::int64_t>(state.tracers.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&ncells), sizeof ncells);
+  out.write(reinterpret_cast<const char*>(&nedges), sizeof nedges);
+  out.write(reinterpret_cast<const char*>(&nlev), sizeof nlev);
+  out.write(reinterpret_cast<const char*>(&ntracers), sizeof ntracers);
+  out.write(reinterpret_cast<const char*>(&sim_seconds), sizeof sim_seconds);
+  writeField(out, state.delp);
+  writeField(out, state.u);
+  writeField(out, state.w);
+  writeField(out, state.theta);
+  writeField(out, state.phi);
+  for (const auto& tracer : state.tracers) writeField(out, tracer);
+  out.write(reinterpret_cast<const char*>(tskin.data()),
+            static_cast<std::streamsize>(tskin.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("restart: write failed for " + path);
+}
+
+RestartHeader readRestartHeader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("restart: cannot open " + path);
+  std::uint64_t magic = 0;
+  std::int64_t ncells = 0, nedges = 0, nlev = 0, ntracers = 0;
+  double sim_seconds = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kMagic) throw std::runtime_error("restart: bad magic in " + path);
+  in.read(reinterpret_cast<char*>(&ncells), sizeof ncells);
+  in.read(reinterpret_cast<char*>(&nedges), sizeof nedges);
+  in.read(reinterpret_cast<char*>(&nlev), sizeof nlev);
+  in.read(reinterpret_cast<char*>(&ntracers), sizeof ntracers);
+  in.read(reinterpret_cast<char*>(&sim_seconds), sizeof sim_seconds);
+  if (!in) throw std::runtime_error("restart: truncated header in " + path);
+  RestartHeader h;
+  h.ncells = static_cast<Index>(ncells);
+  h.nedges = static_cast<Index>(nedges);
+  h.nlev = static_cast<int>(nlev);
+  h.ntracers = static_cast<int>(ntracers);
+  h.sim_seconds = sim_seconds;
+  return h;
+}
+
+RestartHeader readRestart(const std::string& path, dycore::State& state,
+                          std::vector<double>& tskin) {
+  const RestartHeader h = readRestartHeader(path);
+  if (h.ncells != state.delp.entities() || h.nedges != state.u.entities() ||
+      h.nlev != state.nlev ||
+      h.ntracers != static_cast<int>(state.tracers.size())) {
+    throw std::runtime_error("restart: shape mismatch for " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  in.seekg(sizeof(std::uint64_t) + 4 * sizeof(std::int64_t) + sizeof(double));
+  readField(in, state.delp);
+  readField(in, state.u);
+  readField(in, state.w);
+  readField(in, state.theta);
+  readField(in, state.phi);
+  for (auto& tracer : state.tracers) readField(in, tracer);
+  tskin.resize(h.ncells);
+  in.read(reinterpret_cast<char*>(tskin.data()),
+          static_cast<std::streamsize>(tskin.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("restart: truncated payload in " + path);
+  return h;
+}
+
+} // namespace grist::io

@@ -1,0 +1,43 @@
+// Adam optimizer over flat parameter/gradient views.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grist::ml {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// One (value, gradient) pair registered with the optimizer. Both pointers
+/// must stay valid for the optimizer's lifetime.
+struct ParamView {
+  float* value = nullptr;
+  float* grad = nullptr;
+  std::size_t count = 0;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  void registerParams(const std::vector<ParamView>& views);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  std::size_t parameterCount() const;
+  int steps() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<ParamView> views_;
+  std::vector<std::vector<float>> m_, v_;
+  int t_ = 0;
+};
+
+} // namespace grist::ml

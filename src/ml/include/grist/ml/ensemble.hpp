@@ -1,0 +1,41 @@
+// Ensemble of Q1/Q2 networks (the stable-integration technique of the
+// paper's reference line of work: averaging an ensemble of independently
+// initialized networks suppresses the individual members' extrapolation
+// spikes that destabilize online-coupled runs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grist/ml/q1q2_net.hpp"
+
+namespace grist::ml {
+
+class Q1Q2Ensemble {
+ public:
+  /// All members must share nlev. Throws on an empty or inconsistent set.
+  explicit Q1Q2Ensemble(std::vector<std::shared_ptr<const Q1Q2Net>> members);
+
+  /// Mean prediction across members; same contract as Q1Q2Net::predict.
+  void predict(const double* u, const double* v, const double* t,
+               const double* q, const double* p, double* q1, double* q2) const;
+
+  int nlev() const { return members_.front()->config().nlev; }
+  std::size_t size() const { return members_.size(); }
+  /// Total parameters across members (flop accounting).
+  std::size_t parameterCount() const {
+    std::size_t total = 0;
+    for (const auto& member : members_) total += member->parameterCount();
+    return total;
+  }
+
+  /// Ensemble spread (std-dev across members of Q1 at each level) for one
+  /// column: the online uncertainty signal.
+  void spread(const double* u, const double* v, const double* t, const double* q,
+              const double* p, double* q1_spread) const;
+
+ private:
+  std::vector<std::shared_ptr<const Q1Q2Net>> members_;
+};
+
+} // namespace grist::ml

@@ -1,0 +1,61 @@
+// Stateless layer primitives: parameters and gradients live in caller-owned
+// structs, forward/backward are pure functions. This keeps inference
+// re-entrant (the coupler runs columns in parallel) and training explicit
+// (no hidden autograd state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grist/ml/matrix.hpp"
+
+namespace grist::ml {
+
+// ---- 1D convolution over a [channels x length] sequence, same padding ----
+struct Conv1dParams {
+  int cin = 0, cout = 0, ksize = 3;
+  Matrix w;                ///< [cout, cin*ksize]
+  std::vector<float> b;    ///< [cout]
+
+  Conv1dParams() = default;
+  Conv1dParams(int cin_, int cout_, int ksize_);
+  std::size_t parameterCount() const { return w.size() + b.size(); }
+};
+
+/// He-uniform initialization with a deterministic seed.
+void initConv(Conv1dParams& p, std::uint64_t seed);
+
+/// x: [cin, L] -> out [cout, L]. `col` is a scratch im2col buffer reused
+/// across calls ([cin*ksize, L], resized as needed).
+Matrix conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col);
+
+/// Backward: given x and dout, accumulates into grad (same shape as p) and
+/// returns dx. `col` must hold the forward's im2col of x.
+Matrix conv1dBackward(const Conv1dParams& p, const Matrix& x, const Matrix& col,
+                      const Matrix& dout, Conv1dParams& grad);
+
+// ---- dense layer ----
+struct DenseParams {
+  int nin = 0, nout = 0;
+  Matrix w;              ///< [nout, nin]
+  std::vector<float> b;  ///< [nout]
+
+  DenseParams() = default;
+  DenseParams(int nin_, int nout_);
+  std::size_t parameterCount() const { return w.size() + b.size(); }
+};
+
+void initDense(DenseParams& p, std::uint64_t seed);
+
+std::vector<float> denseForward(const DenseParams& p, const std::vector<float>& x);
+std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,
+                                 const std::vector<float>& dout, DenseParams& grad);
+
+// ---- ReLU ----
+void reluInPlace(Matrix& x);
+void reluInPlace(std::vector<float>& x);
+/// dx = dout where the forward OUTPUT was > 0 (pass the activated value).
+void reluBackwardInPlace(const Matrix& activated, Matrix& dout);
+void reluBackwardInPlace(const std::vector<float>& activated, std::vector<float>& dout);
+
+} // namespace grist::ml

@@ -1,0 +1,33 @@
+// Minimal dense float matrix + GEMM: the arithmetic substrate of the ML
+// physics suite. Single precision throughout -- the paper notes the ML
+// suite is trivially mixed-precision at the operator level (section 3.4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grist::ml {
+
+struct Matrix {
+  int rows = 0, cols = 0;
+  std::vector<float> a;
+
+  Matrix() = default;
+  Matrix(int rows_, int cols_, float init = 0.f)
+      : rows(rows_), cols(cols_), a(static_cast<std::size_t>(rows_) * cols_, init) {}
+
+  float& at(int r, int c) { return a[static_cast<std::size_t>(r) * cols + c]; }
+  float at(int r, int c) const { return a[static_cast<std::size_t>(r) * cols + c]; }
+  std::size_t size() const { return a.size(); }
+  void zero() { a.assign(a.size(), 0.f); }
+};
+
+/// C = alpha * op(A) * op(B) + beta * C. Shapes are validated; throws
+/// std::invalid_argument on mismatch. Parallelized over rows of C.
+void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c);
+
+/// y += x (shape-checked).
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+} // namespace grist::ml

@@ -1,0 +1,68 @@
+// The ML-based physics suite (paper Fig. 3, section 3.2.4): the ML physical
+// tendency module (Q1/Q2 CNN) replaces the summed tendencies of all
+// conventional physical processes for T and q, the ML radiation diagnostic
+// module supplies gsw/glw to the surface-layer scheme and the land model,
+// and conventional diagnostic modules (surface layer, land) complete the
+// suite. Precipitation is diagnosed from the column apparent moisture sink.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "grist/ml/ensemble.hpp"
+#include "grist/ml/q1q2_net.hpp"
+#include "grist/ml/rad_mlp.hpp"
+#include "grist/physics/land.hpp"
+#include "grist/physics/suite.hpp"
+#include "grist/physics/surface.hpp"
+
+namespace grist::ml {
+
+struct MlSuiteConfig {
+  physics::SurfaceConfig surface;
+  physics::LandConfig land;
+  /// Stability clamps on the predicted tendencies (paper section 3.2.3
+  /// stresses that the suite must keep the coupled model stable): caps the
+  /// apparent heating at |Q1| <= q1_limit (K/s) and the moisture tendency
+  /// at |dq/dt| <= dq_limit (1/s). Generous relative to physical values.
+  double q1_limit = 150.0 / 86400.0;
+  double dq_limit = 3.0e-6;
+};
+
+class MlPhysicsSuite final : public physics::PhysicsSuite {
+ public:
+  /// The networks are shared (trained once, used by many columns/ranks).
+  MlPhysicsSuite(Index ncolumns, int nlev, std::shared_ptr<const Q1Q2Net> q1q2,
+                 std::shared_ptr<const RadMlp> rad, MlSuiteConfig config = {});
+
+  /// Ensemble-averaged tendency module (the stable-integration variant).
+  MlPhysicsSuite(Index ncolumns, int nlev,
+                 std::shared_ptr<const Q1Q2Ensemble> ensemble,
+                 std::shared_ptr<const RadMlp> rad, MlSuiteConfig config = {});
+
+  void run(const physics::PhysicsInput& in, double dt,
+           physics::PhysicsOutput& out) override;
+  const char* name() const override { return "ML-physics"; }
+
+  /// FLOPs per column of the ML modules (dense matrix arithmetic): the
+  /// paper reports ~2x the FLOPs of RRTMG at 74-84% of peak vs 6%.
+  double flopsPerColumn() const;
+
+ private:
+  using PredictFn =
+      std::function<void(const double*, const double*, const double*,
+                         const double*, const double*, double*, double*)>;
+  MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict,
+                 std::size_t q1q2_params, std::shared_ptr<const RadMlp> rad,
+                 MlSuiteConfig config);
+
+  PredictFn predict_q1q2_;
+  std::size_t q1q2_params_ = 0;
+  std::shared_ptr<const RadMlp> rad_;
+  physics::SurfaceLayer surface_;
+  physics::LandModel land_;
+  MlSuiteConfig config_;
+  int nlev_;
+};
+
+} // namespace grist::ml

@@ -1,0 +1,87 @@
+// The ML physical-tendency module (paper section 3.2.3): an 11-conv-layer
+// 1D CNN over the vertical column -- one input convolution plus five
+// ResUnits (two convolutions each, with identity skip), closed by a 1x1
+// projection head. With 128 channels the parameter count is ~0.5M, matching
+// the paper. Inputs are the coupling variables (U, V, T, Q, P) as vertical
+// profiles; outputs are the Q1 (apparent heating) and Q2 (apparent moisture
+// sink) profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grist/ml/adam.hpp"
+#include "grist/ml/layers.hpp"
+
+namespace grist::ml {
+
+struct Q1Q2NetConfig {
+  int nlev = 30;
+  int channels = 128;
+  int res_units = 5;
+  std::uint64_t seed = 20250301;
+};
+
+/// Per-channel standardization constants.
+struct ChannelNorm {
+  std::vector<float> mean, stdev;
+};
+
+/// One training sample: x is [5, nlev] (U,V,T,Q,P), y is [2, nlev] (Q1,Q2),
+/// both in raw physical units.
+struct ColumnSample {
+  Matrix x;
+  Matrix y;
+};
+
+class Q1Q2Net {
+ public:
+  explicit Q1Q2Net(Q1Q2NetConfig config = {});
+
+  static constexpr int kInputChannels = 5;
+  static constexpr int kOutputChannels = 2;
+
+  /// Raw-unit inference for one column; thread-safe (const, no shared
+  /// scratch). Arrays are length nlev.
+  void predict(const double* u, const double* v, const double* t,
+               const double* q, const double* p, double* q1, double* q2) const;
+
+  /// Fit the normalization constants to a sample set (call before training).
+  void fitNormalization(const std::vector<ColumnSample>& samples);
+
+  /// One pass over the batch: forward, MSE loss on normalized outputs,
+  /// backprop, Adam update. Returns the mean loss.
+  double trainBatch(const std::vector<ColumnSample>& batch, Adam& adam);
+
+  /// Mean MSE on normalized outputs without updating (test split).
+  double evaluate(const std::vector<ColumnSample>& samples) const;
+
+  /// Register all parameters with an optimizer.
+  std::vector<ParamView> paramViews();
+
+  std::size_t parameterCount() const;
+  int convLayerCount() const { return 1 + 2 * config_.res_units; }
+  const Q1Q2NetConfig& config() const { return config_; }
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  struct Cache;
+  Matrix forwardNormalized(const Matrix& xn, Cache* cache) const;
+  void backward(const Cache& cache, const Matrix& dout);
+  Matrix normalizeInput(const Matrix& x) const;
+
+  Q1Q2NetConfig config_;
+  Conv1dParams conv_in_;
+  std::vector<Conv1dParams> res_convs_;  // 2 per unit
+  Conv1dParams head_;                    // 1x1 projection
+  // Gradients mirror the parameters.
+  Conv1dParams g_conv_in_;
+  std::vector<Conv1dParams> g_res_convs_;
+  Conv1dParams g_head_;
+  ChannelNorm in_norm_, out_norm_;
+};
+
+} // namespace grist::ml

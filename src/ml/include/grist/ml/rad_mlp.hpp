@@ -1,0 +1,67 @@
+// The ML radiation diagnostic module (paper section 3.2.3): a 7-layer MLP
+// with residual connections that maps column state + skin temperature +
+// cosine solar zenith angle to the surface downward shortwave (gsw) and
+// longwave (glw) radiation consumed by the land and surface-layer schemes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grist/ml/adam.hpp"
+#include "grist/ml/layers.hpp"
+
+namespace grist::ml {
+
+struct RadMlpConfig {
+  int nlev = 30;
+  int hidden = 128;
+  std::uint64_t seed = 20250302;
+};
+
+/// Training sample: x = [T profile | qv profile | tskin | coszr] (2*nlev+2),
+/// y = [gsw, glw], raw units.
+struct RadSample {
+  std::vector<float> x;
+  std::vector<float> y;
+};
+
+class RadMlp {
+ public:
+  explicit RadMlp(RadMlpConfig config = {});
+
+  int inputSize() const { return 2 * config_.nlev + 2; }
+  static constexpr int kOutputs = 2;
+  /// 7 dense layers (in + 3 residual pairs) plus the linear head.
+  int denseLayerCount() const { return 7; }
+
+  /// Raw-unit inference; thread-safe.
+  void predict(const double* t, const double* qv, double tskin, double coszr,
+               double* gsw, double* glw) const;
+
+  void fitNormalization(const std::vector<RadSample>& samples);
+  double trainBatch(const std::vector<RadSample>& batch, Adam& adam);
+  double evaluate(const std::vector<RadSample>& samples) const;
+  std::vector<ParamView> paramViews();
+  std::size_t parameterCount() const;
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  std::vector<float> forward(const std::vector<float>& xn,
+                             std::vector<std::vector<float>>* acts) const;
+  void backward(const std::vector<std::vector<float>>& acts,
+                std::vector<float> dout);
+  std::vector<float> normalize(const std::vector<float>& x) const;
+
+  RadMlpConfig config_;
+  DenseParams in_;                 // input -> hidden
+  std::vector<DenseParams> mid_;   // 6 hidden->hidden (3 residual pairs)
+  DenseParams head_;               // hidden -> 2
+  DenseParams g_in_, g_head_;
+  std::vector<DenseParams> g_mid_;
+  std::vector<float> x_mean_, x_std_, y_mean_, y_std_;
+};
+
+} // namespace grist::ml

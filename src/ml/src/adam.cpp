@@ -1,0 +1,43 @@
+#include "grist/ml/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grist::ml {
+
+void Adam::registerParams(const std::vector<ParamView>& views) {
+  for (const ParamView& view : views) {
+    if (view.value == nullptr || view.grad == nullptr) {
+      throw std::invalid_argument("Adam: null parameter view");
+    }
+    views_.push_back(view);
+    m_.emplace_back(view.count, 0.f);
+    v_.emplace_back(view.count, 0.f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t p = 0; p < views_.size(); ++p) {
+    ParamView& view = views_[p];
+    for (std::size_t i = 0; i < view.count; ++i) {
+      const float g = view.grad[i];
+      m_[p][i] = config_.beta1 * m_[p][i] + (1.f - config_.beta1) * g;
+      v_[p][i] = config_.beta2 * v_[p][i] + (1.f - config_.beta2) * g * g;
+      const float mhat = m_[p][i] / bc1;
+      const float vhat = v_[p][i] / bc2;
+      view.value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+      view.grad[i] = 0.f;
+    }
+  }
+}
+
+std::size_t Adam::parameterCount() const {
+  std::size_t total = 0;
+  for (const ParamView& view : views_) total += view.count;
+  return total;
+}
+
+} // namespace grist::ml

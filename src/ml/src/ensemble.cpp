@@ -1,0 +1,61 @@
+#include "grist/ml/ensemble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grist::ml {
+
+Q1Q2Ensemble::Q1Q2Ensemble(std::vector<std::shared_ptr<const Q1Q2Net>> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) throw std::invalid_argument("Q1Q2Ensemble: empty");
+  for (const auto& member : members_) {
+    if (!member) throw std::invalid_argument("Q1Q2Ensemble: null member");
+    if (member->config().nlev != members_.front()->config().nlev) {
+      throw std::invalid_argument("Q1Q2Ensemble: nlev mismatch across members");
+    }
+  }
+}
+
+void Q1Q2Ensemble::predict(const double* u, const double* v, const double* t,
+                           const double* q, const double* p, double* q1,
+                           double* q2) const {
+  const int n = nlev();
+  std::vector<double> q1_m(n), q2_m(n);
+  for (int k = 0; k < n; ++k) {
+    q1[k] = 0;
+    q2[k] = 0;
+  }
+  for (const auto& member : members_) {
+    member->predict(u, v, t, q, p, q1_m.data(), q2_m.data());
+    for (int k = 0; k < n; ++k) {
+      q1[k] += q1_m[k];
+      q2[k] += q2_m[k];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (int k = 0; k < n; ++k) {
+    q1[k] *= inv;
+    q2[k] *= inv;
+  }
+}
+
+void Q1Q2Ensemble::spread(const double* u, const double* v, const double* t,
+                          const double* q, const double* p,
+                          double* q1_spread) const {
+  const int n = nlev();
+  std::vector<double> mean(n, 0.0), m2(n, 0.0), q1_m(n), q2_m(n);
+  for (const auto& member : members_) {
+    member->predict(u, v, t, q, p, q1_m.data(), q2_m.data());
+    for (int k = 0; k < n; ++k) {
+      mean[k] += q1_m[k];
+      m2[k] += q1_m[k] * q1_m[k];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (int k = 0; k < n; ++k) {
+    const double mu = mean[k] * inv;
+    q1_spread[k] = std::sqrt(std::max(0.0, m2[k] * inv - mu * mu));
+  }
+}
+
+} // namespace grist::ml

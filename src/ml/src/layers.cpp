@@ -1,0 +1,137 @@
+#include "grist/ml/layers.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace grist::ml {
+namespace {
+
+// im2col for same-padded 1D convolution: col[(ci*K + t), l] = x[ci, l+t-K/2].
+void im2col(const Matrix& x, int ksize, Matrix& col) {
+  const int cin = x.rows, len = x.cols;
+  const int half = ksize / 2;
+  if (col.rows != cin * ksize || col.cols != len) {
+    col = Matrix(cin * ksize, len);
+  }
+  for (int ci = 0; ci < cin; ++ci) {
+    for (int t = 0; t < ksize; ++t) {
+      for (int l = 0; l < len; ++l) {
+        const int src = l + t - half;
+        col.at(ci * ksize + t, l) =
+            (src >= 0 && src < len) ? x.at(ci, src) : 0.f;
+      }
+    }
+  }
+}
+
+void col2imAdd(const Matrix& dcol, int cin, int ksize, Matrix& dx) {
+  const int len = dx.cols;
+  const int half = ksize / 2;
+  for (int ci = 0; ci < cin; ++ci) {
+    for (int t = 0; t < ksize; ++t) {
+      for (int l = 0; l < len; ++l) {
+        const int src = l + t - half;
+        if (src >= 0 && src < len) dx.at(ci, src) += dcol.at(ci * ksize + t, l);
+      }
+    }
+  }
+}
+
+std::mt19937_64 seededRng(std::uint64_t seed) { return std::mt19937_64(seed); }
+
+} // namespace
+
+Conv1dParams::Conv1dParams(int cin_, int cout_, int ksize_)
+    : cin(cin_), cout(cout_), ksize(ksize_), w(cout_, cin_ * ksize_), b(cout_, 0.f) {
+  if (ksize_ % 2 == 0) throw std::invalid_argument("Conv1dParams: even kernel");
+}
+
+void initConv(Conv1dParams& p, std::uint64_t seed) {
+  auto rng = seededRng(seed);
+  const float bound = std::sqrt(6.0f / static_cast<float>(p.cin * p.ksize));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (float& v : p.w.a) v = dist(rng);
+  for (float& v : p.b) v = 0.f;
+}
+
+Matrix conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col) {
+  if (x.rows != p.cin) throw std::invalid_argument("conv1dForward: channel mismatch");
+  im2col(x, p.ksize, col);
+  Matrix out(p.cout, x.cols);
+  gemm(false, false, 1.f, p.w, col, 0.f, out);
+  for (int co = 0; co < p.cout; ++co) {
+    for (int l = 0; l < x.cols; ++l) out.at(co, l) += p.b[co];
+  }
+  return out;
+}
+
+Matrix conv1dBackward(const Conv1dParams& p, const Matrix& x, const Matrix& col,
+                      const Matrix& dout, Conv1dParams& grad) {
+  // dW += dout * col^T ; db += row sums of dout ; dx = col2im(W^T * dout).
+  gemm(false, true, 1.f, dout, col, 1.f, grad.w);
+  for (int co = 0; co < p.cout; ++co) {
+    for (int l = 0; l < dout.cols; ++l) grad.b[co] += dout.at(co, l);
+  }
+  Matrix dcol(p.cin * p.ksize, x.cols);
+  gemm(true, false, 1.f, p.w, dout, 0.f, dcol);
+  Matrix dx(p.cin, x.cols);
+  col2imAdd(dcol, p.cin, p.ksize, dx);
+  return dx;
+}
+
+DenseParams::DenseParams(int nin_, int nout_)
+    : nin(nin_), nout(nout_), w(nout_, nin_), b(nout_, 0.f) {}
+
+void initDense(DenseParams& p, std::uint64_t seed) {
+  auto rng = seededRng(seed);
+  const float bound = std::sqrt(6.0f / static_cast<float>(p.nin));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (float& v : p.w.a) v = dist(rng);
+  for (float& v : p.b) v = 0.f;
+}
+
+std::vector<float> denseForward(const DenseParams& p, const std::vector<float>& x) {
+  if (static_cast<int>(x.size()) != p.nin) {
+    throw std::invalid_argument("denseForward: input size mismatch");
+  }
+  std::vector<float> out(p.nout);
+  for (int o = 0; o < p.nout; ++o) {
+    float acc = p.b[o];
+    for (int i = 0; i < p.nin; ++i) acc += p.w.at(o, i) * x[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,
+                                 const std::vector<float>& dout, DenseParams& grad) {
+  std::vector<float> dx(p.nin, 0.f);
+  for (int o = 0; o < p.nout; ++o) {
+    grad.b[o] += dout[o];
+    for (int i = 0; i < p.nin; ++i) {
+      grad.w.at(o, i) += dout[o] * x[i];
+      dx[i] += p.w.at(o, i) * dout[o];
+    }
+  }
+  return dx;
+}
+
+void reluInPlace(Matrix& x) {
+  for (float& v : x.a) v = v > 0.f ? v : 0.f;
+}
+void reluInPlace(std::vector<float>& x) {
+  for (float& v : x) v = v > 0.f ? v : 0.f;
+}
+void reluBackwardInPlace(const Matrix& activated, Matrix& dout) {
+  for (std::size_t i = 0; i < dout.a.size(); ++i) {
+    if (activated.a[i] <= 0.f) dout.a[i] = 0.f;
+  }
+}
+void reluBackwardInPlace(const std::vector<float>& activated, std::vector<float>& dout) {
+  for (std::size_t i = 0; i < dout.size(); ++i) {
+    if (activated[i] <= 0.f) dout[i] = 0.f;
+  }
+}
+
+} // namespace grist::ml

@@ -1,0 +1,35 @@
+#include "grist/ml/matrix.hpp"
+
+#include <stdexcept>
+
+namespace grist::ml {
+
+void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c) {
+  const int m = trans_a ? a.cols : a.rows;
+  const int k = trans_a ? a.rows : a.cols;
+  const int kb = trans_b ? b.cols : b.rows;
+  const int n = trans_b ? b.rows : b.cols;
+  if (k != kb || c.rows != m || c.cols != n) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  const auto aa = [&](int i, int j) { return trans_a ? a.at(j, i) : a.at(i, j); };
+  const auto bb = [&](int i, int j) { return trans_b ? b.at(j, i) : b.at(i, j); };
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (int l = 0; l < k; ++l) acc += aa(i, l) * bb(l, j);
+      c.at(i, j) = alpha * acc + beta * c.at(i, j);
+    }
+  }
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  if (x.rows != y.rows || x.cols != y.cols) {
+    throw std::invalid_argument("axpy: shape mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y.a[i] += alpha * x.a[i];
+}
+
+} // namespace grist::ml

@@ -1,0 +1,127 @@
+#include "grist/ml/ml_suite.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "grist/common/math.hpp"
+#include "grist/common/timer.hpp"
+
+namespace grist::ml {
+
+using constants::kCp;
+using constants::kGravity;
+using constants::kLv;
+
+namespace {
+
+std::shared_ptr<const Q1Q2Net> requireNet(std::shared_ptr<const Q1Q2Net> net,
+                                          int nlev) {
+  if (!net) throw std::invalid_argument("MlPhysicsSuite: null network");
+  if (net->config().nlev != nlev) {
+    throw std::invalid_argument("MlPhysicsSuite: Q1Q2Net nlev mismatch");
+  }
+  return net;
+}
+
+std::shared_ptr<const Q1Q2Ensemble> requireEnsemble(
+    std::shared_ptr<const Q1Q2Ensemble> ensemble, int nlev) {
+  if (!ensemble) throw std::invalid_argument("MlPhysicsSuite: null ensemble");
+  if (ensemble->nlev() != nlev) {
+    throw std::invalid_argument("MlPhysicsSuite: ensemble nlev mismatch");
+  }
+  return ensemble;
+}
+
+} // namespace
+
+MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict,
+                               std::size_t q1q2_params,
+                               std::shared_ptr<const RadMlp> rad,
+                               MlSuiteConfig config)
+    : predict_q1q2_(std::move(predict)),
+      q1q2_params_(q1q2_params),
+      rad_(std::move(rad)),
+      surface_(config.surface),
+      land_(ncolumns, config.land),
+      config_(config),
+      nlev_(nlev) {
+  if (!predict_q1q2_ || !rad_) {
+    throw std::invalid_argument("MlPhysicsSuite: null network");
+  }
+}
+
+MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev,
+                               std::shared_ptr<const Q1Q2Net> q1q2,
+                               std::shared_ptr<const RadMlp> rad,
+                               MlSuiteConfig config)
+    : MlPhysicsSuite(
+          ncolumns, nlev,
+          [q1q2 = requireNet(q1q2, nlev)](const double* u, const double* v,
+                                          const double* t, const double* q,
+                                          const double* p, double* q1, double* q2) {
+            q1q2->predict(u, v, t, q, p, q1, q2);
+          },
+          q1q2 ? q1q2->parameterCount() : 0, std::move(rad), config) {}
+
+MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev,
+                               std::shared_ptr<const Q1Q2Ensemble> ensemble,
+                               std::shared_ptr<const RadMlp> rad,
+                               MlSuiteConfig config)
+    : MlPhysicsSuite(
+          ncolumns, nlev,
+          [ensemble = requireEnsemble(ensemble, nlev)](
+              const double* u, const double* v, const double* t, const double* q,
+              const double* p, double* q1, double* q2) {
+            ensemble->predict(u, v, t, q, p, q1, q2);
+          },
+          ensemble ? ensemble->parameterCount() : 0, std::move(rad), config) {}
+
+void MlPhysicsSuite::run(const physics::PhysicsInput& in, double dt,
+                         physics::PhysicsOutput& out) {
+  const ScopedTimer timer("physics.ml");
+  out.zero();
+  const int nlev = in.nlev;
+
+  // ---- ML physical tendency + ML radiation diagnostic, per column ----
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    std::vector<double> u(nlev), v(nlev), t(nlev), q(nlev), p(nlev);
+    std::vector<double> q1(nlev), q2(nlev);
+    for (int k = 0; k < nlev; ++k) {
+      u[k] = in.u(c, k);
+      v[k] = in.v(c, k);
+      t[k] = in.t(c, k);
+      q[k] = in.qv(c, k);
+      p[k] = in.pmid(c, k);
+    }
+    predict_q1q2_(u.data(), v.data(), t.data(), q.data(), p.data(), q1.data(),
+                  q2.data());
+    double moisture_sink = 0.0;  // kg/m^2/s
+    for (int k = 0; k < nlev; ++k) {
+      out.dtdt(c, k) += clamp(q1[k], -config_.q1_limit, config_.q1_limit);
+      // Q2 = -(Lv/cp) dq/dt  =>  dq/dt = -(cp/Lv) Q2.
+      const double dqdt =
+          clamp(-(kCp / kLv) * q2[k], -config_.dq_limit, config_.dq_limit);
+      out.dqvdt(c, k) += dqdt;
+      moisture_sink -= dqdt * in.delp(c, k) / kGravity;
+    }
+    if (moisture_sink > 0) out.precip[c] += moisture_sink * 86400.0;
+
+    double gsw = 0, glw = 0;
+    rad_->predict(t.data(), q.data(), in.tskin[c], in.coszr[c], &gsw, &glw);
+    out.gsw[c] = gsw;
+    out.glw[c] = glw;
+  }
+
+  // ---- conventional diagnostic modules (surface layer, land) ----
+  surface_.run(in, out);
+  land_.run(in, dt, out);
+}
+
+double MlPhysicsSuite::flopsPerColumn() const {
+  // Two flops per MAC in the conv/dense layers.
+  return 2.0 * (static_cast<double>(q1q2_params_) * nlev_ +
+                static_cast<double>(rad_->parameterCount()));
+}
+
+} // namespace grist::ml

@@ -1,0 +1,270 @@
+#include "grist/ml/q1q2_net.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace grist::ml {
+
+struct Q1Q2Net::Cache {
+  Matrix x_in;                     // normalized input
+  Matrix col_in;                   // im2col of x_in
+  Matrix act_in;                   // activated output of conv_in
+  std::vector<Matrix> res_x;       // input of each res conv
+  std::vector<Matrix> res_col;     // im2col of each res conv input
+  std::vector<Matrix> res_act;     // activated outputs (after +skip for 2nd)
+  Matrix head_in;                  // input to the projection head
+  Matrix head_col;
+};
+
+Q1Q2Net::Q1Q2Net(Q1Q2NetConfig config) : config_(config) {
+  const int c = config_.channels;
+  conv_in_ = Conv1dParams(kInputChannels, c, 3);
+  g_conv_in_ = Conv1dParams(kInputChannels, c, 3);
+  initConv(conv_in_, config_.seed);
+  for (int r = 0; r < config_.res_units; ++r) {
+    for (int half = 0; half < 2; ++half) {
+      res_convs_.emplace_back(c, c, 3);
+      g_res_convs_.emplace_back(c, c, 3);
+      initConv(res_convs_.back(), config_.seed + 17 * (2 * r + half) + 1);
+    }
+  }
+  head_ = Conv1dParams(c, kOutputChannels, 1);
+  g_head_ = Conv1dParams(c, kOutputChannels, 1);
+  initConv(head_, config_.seed + 999);
+  // Identity normalization until fitted.
+  in_norm_.mean.assign(kInputChannels, 0.f);
+  in_norm_.stdev.assign(kInputChannels, 1.f);
+  out_norm_.mean.assign(kOutputChannels, 0.f);
+  out_norm_.stdev.assign(kOutputChannels, 1.f);
+}
+
+Matrix Q1Q2Net::normalizeInput(const Matrix& x) const {
+  Matrix xn = x;
+  for (int ci = 0; ci < kInputChannels; ++ci) {
+    for (int l = 0; l < xn.cols; ++l) {
+      xn.at(ci, l) = (xn.at(ci, l) - in_norm_.mean[ci]) / in_norm_.stdev[ci];
+    }
+  }
+  return xn;
+}
+
+Matrix Q1Q2Net::forwardNormalized(const Matrix& xn, Cache* cache) const {
+  Matrix col;  // local scratch keeps the method re-entrant
+  Matrix h = conv1dForward(conv_in_, xn, col);
+  reluInPlace(h);
+  if (cache) {
+    cache->x_in = xn;
+    cache->col_in = col;
+    cache->act_in = h;
+  }
+  for (int r = 0; r < config_.res_units; ++r) {
+    const Matrix skip = h;
+    Matrix col_a;
+    if (cache) cache->res_x.push_back(h);
+    Matrix mid = conv1dForward(res_convs_[2 * r], h, col_a);
+    if (cache) cache->res_col.push_back(col_a);
+    reluInPlace(mid);
+    if (cache) cache->res_act.push_back(mid);
+    Matrix col_b;
+    if (cache) cache->res_x.push_back(mid);
+    Matrix out = conv1dForward(res_convs_[2 * r + 1], mid, col_b);
+    if (cache) cache->res_col.push_back(col_b);
+    axpy(1.f, skip, out);  // residual connection
+    reluInPlace(out);
+    if (cache) cache->res_act.push_back(out);
+    h = out;
+  }
+  Matrix head_col;
+  if (cache) cache->head_in = h;
+  Matrix y = conv1dForward(head_, h, head_col);
+  if (cache) cache->head_col = head_col;
+  return y;
+}
+
+void Q1Q2Net::backward(const Cache& cache, const Matrix& dout) {
+  Matrix d = conv1dBackward(head_, cache.head_in, cache.head_col, dout, g_head_);
+  for (int r = config_.res_units - 1; r >= 0; --r) {
+    // Through the post-skip ReLU.
+    reluBackwardInPlace(cache.res_act[2 * r + 1], d);
+    // Skip path carries d straight through; conv path adds its share.
+    Matrix d_conv = conv1dBackward(res_convs_[2 * r + 1], cache.res_x[2 * r + 1],
+                                   cache.res_col[2 * r + 1], d, g_res_convs_[2 * r + 1]);
+    reluBackwardInPlace(cache.res_act[2 * r], d_conv);
+    Matrix d_in = conv1dBackward(res_convs_[2 * r], cache.res_x[2 * r],
+                                 cache.res_col[2 * r], d_conv, g_res_convs_[2 * r]);
+    axpy(1.f, d, d_in);  // add the skip gradient
+    d = d_in;
+  }
+  reluBackwardInPlace(cache.act_in, d);
+  conv1dBackward(conv_in_, cache.x_in, cache.col_in, d, g_conv_in_);
+}
+
+void Q1Q2Net::predict(const double* u, const double* v, const double* t,
+                      const double* q, const double* p, double* q1,
+                      double* q2) const {
+  const int nlev = config_.nlev;
+  Matrix x(kInputChannels, nlev);
+  for (int l = 0; l < nlev; ++l) {
+    x.at(0, l) = static_cast<float>(u[l]);
+    x.at(1, l) = static_cast<float>(v[l]);
+    x.at(2, l) = static_cast<float>(t[l]);
+    x.at(3, l) = static_cast<float>(q[l]);
+    x.at(4, l) = static_cast<float>(p[l]);
+  }
+  const Matrix y = forwardNormalized(normalizeInput(x), nullptr);
+  for (int l = 0; l < nlev; ++l) {
+    q1[l] = y.at(0, l) * out_norm_.stdev[0] + out_norm_.mean[0];
+    q2[l] = y.at(1, l) * out_norm_.stdev[1] + out_norm_.mean[1];
+  }
+}
+
+void Q1Q2Net::fitNormalization(const std::vector<ColumnSample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("fitNormalization: empty set");
+  const auto fit = [](ChannelNorm& norm, int channels,
+                      const std::vector<const Matrix*>& mats) {
+    norm.mean.assign(channels, 0.f);
+    norm.stdev.assign(channels, 0.f);
+    std::size_t count = 0;
+    for (const Matrix* m : mats) count += m->cols;
+    for (int ci = 0; ci < channels; ++ci) {
+      double sum = 0;
+      for (const Matrix* m : mats) {
+        for (int l = 0; l < m->cols; ++l) sum += m->at(ci, l);
+      }
+      const double mean = sum / static_cast<double>(count);
+      double var = 0;
+      for (const Matrix* m : mats) {
+        for (int l = 0; l < m->cols; ++l) {
+          const double d = m->at(ci, l) - mean;
+          var += d * d;
+        }
+      }
+      norm.mean[ci] = static_cast<float>(mean);
+      norm.stdev[ci] =
+          static_cast<float>(std::sqrt(var / static_cast<double>(count)) + 1e-8);
+    }
+  };
+  std::vector<const Matrix*> xs, ys;
+  for (const ColumnSample& s : samples) {
+    xs.push_back(&s.x);
+    ys.push_back(&s.y);
+  }
+  fit(in_norm_, kInputChannels, xs);
+  fit(out_norm_, kOutputChannels, ys);
+}
+
+double Q1Q2Net::trainBatch(const std::vector<ColumnSample>& batch, Adam& adam) {
+  if (batch.empty()) return 0.0;
+  double loss = 0.0;
+  for (const ColumnSample& s : batch) {
+    Cache cache;
+    const Matrix y = forwardNormalized(normalizeInput(s.x), &cache);
+    // Normalized-target MSE; dL/dy = 2 (y - yn) / N.
+    Matrix dout(y.rows, y.cols);
+    const float inv_n = 1.f / static_cast<float>(y.size());
+    for (int ci = 0; ci < kOutputChannels; ++ci) {
+      for (int l = 0; l < y.cols; ++l) {
+        const float target =
+            (s.y.at(ci, l) - out_norm_.mean[ci]) / out_norm_.stdev[ci];
+        const float diff = y.at(ci, l) - target;
+        loss += diff * diff * inv_n;
+        dout.at(ci, l) = 2.f * diff * inv_n / static_cast<float>(batch.size());
+      }
+    }
+    backward(cache, dout);
+  }
+  adam.step();
+  return loss / static_cast<double>(batch.size());
+}
+
+double Q1Q2Net::evaluate(const std::vector<ColumnSample>& samples) const {
+  double loss = 0.0;
+  for (const ColumnSample& s : samples) {
+    const Matrix y = forwardNormalized(normalizeInput(s.x), nullptr);
+    const float inv_n = 1.f / static_cast<float>(y.size());
+    for (int ci = 0; ci < kOutputChannels; ++ci) {
+      for (int l = 0; l < y.cols; ++l) {
+        const float target =
+            (s.y.at(ci, l) - out_norm_.mean[ci]) / out_norm_.stdev[ci];
+        const float diff = y.at(ci, l) - target;
+        loss += diff * diff * inv_n;
+      }
+    }
+  }
+  return samples.empty() ? 0.0 : loss / static_cast<double>(samples.size());
+}
+
+std::vector<ParamView> Q1Q2Net::paramViews() {
+  std::vector<ParamView> views;
+  const auto add = [&](Conv1dParams& p, Conv1dParams& g) {
+    views.push_back({p.w.a.data(), g.w.a.data(), p.w.size()});
+    views.push_back({p.b.data(), g.b.data(), p.b.size()});
+  };
+  add(conv_in_, g_conv_in_);
+  for (std::size_t i = 0; i < res_convs_.size(); ++i) {
+    add(res_convs_[i], g_res_convs_[i]);
+  }
+  add(head_, g_head_);
+  return views;
+}
+
+std::size_t Q1Q2Net::parameterCount() const {
+  std::size_t total = conv_in_.parameterCount() + head_.parameterCount();
+  for (const auto& p : res_convs_) total += p.parameterCount();
+  return total;
+}
+
+namespace {
+void writeFloats(std::ofstream& out, const std::vector<float>& v) {
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void readFloats(std::ifstream& in, std::vector<float>& v) {
+  std::int64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (n != static_cast<std::int64_t>(v.size())) {
+    throw std::runtime_error("Q1Q2Net::load: shape mismatch");
+  }
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+} // namespace
+
+void Q1Q2Net::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Q1Q2Net::save: cannot open " + path);
+  writeFloats(out, conv_in_.w.a);
+  writeFloats(out, conv_in_.b);
+  for (const auto& p : res_convs_) {
+    writeFloats(out, p.w.a);
+    writeFloats(out, p.b);
+  }
+  writeFloats(out, head_.w.a);
+  writeFloats(out, head_.b);
+  writeFloats(out, in_norm_.mean);
+  writeFloats(out, in_norm_.stdev);
+  writeFloats(out, out_norm_.mean);
+  writeFloats(out, out_norm_.stdev);
+}
+
+void Q1Q2Net::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Q1Q2Net::load: cannot open " + path);
+  readFloats(in, conv_in_.w.a);
+  readFloats(in, conv_in_.b);
+  for (auto& p : res_convs_) {
+    readFloats(in, p.w.a);
+    readFloats(in, p.b);
+  }
+  readFloats(in, head_.w.a);
+  readFloats(in, head_.b);
+  readFloats(in, in_norm_.mean);
+  readFloats(in, in_norm_.stdev);
+  readFloats(in, out_norm_.mean);
+  readFloats(in, out_norm_.stdev);
+}
+
+} // namespace grist::ml

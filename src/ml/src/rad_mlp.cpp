@@ -1,0 +1,221 @@
+#include "grist/ml/rad_mlp.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace grist::ml {
+
+RadMlp::RadMlp(RadMlpConfig config) : config_(config) {
+  const int h = config_.hidden;
+  in_ = DenseParams(inputSize(), h);
+  g_in_ = DenseParams(inputSize(), h);
+  initDense(in_, config_.seed);
+  for (int i = 0; i < 6; ++i) {
+    mid_.emplace_back(h, h);
+    g_mid_.emplace_back(h, h);
+    initDense(mid_.back(), config_.seed + 31 * i + 7);
+  }
+  head_ = DenseParams(h, kOutputs);
+  g_head_ = DenseParams(h, kOutputs);
+  initDense(head_, config_.seed + 555);
+  x_mean_.assign(inputSize(), 0.f);
+  x_std_.assign(inputSize(), 1.f);
+  y_mean_.assign(kOutputs, 0.f);
+  y_std_.assign(kOutputs, 1.f);
+}
+
+std::vector<float> RadMlp::normalize(const std::vector<float>& x) const {
+  std::vector<float> xn(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xn[i] = (x[i] - x_mean_[i]) / x_std_[i];
+  return xn;
+}
+
+// acts layout (when recording): [0]=xn, [1]=h0(activated), then per pair
+// j=0..2: [2+2j]=mid activated, [3+2j]=pair output activated (post skip);
+// the head input is the last activated entry.
+std::vector<float> RadMlp::forward(const std::vector<float>& xn,
+                                   std::vector<std::vector<float>>* acts) const {
+  std::vector<float> h = denseForward(in_, xn);
+  reluInPlace(h);
+  if (acts) {
+    acts->push_back(xn);
+    acts->push_back(h);
+  }
+  for (int j = 0; j < 3; ++j) {
+    const std::vector<float> skip = h;
+    std::vector<float> mid = denseForward(mid_[2 * j], h);
+    reluInPlace(mid);
+    if (acts) acts->push_back(mid);
+    std::vector<float> out = denseForward(mid_[2 * j + 1], mid);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += skip[i];
+    reluInPlace(out);
+    if (acts) acts->push_back(out);
+    h = out;
+  }
+  return denseForward(head_, h);
+}
+
+void RadMlp::backward(const std::vector<std::vector<float>>& acts,
+                      std::vector<float> dout) {
+  // Head: input is the last activated vector.
+  std::vector<float> d = denseBackward(head_, acts.back(), dout, g_head_);
+  for (int j = 2; j >= 0; --j) {
+    const std::vector<float>& pair_out = acts[3 + 2 * j];
+    const std::vector<float>& mid = acts[2 + 2 * j];
+    const std::vector<float>& pair_in = j == 0 ? acts[1] : acts[3 + 2 * (j - 1)];
+    reluBackwardInPlace(pair_out, d);
+    std::vector<float> d_mid = denseBackward(mid_[2 * j + 1], mid, d, g_mid_[2 * j + 1]);
+    reluBackwardInPlace(mid, d_mid);
+    std::vector<float> d_in = denseBackward(mid_[2 * j], pair_in, d_mid, g_mid_[2 * j]);
+    for (std::size_t i = 0; i < d_in.size(); ++i) d_in[i] += d[i];  // skip path
+    d = d_in;
+  }
+  reluBackwardInPlace(acts[1], d);
+  denseBackward(in_, acts[0], d, g_in_);
+}
+
+void RadMlp::predict(const double* t, const double* qv, double tskin, double coszr,
+                     double* gsw, double* glw) const {
+  std::vector<float> x(inputSize());
+  const int nlev = config_.nlev;
+  for (int k = 0; k < nlev; ++k) {
+    x[k] = static_cast<float>(t[k]);
+    x[nlev + k] = static_cast<float>(qv[k]);
+  }
+  x[2 * nlev] = static_cast<float>(tskin);
+  x[2 * nlev + 1] = static_cast<float>(coszr);
+  const std::vector<float> y = forward(normalize(x), nullptr);
+  *gsw = std::max(0.0, static_cast<double>(y[0] * y_std_[0] + y_mean_[0]));
+  *glw = std::max(0.0, static_cast<double>(y[1] * y_std_[1] + y_mean_[1]));
+}
+
+void RadMlp::fitNormalization(const std::vector<RadSample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("RadMlp::fitNormalization: empty");
+  const auto fit = [&](std::vector<float>& mean, std::vector<float>& stdev, int dim,
+                       const auto& get) {
+    mean.assign(dim, 0.f);
+    stdev.assign(dim, 0.f);
+    for (int i = 0; i < dim; ++i) {
+      double sum = 0;
+      for (const RadSample& s : samples) sum += get(s)[i];
+      const double mu = sum / samples.size();
+      double var = 0;
+      for (const RadSample& s : samples) {
+        const double d = get(s)[i] - mu;
+        var += d * d;
+      }
+      mean[i] = static_cast<float>(mu);
+      stdev[i] = static_cast<float>(std::sqrt(var / samples.size()) + 1e-6);
+    }
+  };
+  fit(x_mean_, x_std_, inputSize(), [](const RadSample& s) -> const std::vector<float>& {
+    return s.x;
+  });
+  fit(y_mean_, y_std_, kOutputs, [](const RadSample& s) -> const std::vector<float>& {
+    return s.y;
+  });
+}
+
+double RadMlp::trainBatch(const std::vector<RadSample>& batch, Adam& adam) {
+  if (batch.empty()) return 0.0;
+  double loss = 0.0;
+  for (const RadSample& s : batch) {
+    std::vector<std::vector<float>> acts;
+    const std::vector<float> y = forward(normalize(s.x), &acts);
+    std::vector<float> dout(kOutputs);
+    for (int i = 0; i < kOutputs; ++i) {
+      const float target = (s.y[i] - y_mean_[i]) / y_std_[i];
+      const float diff = y[i] - target;
+      loss += diff * diff / kOutputs;
+      dout[i] = 2.f * diff / (kOutputs * static_cast<float>(batch.size()));
+    }
+    backward(acts, std::move(dout));
+  }
+  adam.step();
+  return loss / batch.size();
+}
+
+double RadMlp::evaluate(const std::vector<RadSample>& samples) const {
+  double loss = 0.0;
+  for (const RadSample& s : samples) {
+    const std::vector<float> y = forward(normalize(s.x), nullptr);
+    for (int i = 0; i < kOutputs; ++i) {
+      const float target = (s.y[i] - y_mean_[i]) / y_std_[i];
+      loss += (y[i] - target) * (y[i] - target) / kOutputs;
+    }
+  }
+  return samples.empty() ? 0.0 : loss / samples.size();
+}
+
+std::vector<ParamView> RadMlp::paramViews() {
+  std::vector<ParamView> views;
+  const auto add = [&](DenseParams& p, DenseParams& g) {
+    views.push_back({p.w.a.data(), g.w.a.data(), p.w.size()});
+    views.push_back({p.b.data(), g.b.data(), p.b.size()});
+  };
+  add(in_, g_in_);
+  for (std::size_t i = 0; i < mid_.size(); ++i) add(mid_[i], g_mid_[i]);
+  add(head_, g_head_);
+  return views;
+}
+
+std::size_t RadMlp::parameterCount() const {
+  std::size_t total = in_.parameterCount() + head_.parameterCount();
+  for (const auto& p : mid_) total += p.parameterCount();
+  return total;
+}
+
+namespace {
+void writeVec(std::ofstream& out, const std::vector<float>& v) {
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void readVec(std::ifstream& in, std::vector<float>& v) {
+  std::int64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (n != static_cast<std::int64_t>(v.size())) {
+    throw std::runtime_error("RadMlp::load: shape mismatch");
+  }
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+} // namespace
+
+void RadMlp::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("RadMlp::save: cannot open " + path);
+  writeVec(out, in_.w.a);
+  writeVec(out, in_.b);
+  for (const auto& p : mid_) {
+    writeVec(out, p.w.a);
+    writeVec(out, p.b);
+  }
+  writeVec(out, head_.w.a);
+  writeVec(out, head_.b);
+  writeVec(out, x_mean_);
+  writeVec(out, x_std_);
+  writeVec(out, y_mean_);
+  writeVec(out, y_std_);
+}
+
+void RadMlp::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("RadMlp::load: cannot open " + path);
+  readVec(in, in_.w.a);
+  readVec(in, in_.b);
+  for (auto& p : mid_) {
+    readVec(in, p.w.a);
+    readVec(in, p.b);
+  }
+  readVec(in, head_.w.a);
+  readVec(in, head_.b);
+  readVec(in, x_mean_);
+  readVec(in, x_std_);
+  readVec(in, y_mean_);
+  readVec(in, y_std_);
+}
+
+} // namespace grist::ml

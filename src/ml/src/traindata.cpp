@@ -1,0 +1,210 @@
+#include "grist/ml/traindata.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "grist/common/math.hpp"
+#include "grist/physics/saturation.hpp"
+
+namespace grist::ml {
+
+using namespace constants;
+
+std::vector<Scenario> table1Scenarios() {
+  // ONI shifts the tropical SST baseline (~0.5 K per index unit); the MJO
+  // index range sets the amplitude of the eastward-propagating moisture
+  // modulation the columns sample.
+  std::vector<Scenario> s(4);
+  s[0] = {"1-20 January 1998", 2.2, "El Nino", 0.69, 1.98, 300.0 + 0.5 * 2.2,
+          0.5 * (0.69 + 1.98) * 0.04, 199801};
+  s[1] = {"1-20 April 2005", 0.4, "neutral", 2.72, 3.71, 300.0 + 0.5 * 0.4,
+          0.5 * (2.72 + 3.71) * 0.04, 200504};
+  s[2] = {"10-29 July 2015", -0.4, "neutral", 0.17, 1.05, 300.0 - 0.5 * 0.4,
+          0.5 * (0.17 + 1.05) * 0.04, 201507};
+  s[3] = {"1-20 October 1988", -1.5, "La Nina", 0.67, 2.98, 300.0 - 0.5 * 1.5,
+          0.5 * (0.67 + 2.98) * 0.04, 198810};
+  return s;
+}
+
+physics::PhysicsInput synthesizeColumns(const Scenario& sc, Index ncolumns,
+                                        int nlev) {
+  physics::PhysicsInput in(ncolumns, nlev);
+  std::mt19937_64 rng(sc.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  for (Index c = 0; c < ncolumns; ++c) {
+    // Column "location": latitude and an MJO phase.
+    const double lat = std::asin(2.0 * unit(rng) - 1.0);
+    const double mjo_phase = 2.0 * kPi * unit(rng);
+    in.lat[c] = lat;
+    const double sst =
+        sc.sst_base - 30.0 * std::pow(std::sin(lat), 2.0) + 0.5 * gauss(rng);
+    in.tskin[c] = sst;
+    in.coszr[c] = std::max(0.0, std::cos(lat) * (0.3 + 0.7 * unit(rng)));
+    in.albedo[c] = 0.1 + 0.2 * unit(rng);
+
+    const double ps = 1.0e5 + 500.0 * gauss(rng);
+    const double ptop = 225.0;
+    const double dp = (ps - ptop) / nlev;
+    const double lapse_noise = 0.02 * gauss(rng);
+    const double mjo_moist = 1.0 + sc.mjo_moisture * 25.0 * std::sin(mjo_phase);
+    in.pint(c, nlev) = ps;
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double pmid = ptop + (k + 0.5) * dp;
+      in.pmid(c, k) = pmid;
+      in.pint(c, k) = ptop + k * dp;
+      in.delp(c, k) = dp;
+      in.exner(c, k) = std::pow(pmid / kP0, kKappa);
+      const double theta = sst * std::pow(kP0 / pmid, 0.12 + lapse_noise);
+      // Floor at a stratospheric minimum so noisy lapse rates cannot
+      // produce unphysically cold model tops.
+      in.t(c, k) = std::max(175.0, theta * in.exner(c, k));
+      const double qsat = physics::saturationMixingRatio(in.t(c, k), pmid);
+      const double rh =
+          clamp(0.75 * mjo_moist * std::pow(pmid / ps, 1.5) + 0.05 * gauss(rng),
+                0.0, 0.98);
+      in.qv(c, k) = rh * qsat;
+      // Occasional cloud/rain water in moist layers.
+      in.qc(c, k) = rh > 0.9 ? 2e-4 * unit(rng) : 0.0;
+      in.qr(c, k) = rh > 0.93 ? 1e-4 * unit(rng) : 0.0;
+      // Winds: baroclinic westerlies + noise.
+      in.u(c, k) = 20.0 * std::sin(2 * lat) * (1.0 - (k + 0.5) / nlev) + 3.0 * gauss(rng);
+      in.v(c, k) = 2.0 * gauss(rng);
+    }
+    // Heights from hydrostatics, integrated upward from the surface.
+    double z = 0.0;
+    in.zint(c, nlev) = 0.0;
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double alpha = kRd * in.t(c, k) / in.pmid(c, k);
+      z += alpha * in.delp(c, k) / kGravity;
+      in.zint(c, k) = z;
+      in.zmid(c, k) = 0.5 * (in.zint(c, k) + in.zint(c, k + 1));
+    }
+  }
+  return in;
+}
+
+void harvestSamples(const physics::PhysicsInput& in,
+                    physics::ConventionalSuite& suite, double dt,
+                    std::vector<ColumnSample>& column_samples,
+                    std::vector<RadSample>& rad_samples) {
+  physics::PhysicsOutput out(in.ncolumns, in.nlev);
+  suite.run(in, dt, out);
+  parallel::Field q1, q2;
+  physics::deriveQ1Q2(out, q1, q2);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    ColumnSample cs;
+    cs.x = Matrix(Q1Q2Net::kInputChannels, in.nlev);
+    cs.y = Matrix(Q1Q2Net::kOutputChannels, in.nlev);
+    for (int k = 0; k < in.nlev; ++k) {
+      cs.x.at(0, k) = static_cast<float>(in.u(c, k));
+      cs.x.at(1, k) = static_cast<float>(in.v(c, k));
+      cs.x.at(2, k) = static_cast<float>(in.t(c, k));
+      cs.x.at(3, k) = static_cast<float>(in.qv(c, k));
+      cs.x.at(4, k) = static_cast<float>(in.pmid(c, k));
+      cs.y.at(0, k) = static_cast<float>(q1(c, k));
+      cs.y.at(1, k) = static_cast<float>(q2(c, k));
+    }
+    column_samples.push_back(std::move(cs));
+
+    RadSample rs;
+    rs.x.resize(2 * in.nlev + 2);
+    for (int k = 0; k < in.nlev; ++k) {
+      rs.x[k] = static_cast<float>(in.t(c, k));
+      rs.x[in.nlev + k] = static_cast<float>(in.qv(c, k));
+    }
+    rs.x[2 * in.nlev] = static_cast<float>(in.tskin[c]);
+    rs.x[2 * in.nlev + 1] = static_cast<float>(in.coszr[c]);
+    rs.y = {static_cast<float>(out.gsw[c]), static_cast<float>(out.glw[c])};
+    rad_samples.push_back(std::move(rs));
+  }
+}
+
+void splitTrainTest(std::vector<ColumnSample>& all, std::uint64_t seed,
+                    std::vector<ColumnSample>& train,
+                    std::vector<ColumnSample>& test) {
+  // Paper: 3 of 24 hourly steps per day are test -> 1/8 of samples, chosen
+  // deterministically per 24-sample "day" block.
+  std::mt19937_64 rng(seed);
+  for (std::size_t base = 0; base < all.size(); base += 24) {
+    const std::size_t day_len = std::min<std::size_t>(24, all.size() - base);
+    std::vector<int> idx(day_len);
+    for (std::size_t i = 0; i < day_len; ++i) idx[i] = static_cast<int>(i);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const std::size_t ntest = day_len >= 8 ? 3 : 0;
+    for (std::size_t i = 0; i < day_len; ++i) {
+      const bool is_test = std::find(idx.begin(), idx.begin() + ntest,
+                                     static_cast<int>(i)) != idx.begin() + ntest;
+      (is_test ? test : train).push_back(std::move(all[base + i]));
+    }
+  }
+  all.clear();
+}
+
+std::vector<Index> coarseMap(const grid::HexMesh& fine, const grid::HexMesh& coarse) {
+  // Nearest coarse cell by center dot product; coarse meshes are small
+  // enough for the O(Nf * Nc) scan at the sizes we train on.
+  std::vector<Index> map(fine.ncells);
+#pragma omp parallel for schedule(static)
+  for (Index f = 0; f < fine.ncells; ++f) {
+    Index best = 0;
+    double best_dot = -2.0;
+    for (Index c = 0; c < coarse.ncells; ++c) {
+      const double dot = fine.cell_x[f].dot(coarse.cell_x[c]);
+      if (dot > best_dot) {
+        best_dot = dot;
+        best = c;
+      }
+    }
+    map[f] = best;
+  }
+  return map;
+}
+
+parallel::Field coarseGrainCells(const grid::HexMesh& fine,
+                                 const grid::HexMesh& coarse,
+                                 const std::vector<Index>& map,
+                                 const parallel::Field& fine_field) {
+  if (static_cast<Index>(map.size()) != fine.ncells ||
+      fine_field.entities() != fine.ncells) {
+    throw std::invalid_argument("coarseGrainCells: size mismatch");
+  }
+  const int ncomp = fine_field.components();
+  parallel::Field out(coarse.ncells, ncomp, 0.0);
+  std::vector<double> weight(coarse.ncells, 0.0);
+  for (Index f = 0; f < fine.ncells; ++f) {
+    const Index c = map[f];
+    weight[c] += fine.cell_area[f];
+    for (int k = 0; k < ncomp; ++k) out(c, k) += fine.cell_area[f] * fine_field(f, k);
+  }
+  for (Index c = 0; c < coarse.ncells; ++c) {
+    if (weight[c] <= 0) throw std::runtime_error("coarseGrainCells: empty coarse cell");
+    for (int k = 0; k < ncomp; ++k) out(c, k) /= weight[c];
+  }
+  return out;
+}
+
+parallel::Field residualQ1Theta(const grid::HexMesh& coarse,
+                                const grid::TrskWeights& coarse_trsk,
+                                const dycore::DycoreConfig& coarse_config,
+                                const dycore::State& coarse_t0,
+                                const dycore::State& coarse_t1, double dt) {
+  // Dynamics-only advance of the coarse-grained state over dt.
+  dycore::DycoreConfig cfg = coarse_config;
+  cfg.dt = dt;
+  dycore::Dycore dyn(coarse, coarse_trsk, cfg);
+  dycore::State advanced = coarse_t0;
+  dyn.step(advanced);
+  parallel::Field q1(coarse.ncells, coarse_t0.nlev);
+  for (Index c = 0; c < coarse.ncells; ++c) {
+    for (int k = 0; k < coarse_t0.nlev; ++k) {
+      q1(c, k) = (coarse_t1.theta(c, k) - advanced.theta(c, k)) / dt;
+    }
+  }
+  return q1;
+}
+
+} // namespace grist::ml

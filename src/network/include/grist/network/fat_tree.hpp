@@ -1,0 +1,55 @@
+// Analytic model of the next-generation Sunway interconnect (paper section
+// 4.1): each node connects to a 304-port leaf switch (256 node ports, 48
+// uplinks); the 256-node group is a "supernode"; supernodes connect through
+// a 16:3-oversubscribed multilayer fat tree.
+//
+// Traffic inside a supernode sees full link bandwidth; traffic that leaves
+// it shares the 48 uplinks (3/16 of node bandwidth), and above the second
+// tier pays the oversubscription again. The tier thresholds are calibrated
+// to the paper's observed scalability drop at 32,768 CGs (section 4.7).
+#pragma once
+
+#include "grist/common/types.hpp"
+
+namespace grist::network {
+
+struct FatTreeConfig {
+  int cgs_per_node = 6;
+  int nodes_per_supernode = 256;
+  double link_bandwidth = 25.0e9;  ///< bytes/s per node port
+  double hop_latency = 1.5e-6;     ///< seconds per switch hop
+  double oversubscription = 16.0 / 3.0;
+
+  /// Tier capacities in CGs: <= tier1 stays on one leaf switch; <= tier2
+  /// crosses one oversubscribed layer; beyond crosses two. The second
+  /// boundary is calibrated so the paper's Fig. 10 drop lands AT 32,768.
+  Index tier1_cgs = 6 * 256;    // 1,536
+  Index tier2_cgs = 16'384;
+
+  /// Geometric fraction of a rank's halo traffic that leaves its supernode
+  /// once more than one supernode is involved (boundary-to-area of a
+  /// 1,536-rank compact region, ~2 sides exposed).
+  double external_fraction = 0.2;
+};
+
+class FatTreeModel {
+ public:
+  explicit FatTreeModel(FatTreeConfig config = {}) : config_(config) {}
+
+  /// Number of switch hops a message crosses at this machine scale.
+  int hops(Index ncgs) const;
+
+  /// Wall seconds for one halo-exchange call: every rank exchanges
+  /// `bytes_per_rank` with `neighbors` neighbors (all ranks concurrently).
+  double haloExchangeTime(Index ncgs, double bytes_per_rank, int neighbors) const;
+
+  /// Wall seconds for a short allreduce (latency-dominated tree).
+  double allreduceTime(Index ncgs) const;
+
+  const FatTreeConfig& config() const { return config_; }
+
+ private:
+  FatTreeConfig config_;
+};
+
+} // namespace grist::network

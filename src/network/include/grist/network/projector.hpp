@@ -1,0 +1,107 @@
+// SDPD projector: combines (a) per-cell dynamics cost curves measured on
+// the SW26010P simulator (cache effects included -- this is where the
+// strong-scaling plateau/bump of the paper's Fig. 11 comes from), (b) a
+// physics cost model built on the FLOP/efficiency contrast the paper
+// reports (RRTMG at ~6% of peak vs the ML modules at 74-84%), and (c) the
+// fat-tree communication model, into simulated-days-per-day projections for
+// the paper's grid ladder at the paper's process counts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grist/grid/counts.hpp"
+#include "grist/network/fat_tree.hpp"
+
+namespace grist::network {
+
+struct SchemeCost {
+  bool mixed_precision = false;
+  bool ml_physics = false;
+};
+
+struct ProjectorConfig {
+  FatTreeConfig fat_tree;
+  double clock_ghz = 2.1;
+
+  /// Dynamics cost: CPE-region cycles per (cell x level x dyn step) as a
+  /// function of cells-per-CG, measured on the simulator and interpolated.
+  /// Separate curves for double and mixed precision.
+  std::function<double(double cells_per_cg)> dyn_cycles_dp;
+  std::function<double(double cells_per_cg)> dyn_cycles_mix;
+
+  /// Physics cost in cycles per (cell x level x PHYSICS step).
+  /// Conventional: RRTMG-like flops at low efficiency. ML: ~2x flops at
+  /// 74-84% of peak (paper section 4.7).
+  double phys_cycles_conv = 2400.0;
+  double phys_cycles_ml = 600.0;
+
+  /// Timestep hierarchy (paper Table 2): physics every `phy_ratio` dynamics
+  /// steps; halo exchanges per dynamics step; prognostic fields exchanged.
+  int phy_ratio = 15;
+  int exchanges_per_step = 4;
+  int halo_fields = 5;
+  int neighbors = 6;
+
+  /// Load-imbalance wait folded into the observed "communication" share
+  /// (the paper attributes the 19%->37% growth to both the rising number of
+  /// communicating processes and computational load imbalance). Modeled as
+  /// a fraction of compute time growing with each doubling of scale past
+  /// the reference count.
+  double imbalance_base = 0.12;
+  double imbalance_per_doubling = 0.03;
+  Index imbalance_ref_cgs = 128;
+
+  /// Serial per-step floor (MPE-side sequential work, kernel launches,
+  /// barriers, vertical solves that do not shrink with the horizontal
+  /// decomposition). Calibrated against the paper's G11S endpoint; this is
+  /// what bounds the achievable SDPD as cells/CG -> 0.
+  double fixed_step_seconds = 0.0;
+  /// Share of the floor that is synchronization/launch wait rather than
+  /// serial arithmetic -- counted into the reported communication share,
+  /// matching how the paper's timers attribute in-exchange waiting.
+  double fixed_comm_fraction = 0.25;
+};
+
+struct ScalingPoint {
+  Index ncgs = 0;
+  double sdpd = 0;
+  double efficiency = 0;   ///< vs the series' reference point
+  double comm_share = 0;   ///< communication fraction of step time
+};
+
+class SdpdProjector {
+ public:
+  explicit SdpdProjector(ProjectorConfig config);
+
+  /// Wall time of one dynamics step (seconds) at this scale.
+  double stepTime(int grid_level, int nlev, double dt, Index ncgs,
+                  const SchemeCost& scheme, double* comm_share = nullptr) const;
+
+  /// SDPD for a configuration.
+  double sdpd(int grid_level, int nlev, double dt, Index ncgs,
+              const SchemeCost& scheme) const;
+
+  /// Weak scaling series (paper Fig. 10): the grid level grows with the
+  /// process count so cells/CG stays fixed; efficiency vs the first point.
+  std::vector<ScalingPoint> weakScaling(const std::vector<std::pair<int, Index>>& ladder,
+                                        int nlev, double dt,
+                                        const SchemeCost& scheme) const;
+
+  /// Strong scaling series (paper Fig. 11): fixed grid, growing ncgs;
+  /// efficiency normalized per eq. (2) of the paper.
+  std::vector<ScalingPoint> strongScaling(int grid_level, int nlev, double dt,
+                                          const std::vector<Index>& ncgs_list,
+                                          const SchemeCost& scheme) const;
+
+ private:
+  ProjectorConfig config_;
+  FatTreeModel net_;
+};
+
+/// Piecewise-linear interpolation helper for measured cost curves
+/// (extrapolates with the last segment's slope: miss-dominated => linear).
+std::function<double(double)> interpolateCostCurve(std::vector<double> cells_per_cg,
+                                                   std::vector<double> cycles);
+
+} // namespace grist::network

@@ -1,0 +1,40 @@
+#include "grist/network/fat_tree.hpp"
+
+#include <cmath>
+
+namespace grist::network {
+
+int FatTreeModel::hops(Index ncgs) const {
+  if (ncgs <= config_.tier1_cgs) return 1;
+  if (ncgs <= config_.tier2_cgs) return 3;  // leaf -> spine -> leaf
+  return 5;                                 // two spine layers
+}
+
+double FatTreeModel::haloExchangeTime(Index ncgs, double bytes_per_rank,
+                                      int neighbors) const {
+  // Per-CG share of the node link.
+  const double cg_bw = config_.link_bandwidth / config_.cgs_per_node;
+  const double latency = neighbors * config_.hop_latency * hops(ncgs);
+  if (ncgs <= config_.tier1_cgs) {
+    return latency + bytes_per_rank / cg_bw;
+  }
+  // Split internal / external traffic; external shares the oversubscribed
+  // uplinks. Above tier 2 the second spine layer doubles the contention.
+  const double f_ext = config_.external_fraction;
+  const double oversub =
+      ncgs <= config_.tier2_cgs ? config_.oversubscription
+                                : config_.oversubscription * config_.oversubscription;
+  const double t_int = (1.0 - f_ext) * bytes_per_rank / cg_bw;
+  const double t_ext = f_ext * bytes_per_rank * oversub / cg_bw;
+  return latency + t_int + t_ext;
+}
+
+double FatTreeModel::allreduceTime(Index ncgs) const {
+  if (ncgs <= 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(ncgs)));
+  // Each reduction level is one message exchange; levels that cross the
+  // oversubscribed layers pay extra hops.
+  return 2.0 * depth * config_.hop_latency * hops(ncgs) / 3.0;
+}
+
+} // namespace grist::network

@@ -1,0 +1,134 @@
+#include "grist/network/projector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grist::network {
+
+SdpdProjector::SdpdProjector(ProjectorConfig config)
+    : config_(std::move(config)), net_(config_.fat_tree) {
+  if (!config_.dyn_cycles_dp || !config_.dyn_cycles_mix) {
+    throw std::invalid_argument("SdpdProjector: dynamics cost curves required");
+  }
+}
+
+double SdpdProjector::stepTime(int grid_level, int nlev, double dt, Index ncgs,
+                               const SchemeCost& scheme, double* comm_share) const {
+  const auto counts = grid::countsForLevel(grid_level);
+  const double cells_per_cg =
+      static_cast<double>(counts.cells) / static_cast<double>(ncgs);
+  if (cells_per_cg < 1.0) {
+    throw std::invalid_argument("SdpdProjector: more CGs than cells");
+  }
+
+  // ---- computation ----
+  const double hz = config_.clock_ghz * 1e9;
+  const double dyn_cycles = scheme.mixed_precision
+                                ? config_.dyn_cycles_mix(cells_per_cg)
+                                : config_.dyn_cycles_dp(cells_per_cg);
+  const double t_dyn = cells_per_cg * nlev * dyn_cycles / hz;
+  const double phys_cycles =
+      scheme.ml_physics ? config_.phys_cycles_ml : config_.phys_cycles_conv;
+  const double t_phys =
+      cells_per_cg * nlev * phys_cycles / hz / config_.phy_ratio;  // amortized
+
+  // ---- communication ----
+  // Halo cells of a compact region ~ perimeter: 4 sqrt(cells/CG) cells,
+  // each carrying halo_fields x nlev doubles per exchange.
+  const double halo_cells = 4.0 * std::sqrt(cells_per_cg);
+  const double bytes =
+      halo_cells * config_.halo_fields * nlev * 8.0;
+  const double t_halo =
+      config_.exchanges_per_step *
+      net_.haloExchangeTime(ncgs, bytes, config_.neighbors);
+  const double t_reduce = net_.allreduceTime(ncgs);
+  // Load-imbalance wait shows up inside the exchange calls.
+  const double doublings =
+      ncgs > config_.imbalance_ref_cgs
+          ? std::log2(static_cast<double>(ncgs) /
+                      static_cast<double>(config_.imbalance_ref_cgs))
+          : 0.0;
+  const double t_wait =
+      (t_dyn + t_phys) *
+      (config_.imbalance_base + config_.imbalance_per_doubling * doublings);
+  const double t_comm = t_halo + t_reduce + t_wait +
+                        config_.fixed_comm_fraction * config_.fixed_step_seconds;
+  const double total = t_dyn + t_phys + t_halo + t_reduce + t_wait +
+                       config_.fixed_step_seconds;
+  if (comm_share != nullptr) *comm_share = t_comm / total;
+  (void)dt;
+  return total;
+}
+
+double SdpdProjector::sdpd(int grid_level, int nlev, double dt, Index ncgs,
+                           const SchemeCost& scheme) const {
+  const double t_step = stepTime(grid_level, nlev, dt, ncgs, scheme);
+  // Simulated seconds per wall second = dt / t_step; SDPD is the same ratio
+  // in days.
+  return dt / t_step;
+}
+
+std::vector<ScalingPoint> SdpdProjector::weakScaling(
+    const std::vector<std::pair<int, Index>>& ladder, int nlev, double dt,
+    const SchemeCost& scheme) const {
+  std::vector<ScalingPoint> points;
+  double ref_sdpd = 0;
+  for (const auto& [level, ncgs] : ladder) {
+    ScalingPoint p;
+    p.ncgs = ncgs;
+    stepTime(level, nlev, dt, ncgs, scheme, &p.comm_share);
+    p.sdpd = sdpd(level, nlev, dt, ncgs, scheme);
+    if (points.empty()) ref_sdpd = p.sdpd;
+    // Paper eq. (1): eff_weak(N) = P_N / P_128 (same per-rank workload).
+    p.efficiency = p.sdpd / ref_sdpd;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<ScalingPoint> SdpdProjector::strongScaling(
+    int grid_level, int nlev, double dt, const std::vector<Index>& ncgs_list,
+    const SchemeCost& scheme) const {
+  std::vector<ScalingPoint> points;
+  double ref_sdpd_per_cg = 0;
+  for (const Index ncgs : ncgs_list) {
+    ScalingPoint p;
+    p.ncgs = ncgs;
+    stepTime(grid_level, nlev, dt, ncgs, scheme, &p.comm_share);
+    p.sdpd = sdpd(grid_level, nlev, dt, ncgs, scheme);
+    if (points.empty()) {
+      ref_sdpd_per_cg = p.sdpd / static_cast<double>(ncgs);
+    }
+    // Paper eq. (2): eff_strong(N) = (P_N / N) / (P_ref / N_ref).
+    p.efficiency = (p.sdpd / static_cast<double>(ncgs)) / ref_sdpd_per_cg;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::function<double(double)> interpolateCostCurve(std::vector<double> xs,
+                                                   std::vector<double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("interpolateCostCurve: need >= 2 points");
+  }
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) {
+      throw std::invalid_argument("interpolateCostCurve: x must increase");
+    }
+  }
+  return [xs = std::move(xs), ys = std::move(ys)](double x) {
+    if (x <= xs.front()) return ys.front();
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      if (x <= xs[i]) {
+        const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+        return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+      }
+    }
+    // Extrapolate with the final slope.
+    const std::size_t n = xs.size();
+    const double slope = (ys[n - 1] - ys[n - 2]) / (xs[n - 1] - xs[n - 2]);
+    return ys[n - 1] + slope * (x - xs[n - 1]);
+  };
+}
+
+} // namespace grist::network

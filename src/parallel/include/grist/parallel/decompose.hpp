@@ -1,0 +1,65 @@
+// Horizontal domain decomposition: builds per-rank local sub-meshes with
+// halo rings and the send/recv maps that drive halo exchange. This is the
+// in-process substitute for GRIST's MPI decomposition (paper section 3.1.3);
+// correctness is checked by bitwise comparison against single-rank runs.
+//
+// Local orderings (so kernels can use simple loop bounds):
+//   cells:    [owned][ring 1][ring 2]...[ring H]
+//   edges:    [owned (rank owns edge_cell[0])][rest, by ring]
+//   vertices: [complete (all 3 cells and edges local)][incomplete]
+// With halo depth >= 2, tendencies are computed on owned entities only and
+// diagnostics (kinetic energy, vorticity) on owned + ring-1 entities.
+#pragma once
+
+#include <vector>
+
+#include "grist/common/types.hpp"
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::parallel {
+
+/// One rank's view of the globe.
+struct LocalDomain {
+  Index rank = 0;
+
+  /// Local sub-mesh; connectivity entries referencing entities outside the
+  /// local set are kInvalidIndex (only on the outermost ring).
+  grid::HexMesh mesh;
+
+  Index ncells_owned = 0;
+  Index ncells_inner1 = 0;  ///< owned + ring-1 cells (diagnostic bound)
+  Index nedges_owned = 0;
+  Index nvtx_complete = 0;
+
+  /// local index -> global index
+  std::vector<Index> cell_global;
+  std::vector<Index> edge_global;
+  std::vector<Index> vtx_global;
+};
+
+/// Send/recv maps between one ordered rank pair.
+struct ExchangePattern {
+  Index from = 0, to = 0;
+  std::vector<Index> send_cells;  ///< local indices on `from`
+  std::vector<Index> recv_cells;  ///< local indices on `to`
+  std::vector<Index> send_edges;
+  std::vector<Index> recv_edges;
+};
+
+struct Decomposition {
+  Index nranks = 0;
+  int halo_depth = 2;
+  std::vector<LocalDomain> domains;
+  std::vector<ExchangePattern> patterns;  ///< all ordered pairs with traffic
+  std::vector<Index> cell_part;           ///< global cell -> rank
+};
+
+/// Decompose `mesh` into `nranks` domains using the given partition vector
+/// (one rank id per global cell) and halo depth (>= 1; dycore needs 2).
+Decomposition decompose(const grid::HexMesh& mesh, const std::vector<Index>& part,
+                        int halo_depth = 2);
+
+/// Convenience: partition with the built-in partitioner, then decompose.
+Decomposition decompose(const grid::HexMesh& mesh, Index nranks, int halo_depth = 2);
+
+} // namespace grist::parallel

@@ -1,0 +1,76 @@
+// Batched halo exchange. Mirrors the paper's parallelization facilitation
+// layer (section 3.1.3): variables queued for exchange are gathered into a
+// list and ONE call to the communication interface moves all of them, so the
+// message count per step is the number of neighbor pairs, not
+// pairs x variables. Byte and message counts are recorded; the network model
+// (src/network) converts them into projected communication time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grist/parallel/decompose.hpp"
+#include "grist/parallel/field.hpp"
+
+namespace grist::parallel {
+
+/// One rank's list of variables queued for the next exchange.
+class ExchangeList {
+ public:
+  struct Var {
+    double* data = nullptr;
+    int ncomp = 1;
+  };
+
+  void addCellVar(double* data, int ncomp) { cell_vars_.push_back({data, ncomp}); }
+  void addEdgeVar(double* data, int ncomp) { edge_vars_.push_back({data, ncomp}); }
+  void addCellField(Field& f) { addCellVar(f.data(), f.components()); }
+  void addEdgeField(Field& f) { addEdgeVar(f.data(), f.components()); }
+  void clear() {
+    cell_vars_.clear();
+    edge_vars_.clear();
+  }
+
+  const std::vector<Var>& cellVars() const { return cell_vars_; }
+  const std::vector<Var>& edgeVars() const { return edge_vars_; }
+
+ private:
+  std::vector<Var> cell_vars_;
+  std::vector<Var> edge_vars_;
+};
+
+/// Traffic accounting for one or more exchange calls.
+struct CommStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t exchanges = 0;
+
+  CommStats& operator+=(const CommStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    exchanges += o.exchanges;
+    return *this;
+  }
+};
+
+/// In-process communicator: executes the decomposition's exchange patterns
+/// by direct copies between rank-local buffers.
+class Communicator {
+ public:
+  explicit Communicator(const Decomposition& decomp) : decomp_(&decomp) {}
+
+  /// One exchange call: every variable in every rank's list is updated in
+  /// that rank's halo. `lists` must have one entry per rank, and every
+  /// rank's list must contain the same variable shapes (as in MPI, the call
+  /// is collective and symmetric).
+  void exchange(std::vector<ExchangeList>& lists);
+
+  const CommStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  const Decomposition* decomp_;
+  CommStats stats_;
+};
+
+} // namespace grist::parallel

@@ -1,0 +1,49 @@
+// Per-entity field storage. Layout is component-fastest (column-contiguous):
+// value(entity, comp) = data[entity * ncomp + comp]. GRIST stores (ilev, ie)
+// with the level index fastest for the same reason: physics and the vertical
+// implicit solver sweep whole columns.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "grist/common/types.hpp"
+
+namespace grist::parallel {
+
+template <typename T>
+class FieldT {
+ public:
+  FieldT() = default;
+  FieldT(Index nentity, int ncomp, T init = T{})
+      : nentity_(nentity), ncomp_(ncomp), data_(static_cast<std::size_t>(nentity) * ncomp, init) {
+    if (nentity < 0 || ncomp <= 0) throw std::invalid_argument("FieldT: bad shape");
+  }
+
+  Index entities() const { return nentity_; }
+  int components() const { return ncomp_; }
+
+  T& operator()(Index entity, int comp) {
+    return data_[static_cast<std::size_t>(entity) * ncomp_ + comp];
+  }
+  const T& operator()(Index entity, int comp) const {
+    return data_[static_cast<std::size_t>(entity) * ncomp_ + comp];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+ private:
+  Index nentity_ = 0;
+  int ncomp_ = 1;
+  std::vector<T> data_;
+};
+
+using Field = FieldT<double>;
+using FieldSP = FieldT<float>;
+
+} // namespace grist::parallel

@@ -1,0 +1,271 @@
+#include "grist/parallel/decompose.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "grist/partition/partitioner.hpp"
+
+namespace grist::parallel {
+namespace {
+
+using grid::HexMesh;
+
+struct RankScratch {
+  std::vector<Index> cells;             // local -> global
+  std::vector<int> cell_ring;           // ring of each local cell
+  std::vector<Index> edges;             // local -> global
+  std::vector<Index> vertices;          // local -> global
+  std::unordered_map<Index, Index> cell_l;  // global -> local
+  std::unordered_map<Index, Index> edge_l;
+  std::unordered_map<Index, Index> vtx_l;
+};
+
+// Gather owned cells + H halo rings for one rank, in ring-major order.
+void gatherCells(const HexMesh& m, const std::vector<Index>& part, Index rank,
+                 int halo_depth, RankScratch& s) {
+  for (Index c = 0; c < m.ncells; ++c) {
+    if (part[c] == rank) {
+      s.cell_l.emplace(c, static_cast<Index>(s.cells.size()));
+      s.cells.push_back(c);
+      s.cell_ring.push_back(0);
+    }
+  }
+  Index ring_begin = 0;
+  for (int ring = 1; ring <= halo_depth; ++ring) {
+    const Index ring_end = static_cast<Index>(s.cells.size());
+    for (Index i = ring_begin; i < ring_end; ++i) {
+      const Index c = s.cells[i];
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+        const Index nb = m.cell_cells[k];
+        if (s.cell_l.emplace(nb, static_cast<Index>(s.cells.size())).second) {
+          s.cells.push_back(nb);
+          s.cell_ring.push_back(ring);
+        }
+      }
+    }
+    ring_begin = ring_end;
+  }
+}
+
+// Local edges: both adjacent cells local. Owned edges (rank owns
+// edge_cell[0]) first, then the rest; both groups in global-id order so the
+// layout is deterministic.
+void gatherEdges(const HexMesh& m, const std::vector<Index>& part, Index rank,
+                 RankScratch& s) {
+  std::vector<Index> owned, other;
+  for (const Index c : s.cells) {
+    for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+      const Index e = m.cell_edges[k];
+      if (s.edge_l.count(e)) continue;
+      if (!s.cell_l.count(m.edge_cell[e][0]) || !s.cell_l.count(m.edge_cell[e][1])) {
+        continue;
+      }
+      s.edge_l.emplace(e, 0);  // placeholder; final ids assigned below
+      (part[m.edge_cell[e][0]] == rank ? owned : other).push_back(e);
+    }
+  }
+  std::sort(owned.begin(), owned.end());
+  std::sort(other.begin(), other.end());
+  s.edges.clear();
+  s.edges.reserve(owned.size() + other.size());
+  s.edge_l.clear();
+  for (const Index e : owned) {
+    s.edge_l.emplace(e, static_cast<Index>(s.edges.size()));
+    s.edges.push_back(e);
+  }
+  for (const Index e : other) {
+    s.edge_l.emplace(e, static_cast<Index>(s.edges.size()));
+    s.edges.push_back(e);
+  }
+}
+
+// Local vertices: referenced by any local edge. "Complete" vertices (all 3
+// cells and all 3 edges local) first.
+void gatherVertices(const HexMesh& m, RankScratch& s, Index& nvtx_complete) {
+  std::vector<Index> complete, partial;
+  std::unordered_map<Index, bool> seen;
+  for (const Index e : s.edges) {
+    for (const Index v : m.edge_vertex[e]) {
+      if (!seen.emplace(v, true).second) continue;
+      bool full = true;
+      for (const Index c : m.vtx_cells[v]) full = full && s.cell_l.count(c) > 0;
+      for (const Index ve : m.vtx_edges[v]) full = full && s.edge_l.count(ve) > 0;
+      (full ? complete : partial).push_back(v);
+    }
+  }
+  std::sort(complete.begin(), complete.end());
+  std::sort(partial.begin(), partial.end());
+  nvtx_complete = static_cast<Index>(complete.size());
+  for (const Index v : complete) {
+    s.vtx_l.emplace(v, static_cast<Index>(s.vertices.size()));
+    s.vertices.push_back(v);
+  }
+  for (const Index v : partial) {
+    s.vtx_l.emplace(v, static_cast<Index>(s.vertices.size()));
+    s.vertices.push_back(v);
+  }
+}
+
+Index lookupOr(const std::unordered_map<Index, Index>& map, Index key) {
+  const auto it = map.find(key);
+  return it == map.end() ? kInvalidIndex : it->second;
+}
+
+// Copy geometry + remapped connectivity into the rank's local HexMesh.
+void buildLocalMesh(const HexMesh& m, const RankScratch& s, HexMesh& out) {
+  out.level = m.level;
+  out.radius = m.radius;
+  out.ncells = static_cast<Index>(s.cells.size());
+  out.nedges = static_cast<Index>(s.edges.size());
+  out.nvertices = static_cast<Index>(s.vertices.size());
+
+  out.cell_x.resize(out.ncells);
+  out.cell_ll.resize(out.ncells);
+  out.cell_area.resize(out.ncells);
+  out.cell_offset.assign(out.ncells + 1, 0);
+  for (Index lc = 0; lc < out.ncells; ++lc) {
+    const Index c = s.cells[lc];
+    out.cell_x[lc] = m.cell_x[c];
+    out.cell_ll[lc] = m.cell_ll[c];
+    out.cell_area[lc] = m.cell_area[c];
+    out.cell_offset[lc + 1] =
+        out.cell_offset[lc] + (m.cell_offset[c + 1] - m.cell_offset[c]);
+  }
+  const Index ring = out.cell_offset[out.ncells];
+  out.cell_edges.resize(ring);
+  out.cell_edge_sign.resize(ring);
+  out.cell_vertices.resize(ring);
+  out.cell_cells.resize(ring);
+  for (Index lc = 0; lc < out.ncells; ++lc) {
+    const Index c = s.cells[lc];
+    Index w = out.cell_offset[lc];
+    for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k, ++w) {
+      out.cell_edges[w] = lookupOr(s.edge_l, m.cell_edges[k]);
+      out.cell_edge_sign[w] = m.cell_edge_sign[k];
+      out.cell_vertices[w] = lookupOr(s.vtx_l, m.cell_vertices[k]);
+      out.cell_cells[w] = lookupOr(s.cell_l, m.cell_cells[k]);
+    }
+  }
+
+  out.edge_cell.resize(out.nedges);
+  out.edge_vertex.resize(out.nedges);
+  out.edge_x.resize(out.nedges);
+  out.edge_ll.resize(out.nedges);
+  out.edge_de.resize(out.nedges);
+  out.edge_le.resize(out.nedges);
+  out.edge_normal.resize(out.nedges);
+  out.edge_tangent.resize(out.nedges);
+  for (Index le = 0; le < out.nedges; ++le) {
+    const Index e = s.edges[le];
+    out.edge_cell[le] = {lookupOr(s.cell_l, m.edge_cell[e][0]),
+                         lookupOr(s.cell_l, m.edge_cell[e][1])};
+    out.edge_vertex[le] = {lookupOr(s.vtx_l, m.edge_vertex[e][0]),
+                           lookupOr(s.vtx_l, m.edge_vertex[e][1])};
+    out.edge_x[le] = m.edge_x[e];
+    out.edge_ll[le] = m.edge_ll[e];
+    out.edge_de[le] = m.edge_de[e];
+    out.edge_le[le] = m.edge_le[e];
+    out.edge_normal[le] = m.edge_normal[e];
+    out.edge_tangent[le] = m.edge_tangent[e];
+  }
+
+  out.vtx_x.resize(out.nvertices);
+  out.vtx_area.resize(out.nvertices);
+  out.vtx_edges.resize(out.nvertices);
+  out.vtx_edge_sign.resize(out.nvertices);
+  out.vtx_cells.resize(out.nvertices);
+  out.vtx_kite_area.resize(out.nvertices);
+  for (Index lv = 0; lv < out.nvertices; ++lv) {
+    const Index v = s.vertices[lv];
+    out.vtx_x[lv] = m.vtx_x[v];
+    out.vtx_area[lv] = m.vtx_area[v];
+    out.vtx_edge_sign[lv] = m.vtx_edge_sign[v];
+    out.vtx_kite_area[lv] = m.vtx_kite_area[v];
+    for (int k = 0; k < 3; ++k) {
+      out.vtx_edges[lv][k] = lookupOr(s.edge_l, m.vtx_edges[v][k]);
+      out.vtx_cells[lv][k] = lookupOr(s.cell_l, m.vtx_cells[v][k]);
+    }
+  }
+}
+
+} // namespace
+
+Decomposition decompose(const HexMesh& mesh, const std::vector<Index>& part,
+                        int halo_depth) {
+  if (static_cast<Index>(part.size()) != mesh.ncells) {
+    throw std::invalid_argument("decompose: partition size mismatch");
+  }
+  if (halo_depth < 1) throw std::invalid_argument("decompose: halo_depth < 1");
+  Index nranks = 0;
+  for (const Index p : part) nranks = std::max(nranks, p + 1);
+
+  Decomposition d;
+  d.nranks = nranks;
+  d.halo_depth = halo_depth;
+  d.cell_part = part;
+  d.domains.resize(nranks);
+
+  std::vector<RankScratch> scratch(nranks);
+#pragma omp parallel for schedule(dynamic)
+  for (Index r = 0; r < nranks; ++r) {
+    RankScratch& s = scratch[r];
+    gatherCells(mesh, part, r, halo_depth, s);
+    gatherEdges(mesh, part, r, s);
+    LocalDomain& dom = d.domains[r];
+    dom.rank = r;
+    gatherVertices(mesh, s, dom.nvtx_complete);
+    buildLocalMesh(mesh, s, dom.mesh);
+    dom.cell_global = s.cells;
+    dom.edge_global = s.edges;
+    dom.vtx_global = s.vertices;
+    dom.ncells_owned = 0;
+    dom.ncells_inner1 = 0;
+    for (const int ring : s.cell_ring) {
+      if (ring == 0) ++dom.ncells_owned;
+      if (ring <= 1) ++dom.ncells_inner1;
+    }
+    dom.nedges_owned = 0;
+    for (const Index e : s.edges) {
+      if (part[mesh.edge_cell[e][0]] == r) ++dom.nedges_owned;
+    }
+  }
+
+  // ---- exchange patterns (ordered pairs, deterministic order) ----
+  std::map<std::pair<Index, Index>, ExchangePattern> patterns;
+  for (Index r = 0; r < nranks; ++r) {
+    const RankScratch& s = scratch[r];
+    // Halo cells received by r.
+    for (Index lc = d.domains[r].ncells_owned; lc < static_cast<Index>(s.cells.size());
+         ++lc) {
+      const Index g = s.cells[lc];
+      const Index owner = part[g];
+      auto& pat = patterns[{owner, r}];
+      pat.from = owner;
+      pat.to = r;
+      pat.send_cells.push_back(scratch[owner].cell_l.at(g));
+      pat.recv_cells.push_back(lc);
+    }
+    // Non-owned edges received by r.
+    for (Index le = d.domains[r].nedges_owned; le < static_cast<Index>(s.edges.size());
+         ++le) {
+      const Index g = s.edges[le];
+      const Index owner = part[mesh.edge_cell[g][0]];
+      auto& pat = patterns[{owner, r}];
+      pat.from = owner;
+      pat.to = r;
+      pat.send_edges.push_back(scratch[owner].edge_l.at(g));
+      pat.recv_edges.push_back(le);
+    }
+  }
+  d.patterns.reserve(patterns.size());
+  for (auto& [key, pat] : patterns) d.patterns.push_back(std::move(pat));
+  return d;
+}
+
+Decomposition decompose(const HexMesh& mesh, Index nranks, int halo_depth) {
+  return decompose(mesh, partition::Partitioner::partition(mesh, nranks), halo_depth);
+}
+
+} // namespace grist::parallel

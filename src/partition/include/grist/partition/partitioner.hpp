@@ -1,0 +1,34 @@
+// Graph partitioner for the horizontal domain decomposition (the paper uses
+// METIS, section 3.1.2; this is our from-scratch substitute). Balanced
+// greedy region growth over the cell graph, followed by boundary
+// Kernighan-Lin-style refinement to shrink the edge cut (halo volume).
+#pragma once
+
+#include <vector>
+
+#include "grist/common/types.hpp"
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::partition {
+
+struct PartitionQuality {
+  double imbalance = 0.0;   ///< max part size / mean part size - 1
+  std::int64_t edge_cut = 0;///< edges whose cells land in different parts
+  Index parts = 0;
+};
+
+class Partitioner {
+ public:
+  /// Assign every cell of `mesh` to one of `nparts` parts. nparts must be in
+  /// [1, ncells]. Deterministic for a given mesh.
+  static std::vector<Index> partition(const grid::HexMesh& mesh, Index nparts);
+
+  /// Quality metrics of an assignment (auditing the METIS substitution).
+  static PartitionQuality evaluate(const grid::HexMesh& mesh,
+                                   const std::vector<Index>& part);
+
+  /// Number of boundary refinement sweeps (default 8); exposed for tests.
+  static int& refinementSweeps();
+};
+
+} // namespace grist::partition

@@ -1,0 +1,275 @@
+#include "grist/partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <functional>
+
+#include "grist/common/math.hpp"
+#include <stdexcept>
+
+namespace grist::partition {
+namespace {
+
+// Deterministic well-spread seeds: repeatedly take the unclaimed cell
+// farthest (in graph hops) from all previous seeds. O(nparts * ncells).
+std::vector<Index> pickSeeds(const grid::HexMesh& m, Index nparts) {
+  std::vector<Index> seeds;
+  seeds.reserve(nparts);
+  std::vector<int> dist(m.ncells, -1);
+  std::queue<Index> queue;
+
+  seeds.push_back(0);
+  dist[0] = 0;
+  queue.push(0);
+  while (static_cast<Index>(seeds.size()) < nparts) {
+    // Finish multi-source BFS from all current seeds.
+    while (!queue.empty()) {
+      const Index c = queue.front();
+      queue.pop();
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+        const Index nb = m.cell_cells[k];
+        if (dist[nb] < 0) {
+          dist[nb] = dist[c] + 1;
+          queue.push(nb);
+        }
+      }
+    }
+    Index far = 0;
+    for (Index c = 1; c < m.ncells; ++c) {
+      if (dist[c] > dist[far]) far = c;
+    }
+    seeds.push_back(far);
+    dist[far] = 0;
+    queue.push(far);
+  }
+  return seeds;
+}
+
+} // namespace
+
+int& Partitioner::refinementSweeps() {
+  static int sweeps = 8;
+  return sweeps;
+}
+
+std::vector<Index> Partitioner::partition(const grid::HexMesh& m, Index nparts) {
+  if (nparts < 1 || nparts > m.ncells) {
+    throw std::invalid_argument("Partitioner: nparts out of range");
+  }
+  std::vector<Index> part(m.ncells, kInvalidIndex);
+  if (nparts == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  // ---- balanced multi-source region growth ----
+  // Each part grows by grabbing the unassigned frontier cell closest to its
+  // seed (min-heap keyed by great-circle distance), which yields compact,
+  // near-circular parts and therefore a small edge cut. Turn order goes to
+  // the smallest part so sizes track each other during growth.
+  std::vector<Index> size(nparts, 0);
+  const auto grow = [&](const std::vector<Index>& seeds) {
+    std::fill(part.begin(), part.end(), kInvalidIndex);
+    std::fill(size.begin(), size.end(), Index{0});
+    using HeapEntry = std::pair<double, Index>;  // (distance to seed, cell)
+    std::vector<std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>>
+        frontier(nparts);
+    const auto push_neighbors = [&](Index p, Index c) {
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+        const Index nb = m.cell_cells[k];
+        if (part[nb] == kInvalidIndex) {
+          const double dist = greatCircleDistance(m.cell_x[seeds[p]], m.cell_x[nb], 1.0);
+          frontier[p].push({dist, nb});
+        }
+      }
+    };
+    for (Index p = 0; p < nparts; ++p) {
+      part[seeds[p]] = p;
+      size[p] = 1;
+      push_neighbors(p, seeds[p]);
+    }
+    Index assigned = nparts;
+    while (assigned < m.ncells) {
+      Index best = kInvalidIndex;
+      for (Index p = 0; p < nparts; ++p) {
+        if (frontier[p].empty()) continue;
+        if (best == kInvalidIndex || size[p] < size[best]) best = p;
+      }
+      if (best == kInvalidIndex) {
+        // All frontiers stalled (enclosed); claim any unassigned cell for
+        // the smallest part and restart growth from it.
+        best = static_cast<Index>(std::min_element(size.begin(), size.end()) -
+                                  size.begin());
+        for (Index c = 0; c < m.ncells; ++c) {
+          if (part[c] == kInvalidIndex) {
+            part[c] = best;
+            ++size[best];
+            ++assigned;
+            push_neighbors(best, c);
+            break;
+          }
+        }
+        continue;
+      }
+      bool grabbed = false;
+      while (!frontier[best].empty() && !grabbed) {
+        const Index c = frontier[best].top().second;
+        frontier[best].pop();
+        if (part[c] != kInvalidIndex) continue;  // stale heap entry
+        part[c] = best;
+        ++size[best];
+        ++assigned;
+        push_neighbors(best, c);
+        grabbed = true;
+      }
+    }
+  };
+  grow(pickSeeds(m, nparts));
+
+  // Lloyd iterations: re-seed each part at the cell nearest its centroid
+  // and grow again; compacts ragged first-pass boundaries.
+  for (int lloyd = 0; lloyd < 3; ++lloyd) {
+    std::vector<Vec3> centroid(nparts, Vec3{});
+    for (Index c = 0; c < m.ncells; ++c) {
+      centroid[part[c]] = centroid[part[c]] + m.cell_x[c];
+    }
+    std::vector<Index> seeds(nparts, kInvalidIndex);
+    std::vector<double> best_dot(nparts, -2.0);
+    for (Index c = 0; c < m.ncells; ++c) {
+      const Index p = part[c];
+      const double dot = m.cell_x[c].dot(centroid[p].normalized());
+      if (dot > best_dot[p]) {
+        best_dot[p] = dot;
+        seeds[p] = c;
+      }
+    }
+    grow(seeds);
+  }
+
+  // ---- forced balance: undersized parts steal adjacent boundary cells ----
+  // Growth can enclose a part before it reaches its share; stealing from
+  // larger neighbors restores balance while keeping parts contiguous.
+  const double mean = static_cast<double>(m.ncells) / nparts;
+  const Index max_size = static_cast<Index>(std::ceil(mean * 1.03));
+  const Index min_size = static_cast<Index>(std::floor(mean * 0.97));
+  for (int iter = 0; iter < 200; ++iter) {
+    Index needy = kInvalidIndex;
+    for (Index p = 0; p < nparts; ++p) {
+      if (size[p] < min_size && (needy == kInvalidIndex || size[p] < size[needy])) {
+        needy = p;
+      }
+    }
+    if (needy == kInvalidIndex) break;
+    // One scan, many steals: grab boundary cells of larger donors until the
+    // deficit is covered (or the scan runs dry).
+    Index deficit = static_cast<Index>(mean) - size[needy];
+    bool stole = false;
+    for (Index c = 0; c < m.ncells && deficit > 0; ++c) {
+      if (part[c] != needy) continue;
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1] && deficit > 0; ++k) {
+        const Index nb = m.cell_cells[k];
+        const Index donor = part[nb];
+        if (donor != needy && size[donor] > size[needy] + 1) {
+          --size[donor];
+          part[nb] = needy;
+          ++size[needy];
+          --deficit;
+          stole = true;
+        }
+      }
+    }
+    if (!stole) break;  // fully isolated; give up
+  }
+
+  // ---- forced balance, other direction: oversized parts shed boundary
+  // cells to their smallest adjacent neighbor ----
+  for (int iter = 0; iter < 200; ++iter) {
+    Index fat = kInvalidIndex;
+    for (Index p = 0; p < nparts; ++p) {
+      if (size[p] > max_size && (fat == kInvalidIndex || size[p] > size[fat])) fat = p;
+    }
+    if (fat == kInvalidIndex) break;
+    Index excess = size[fat] - static_cast<Index>(mean);
+    bool shed = false;
+    for (Index c = 0; c < m.ncells && excess > 0; ++c) {
+      if (part[c] != fat) continue;
+      // Move c to its smallest adjacent foreign part, if that part is
+      // smaller than us.
+      Index to = kInvalidIndex;
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+        const Index p = part[m.cell_cells[k]];
+        if (p != fat && size[p] + 1 < size[fat] &&
+            (to == kInvalidIndex || size[p] < size[to])) {
+          to = p;
+        }
+      }
+      if (to != kInvalidIndex) {
+        part[c] = to;
+        --size[fat];
+        ++size[to];
+        --excess;
+        shed = true;
+      }
+    }
+    if (!shed) break;
+  }
+
+  // ---- KL-style boundary refinement ----
+  for (int sweep = 0; sweep < refinementSweeps(); ++sweep) {
+    bool moved = false;
+    for (Index c = 0; c < m.ncells; ++c) {
+      const Index from = part[c];
+      if (size[from] <= min_size) continue;
+      // Count neighbor parts.
+      int same = 0;
+      Index best_to = kInvalidIndex;
+      int best_count = 0;
+      for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+        const Index p = part[m.cell_cells[k]];
+        if (p == from) {
+          ++same;
+          continue;
+        }
+        int count = 0;
+        for (Index k2 = m.cell_offset[c]; k2 < m.cell_offset[c + 1]; ++k2) {
+          if (part[m.cell_cells[k2]] == p) ++count;
+        }
+        if (count > best_count && size[p] < max_size) {
+          best_count = count;
+          best_to = p;
+        }
+      }
+      if (best_to != kInvalidIndex && best_count > same) {
+        part[c] = best_to;
+        --size[from];
+        ++size[best_to];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return part;
+}
+
+PartitionQuality Partitioner::evaluate(const grid::HexMesh& m,
+                                       const std::vector<Index>& part) {
+  if (static_cast<Index>(part.size()) != m.ncells) {
+    throw std::invalid_argument("Partitioner::evaluate: size mismatch");
+  }
+  PartitionQuality q;
+  Index nparts = 0;
+  for (const Index p : part) nparts = std::max(nparts, p + 1);
+  q.parts = nparts;
+  std::vector<Index> size(nparts, 0);
+  for (const Index p : part) ++size[p];
+  const double mean = static_cast<double>(m.ncells) / nparts;
+  const Index biggest = *std::max_element(size.begin(), size.end());
+  q.imbalance = static_cast<double>(biggest) / mean - 1.0;
+  for (Index e = 0; e < m.nedges; ++e) {
+    if (part[m.edge_cell[e][0]] != part[m.edge_cell[e][1]]) ++q.edge_cut;
+  }
+  return q;
+}
+
+} // namespace grist::partition

@@ -1,0 +1,33 @@
+// Betts-Miller-style convective adjustment, with the scale-aware switch the
+// GSRM story requires: at storm-resolving grid spacings (< ~10 km) deep
+// convection is explicit and the scheme deactivates; at coarse spacings it
+// relaxes conditionally unstable columns toward a moist-adiabatic reference
+// and produces convective precipitation.
+#pragma once
+
+#include "grist/physics/types.hpp"
+
+namespace grist::physics {
+
+struct ConvectionConfig {
+  double tau = 7200.0;           ///< relaxation time scale, s
+  double switch_off_dx = 10e3;   ///< m; disabled at finer grid spacing
+  double rh_reference = 0.55;    ///< reference profile relative humidity
+};
+
+class Convection {
+ public:
+  explicit Convection(ConvectionConfig config = {}) : config_(config) {}
+
+  /// grid_dx: the model's nominal grid spacing in meters (scale awareness).
+  /// Adds T/qv tendencies and convective precip (mm/day).
+  void run(const PhysicsInput& in, double dt, double grid_dx,
+           PhysicsOutput& out) const;
+
+  bool activeAt(double grid_dx) const { return grid_dx >= config_.switch_off_dx; }
+
+ private:
+  ConvectionConfig config_;
+};
+
+} // namespace grist::physics

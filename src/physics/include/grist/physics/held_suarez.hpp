@@ -1,0 +1,39 @@
+// Held-Suarez (1994) forcing: Newtonian relaxation of temperature toward an
+// analytic equilibrium profile plus Rayleigh friction on low-level winds.
+// THE standard idealized climate benchmark for dynamical cores -- a long HS
+// run must spin up westerly midlatitude jets from rest. Implemented as a
+// PhysicsSuite so the model driver runs it through the same coupling
+// interface as the full physics (and it doubles as a cheap long-run
+// stability workload).
+#pragma once
+
+#include "grist/physics/suite.hpp"
+
+namespace grist::physics {
+
+struct HeldSuarezConfig {
+  double t_surface_eq = 315.0;  ///< equatorial surface Teq, K
+  double delta_t_y = 60.0;      ///< equator-pole Teq contrast, K
+  double delta_theta_z = 10.0;  ///< static-stability parameter, K
+  double t_strat = 200.0;       ///< stratospheric floor, K
+  double k_a = 1.0 / (40.0 * 86400.0);  ///< free-atmosphere relaxation, 1/s
+  double k_s = 1.0 / (4.0 * 86400.0);   ///< surface relaxation, 1/s
+  double k_f = 1.0 / 86400.0;           ///< Rayleigh friction, 1/s
+  double sigma_b = 0.7;                 ///< boundary-layer top in sigma
+};
+
+class HeldSuarezSuite final : public PhysicsSuite {
+ public:
+  explicit HeldSuarezSuite(HeldSuarezConfig config = {}) : config_(config) {}
+
+  void run(const PhysicsInput& in, double dt, PhysicsOutput& out) override;
+  const char* name() const override { return "Held-Suarez"; }
+
+  /// The analytic equilibrium temperature (exposed for tests).
+  double equilibriumT(double lat, double pmid, double ps) const;
+
+ private:
+  HeldSuarezConfig config_;
+};
+
+} // namespace grist::physics

@@ -1,0 +1,40 @@
+// Noah-MP-lite land surface model: a slab skin layer coupled to two soil
+// temperature layers; the skin responds to the radiation diagnostics (gsw,
+// glw -- exactly what the paper's ML radiation module supplies, section
+// 3.2.3) and the turbulent fluxes, the soil integrates heat downward.
+#pragma once
+
+#include <vector>
+
+#include "grist/physics/types.hpp"
+
+namespace grist::physics {
+
+struct LandConfig {
+  double skin_heat_capacity = 2.0e4;  ///< J/m^2/K (thin skin slab)
+  double soil_heat_capacity = 1.2e6;  ///< J/m^3/K
+  double soil_depth1 = 0.1;           ///< m
+  double soil_depth2 = 0.9;           ///< m
+  double soil_conductivity = 1.0;     ///< W/m/K
+  double emissivity = 0.96;
+  double deep_temperature = 286.0;    ///< K, lower boundary condition
+};
+
+class LandModel {
+ public:
+  LandModel(Index ncolumns, LandConfig config = {});
+
+  /// Advances the skin and soil temperatures over dt using gsw/glw (from
+  /// the radiation or ML-radiation module) and shflx/lhflx; writes the new
+  /// skin temperature into out.tskin_new.
+  void run(const PhysicsInput& in, double dt, PhysicsOutput& out);
+
+  const std::vector<double>& soilT1() const { return soil_t1_; }
+  const std::vector<double>& soilT2() const { return soil_t2_; }
+
+ private:
+  LandConfig config_;
+  std::vector<double> soil_t1_, soil_t2_;
+};
+
+} // namespace grist::physics

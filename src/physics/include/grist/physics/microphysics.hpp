@@ -1,0 +1,31 @@
+// Kessler warm-rain microphysics: saturation adjustment (condensation /
+// evaporation of cloud), autoconversion and accretion of cloud into rain,
+// rain evaporation in subsaturated layers, and rain sedimentation to the
+// surface precipitation flux.
+#pragma once
+
+#include "grist/physics/types.hpp"
+
+namespace grist::physics {
+
+struct MicrophysicsConfig {
+  double autoconversion_rate = 1.0e-3;  ///< 1/s beyond the cloud threshold
+  double cloud_threshold = 5.0e-4;      ///< kg/kg
+  double accretion_rate = 2.2;          ///< Kessler k2
+  double rain_evap_rate = 2.0e-4;
+  double fall_speed = 7.0;              ///< m/s, bulk rain fall speed
+};
+
+class Microphysics {
+ public:
+  explicit Microphysics(MicrophysicsConfig config = {}) : config_(config) {}
+
+  /// dt is the physics step (s). Adds tendencies; adds surface precip
+  /// (mm/day) into out.precip.
+  void run(const PhysicsInput& in, double dt, PhysicsOutput& out) const;
+
+ private:
+  MicrophysicsConfig config_;
+};
+
+} // namespace grist::physics

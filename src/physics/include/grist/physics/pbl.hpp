@@ -1,0 +1,29 @@
+// Planetary boundary layer scheme: K-profile vertical diffusion of heat,
+// moisture and momentum with an implicit (tridiagonal) solve per column;
+// surface fluxes enter as the bottom boundary condition.
+#pragma once
+
+#include "grist/physics/types.hpp"
+
+namespace grist::physics {
+
+struct PblConfig {
+  double k_max = 40.0;        ///< m^2/s peak eddy diffusivity
+  double pbl_depth = 1500.0;  ///< m, nominal boundary-layer depth
+  double k_free = 0.5;        ///< m^2/s background free-troposphere mixing
+};
+
+class Pbl {
+ public:
+  explicit Pbl(PblConfig config = {}) : config_(config) {}
+
+  /// Diffuses t/qv/u/v implicitly over dt; surface sensible and latent
+  /// fluxes (W/m^2, from the surface-layer scheme) force the lowest layer.
+  void run(const PhysicsInput& in, double dt, const std::vector<double>& shflx,
+           const std::vector<double>& lhflx, PhysicsOutput& out) const;
+
+ private:
+  PblConfig config_;
+};
+
+} // namespace grist::physics

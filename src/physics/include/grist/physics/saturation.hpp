@@ -1,0 +1,16 @@
+// Saturation vapor pressure / mixing ratio shared by microphysics,
+// convection and the surface scheme.
+#pragma once
+
+namespace grist::physics {
+
+/// Tetens saturation vapor pressure over liquid water, Pa.
+double saturationVaporPressure(double t_kelvin);
+
+/// Saturation mixing ratio at (T, p), kg/kg; clamped for p near/below es.
+double saturationMixingRatio(double t_kelvin, double p_pascal);
+
+/// d(qsat)/dT at constant pressure (used by the saturation adjustment).
+double saturationMixingRatioSlope(double t_kelvin, double p_pascal);
+
+} // namespace grist::physics

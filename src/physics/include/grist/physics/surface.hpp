@@ -1,0 +1,28 @@
+// Surface-layer scheme: bulk aerodynamic sensible/latent heat fluxes and
+// surface drag from the lowest model layer and the skin state.
+#pragma once
+
+#include "grist/physics/types.hpp"
+
+namespace grist::physics {
+
+struct SurfaceConfig {
+  double ch = 1.5e-3;       ///< heat/moisture exchange coefficient
+  double cd = 1.3e-3;       ///< momentum drag coefficient
+  double beta = 0.7;        ///< surface moisture availability [0,1]
+  double min_wind = 1.0;    ///< m/s floor on the bulk wind speed
+};
+
+class SurfaceLayer {
+ public:
+  explicit SurfaceLayer(SurfaceConfig config = {}) : config_(config) {}
+
+  /// Fills out.shflx/out.lhflx (W/m^2, positive upward into the atmosphere)
+  /// and adds surface drag to dudt/dvdt of the lowest layer.
+  void run(const PhysicsInput& in, PhysicsOutput& out) const;
+
+ private:
+  SurfaceConfig config_;
+};
+
+} // namespace grist::physics

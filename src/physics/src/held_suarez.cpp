@@ -1,0 +1,49 @@
+#include "grist/physics/held_suarez.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grist/common/math.hpp"
+
+namespace grist::physics {
+
+using constants::kKappa;
+using constants::kP0;
+
+double HeldSuarezSuite::equilibriumT(double lat, double pmid, double ps) const {
+  (void)ps;
+  const double sin2 = std::sin(lat) * std::sin(lat);
+  const double cos2 = 1.0 - sin2;
+  const double p_ratio = pmid / kP0;
+  const double teq = (config_.t_surface_eq - config_.delta_t_y * sin2 -
+                      config_.delta_theta_z * std::log(p_ratio) * cos2) *
+                     std::pow(p_ratio, kKappa);
+  return std::max(config_.t_strat, teq);
+}
+
+void HeldSuarezSuite::run(const PhysicsInput& in, double dt, PhysicsOutput& out) {
+  (void)dt;
+  out.zero();
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    const double lat = in.lat[c];
+    const double ps = in.pint(c, in.nlev);
+    for (int k = 0; k < in.nlev; ++k) {
+      const double sigma = in.pmid(c, k) / ps;
+      // Height-dependent thermal relaxation rate (stronger near the
+      // surface in the tropics).
+      const double vert =
+          std::max(0.0, (sigma - config_.sigma_b) / (1.0 - config_.sigma_b));
+      const double cos4 = std::pow(std::cos(lat), 4.0);
+      const double k_t = config_.k_a + (config_.k_s - config_.k_a) * vert * cos4;
+      const double teq = equilibriumT(lat, in.pmid(c, k), ps);
+      out.dtdt(c, k) = -k_t * (in.t(c, k) - teq);
+      // Rayleigh friction below sigma_b.
+      const double k_v = config_.k_f * vert;
+      out.dudt(c, k) = -k_v * in.u(c, k);
+      out.dvdt(c, k) = -k_v * in.v(c, k);
+    }
+  }
+}
+
+} // namespace grist::physics

@@ -1,0 +1,55 @@
+#include "grist/physics/land.hpp"
+
+#include <cmath>
+
+namespace grist::physics {
+
+namespace {
+constexpr double kSigmaSB = 5.670374e-8;
+}
+
+LandModel::LandModel(Index ncolumns, LandConfig config)
+    : config_(config),
+      soil_t1_(ncolumns, 288.0),
+      soil_t2_(ncolumns, config.deep_temperature) {}
+
+void LandModel::run(const PhysicsInput& in, double dt, PhysicsOutput& out) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    const double tskin = in.tskin[c];
+    // Skin energy balance: absorbed SW + incoming LW - emitted LW
+    // - turbulent fluxes - ground heat flux.
+    const double emitted = config_.emissivity * kSigmaSB * std::pow(tskin, 4.0);
+    const double ground =
+        config_.soil_conductivity * (tskin - soil_t1_[c]) / (0.5 * config_.soil_depth1);
+    const double net = out.gsw[c] + config_.emissivity * out.glw[c] - emitted -
+                       out.shflx[c] - out.lhflx[c] - ground;
+    // Linearized-implicit update: the restoring terms (LW emission, ground
+    // conduction) are evaluated at the NEW temperature, which keeps the
+    // thin skin slab stable for arbitrarily long physics steps:
+    //   dT = dt * net(T0) / (C + dt * d(-net)/dT).
+    const double damping = 4.0 * config_.emissivity * kSigmaSB * tskin * tskin * tskin +
+                           config_.soil_conductivity / (0.5 * config_.soil_depth1);
+    double tnew = tskin + dt * net / (config_.skin_heat_capacity + dt * damping);
+    // Physical guard rail (documented): continental skin temperatures.
+    tnew = std::min(345.0, std::max(180.0, tnew));
+    out.tskin_new[c] = tnew;
+
+    // Two-layer soil heat diffusion.
+    const double c1 = config_.soil_heat_capacity * config_.soil_depth1;
+    const double c2 = config_.soil_heat_capacity * config_.soil_depth2;
+    const double flux12 = config_.soil_conductivity * (soil_t1_[c] - soil_t2_[c]) /
+                          (0.5 * (config_.soil_depth1 + config_.soil_depth2));
+    const double flux2d = config_.soil_conductivity *
+                          (soil_t2_[c] - config_.deep_temperature) / config_.soil_depth2;
+    // Same implicit damping trick for the soil layers.
+    const double lam1 = config_.soil_conductivity / (0.5 * config_.soil_depth1) +
+                        config_.soil_conductivity /
+                            (0.5 * (config_.soil_depth1 + config_.soil_depth2));
+    const double lam2 = config_.soil_conductivity / config_.soil_depth2;
+    soil_t1_[c] += dt * (ground - flux12) / (c1 + dt * lam1);
+    soil_t2_[c] += dt * (flux12 - flux2d) / (c2 + dt * lam2);
+  }
+}
+
+} // namespace grist::physics

@@ -1,0 +1,86 @@
+#include "grist/physics/microphysics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grist/common/math.hpp"
+#include "grist/physics/saturation.hpp"
+
+namespace grist::physics {
+
+using constants::kCp;
+using constants::kGravity;
+using constants::kLv;
+
+void Microphysics::run(const PhysicsInput& in, double dt, PhysicsOutput& out) const {
+  const int nlev = in.nlev;
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    double rain_flux = 0.0;  // kg/m^2/s reaching the surface
+    for (int k = 0; k < nlev; ++k) {
+      const double p = in.pmid(c, k);
+      double t = in.t(c, k);
+      double qv = std::max(0.0, in.qv(c, k));
+      double qc = std::max(0.0, in.qc(c, k));
+      double qr = std::max(0.0, in.qr(c, k));
+
+      // 1) Saturation adjustment (one Newton step, standard Kessler).
+      const double qsat = saturationMixingRatio(t, p);
+      const double dqsat = saturationMixingRatioSlope(t, p);
+      double cond = (qv - qsat) / (1.0 + (kLv / kCp) * dqsat);
+      if (cond > 0.0) {
+        // Condense.
+        cond = std::min(cond, qv);
+      } else {
+        // Evaporate cloud only as far as there is cloud.
+        cond = std::max(cond, -qc);
+      }
+      qv -= cond;
+      qc += cond;
+      t += (kLv / kCp) * cond;
+
+      // 2) Autoconversion + accretion (cloud -> rain).
+      double auto_conv = 0.0;
+      if (qc > config_.cloud_threshold) {
+        auto_conv = config_.autoconversion_rate * (qc - config_.cloud_threshold) * dt;
+      }
+      const double accr = config_.accretion_rate * qc * std::pow(qr, 0.875) * dt;
+      const double to_rain = std::min(qc, auto_conv + accr);
+      qc -= to_rain;
+      qr += to_rain;
+
+      // 3) Rain evaporation in subsaturated air.
+      const double qsat2 = saturationMixingRatio(t, p);
+      if (qv < qsat2 && qr > 0.0) {
+        const double subsat = (qsat2 - qv) / std::max(qsat2, 1e-10);
+        const double evap = std::min(qr, config_.rain_evap_rate * subsat *
+                                             std::pow(qr, 0.65) * dt);
+        qr -= evap;
+        qv += evap;
+        t -= (kLv / kCp) * evap;
+      }
+
+      // 4) Sedimentation: rain falls out of the layer over dt with a bulk
+      // fall speed; whatever crosses the surface interface accumulates.
+      const double dz = in.zint(c, k) - in.zint(c, k + 1);
+      const double frac = clamp(config_.fall_speed * dt / std::max(dz, 1.0), 0.0, 1.0);
+      const double fall = qr * frac;
+      qr -= fall;
+      if (k + 1 < nlev) {
+        // Hand the falling rain to the layer below via its tendency.
+        out.dqrdt(c, k + 1) += fall * (in.delp(c, k) / in.delp(c, k + 1)) / dt;
+      } else {
+        rain_flux += fall * in.delp(c, k) / (kGravity * dt);
+      }
+
+      out.dtdt(c, k) += (t - in.t(c, k)) / dt;
+      out.dqvdt(c, k) += (qv - in.qv(c, k)) / dt;
+      out.dqcdt(c, k) += (qc - in.qc(c, k)) / dt;
+      out.dqrdt(c, k) += (qr - in.qr(c, k)) / dt;
+    }
+    // kg/m^2/s == mm/s of liquid water; report mm/day.
+    out.precip[c] += rain_flux * 86400.0;
+  }
+}
+
+} // namespace grist::physics

@@ -1,0 +1,24 @@
+#include "grist/physics/saturation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grist::physics {
+
+double saturationVaporPressure(double t) {
+  // Tetens over liquid; adequate for the warm-rain suite.
+  return 610.78 * std::exp(17.27 * (t - 273.15) / (t - 35.85));
+}
+
+double saturationMixingRatio(double t, double p) {
+  const double es = std::min(saturationVaporPressure(t), 0.5 * p);
+  return 0.622 * es / (p - 0.378 * es);
+}
+
+double saturationMixingRatioSlope(double t, double p) {
+  const double eps = 0.05;
+  return (saturationMixingRatio(t + eps, p) - saturationMixingRatio(t - eps, p)) /
+         (2.0 * eps);
+}
+
+} // namespace grist::physics

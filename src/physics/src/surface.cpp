@@ -1,0 +1,40 @@
+#include "grist/physics/surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grist/common/math.hpp"
+#include "grist/physics/saturation.hpp"
+
+namespace grist::physics {
+
+using constants::kCp;
+using constants::kGravity;
+using constants::kLv;
+using constants::kRd;
+
+void SurfaceLayer::run(const PhysicsInput& in, PhysicsOutput& out) const {
+  const int kb = in.nlev - 1;  // lowest layer
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    const double u = in.u(c, kb), v = in.v(c, kb);
+    const double wind = std::max(config_.min_wind, std::sqrt(u * u + v * v));
+    const double rho = in.pmid(c, kb) / (kRd * in.t(c, kb));
+
+    // Bulk fluxes toward the atmosphere.
+    const double sh = rho * kCp * config_.ch * wind * (in.tskin[c] - in.t(c, kb));
+    const double qsat_s = saturationMixingRatio(in.tskin[c], in.pint(c, in.nlev));
+    const double lh = rho * kLv * config_.ch * wind * config_.beta *
+                      std::max(0.0, qsat_s - in.qv(c, kb));
+    out.shflx[c] = sh;
+    out.lhflx[c] = lh;
+
+    // Drag decelerates the lowest layer: tau = rho cd |V| V; tendency
+    // converts the stress through the layer mass delp/g.
+    const double mass = in.delp(c, kb) / kGravity;
+    out.dudt(c, kb) -= rho * config_.cd * wind * u / mass;
+    out.dvdt(c, kb) -= rho * config_.cd * wind * v / mass;
+  }
+}
+
+} // namespace grist::physics

@@ -1,0 +1,44 @@
+// Error norms for the mixed-precision acceptance procedure (paper
+// section 3.4.1): deviations of surface pressure (ps) and relative
+// vorticity (vor) are measured with the relative L2 norm against the
+// double-precision gold standard, with a 5% acceptance threshold.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace grist::precision {
+
+/// || a - b ||_2 / || b ||_2 ; b is the gold standard. Returns the absolute
+/// L2 of a-b if ||b|| == 0.
+double relativeL2(const double* a, const double* b, std::size_t n);
+double relativeL2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// max_i |a_i - b_i| / (max_i |b_i|), a scale-free infinity-norm check.
+double relativeLinf(const std::vector<double>& a, const std::vector<double>& b);
+
+/// The paper's acceptance gate: every tracked variable must stay within
+/// `threshold` (default 5%) in relative L2.
+class PrecisionGate {
+ public:
+  explicit PrecisionGate(double threshold = 0.05) : threshold_(threshold) {}
+
+  /// Record one comparison; returns the norm.
+  double check(const std::string& variable, const std::vector<double>& test,
+               const std::vector<double>& gold);
+
+  bool passed() const { return passed_; }
+  double threshold() const { return threshold_; }
+  /// variable -> worst relative L2 seen.
+  const std::vector<std::pair<std::string, double>>& records() const {
+    return records_;
+  }
+
+ private:
+  double threshold_;
+  bool passed_ = true;
+  std::vector<std::pair<std::string, double>> records_;
+};
+
+} // namespace grist::precision

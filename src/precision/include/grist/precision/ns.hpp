@@ -1,0 +1,33 @@
+// Mixed-precision support (paper section 3.4.3). GRIST switches a custom
+// Fortran kind `ns` between 32- and 64-bit; the C++ analog is a template
+// parameter on every dycore kernel. Precision-INSENSITIVE terms (advective
+// terms, high-order operators, the whole tracer equation) compute in NS;
+// precision-SENSITIVE terms (pressure gradient, gravity, the accumulated
+// mass flux delta-pi*V) stay in double regardless of NS (section 3.4.2).
+#pragma once
+
+#include <type_traits>
+
+namespace grist::precision {
+
+/// Runtime selector mirroring the build-time choice of `ns`.
+enum class NsMode {
+  kDouble,  ///< ns = 64-bit: bitwise-identical to the original code
+  kSingle,  ///< ns = 32-bit: mixed-precision fast path
+};
+
+inline const char* name(NsMode mode) {
+  return mode == NsMode::kDouble ? "DP" : "MIX";
+}
+
+/// Concept for the template parameter carried by mixed-precision kernels.
+template <typename T>
+concept NsReal = std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+/// On-the-fly conversion helper: double -> NS (possibly lossy, by design).
+template <NsReal NS>
+constexpr NS toNs(double value) {
+  return static_cast<NS>(value);
+}
+
+} // namespace grist::precision

@@ -1,0 +1,44 @@
+#include "grist/precision/norms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grist::precision {
+
+double relativeL2(const double* a, const double* b, std::size_t n) {
+  double diff2 = 0.0, ref2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    diff2 += d * d;
+    ref2 += b[i] * b[i];
+  }
+  if (ref2 == 0.0) return std::sqrt(diff2);
+  return std::sqrt(diff2 / ref2);
+}
+
+double relativeL2(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("relativeL2: size mismatch");
+  return relativeL2(a.data(), b.data(), a.size());
+}
+
+double relativeLinf(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("relativeLinf: size mismatch");
+  double max_diff = 0.0, max_ref = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+    max_ref = std::max(max_ref, std::abs(b[i]));
+  }
+  if (max_ref == 0.0) return max_diff;
+  return max_diff / max_ref;
+}
+
+double PrecisionGate::check(const std::string& variable,
+                            const std::vector<double>& test,
+                            const std::vector<double>& gold) {
+  const double norm = relativeL2(test, gold);
+  records_.emplace_back(variable, norm);
+  if (!(norm <= threshold_)) passed_ = false;
+  return norm;
+}
+
+} // namespace grist::precision

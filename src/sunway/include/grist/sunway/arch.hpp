@@ -1,0 +1,55 @@
+// Architectural parameters of the simulated SW26010P processor (paper
+// section 3.3 and section 4.1): 6 core groups (CGs) per node, each CG one
+// MPE + 64 CPEs in an 8x8 array; 256 KB LDM per CPE, half configurable as a
+// 4-way set-associative LDCache; 16 GB DDR4 per CG at 51.2 GB/s.
+//
+// The latency/throughput table is a documented model, not measured silicon:
+// it reproduces the *relative* behaviors the paper's Fig. 9 depends on
+// (cache-way thrashing, SP vs DP divide latency, DMA vs cached access).
+#pragma once
+
+#include <cstddef>
+
+namespace grist::sunway {
+
+struct ArchParams {
+  // Topology.
+  int cpes_per_cg = 64;
+  int cgs_per_node = 6;
+
+  // Memory hierarchy.
+  std::size_t ldm_bytes = 256 * 1024;      ///< per CPE
+  std::size_t ldcache_bytes = 128 * 1024;  ///< half of LDM as cache
+  int ldcache_ways = 4;
+  std::size_t ldcache_line = 256;
+
+  // Cycle costs (CPE).
+  double cycles_flop_dp = 1.0;
+  double cycles_flop_sp = 1.0;   ///< same ALU rate (paper section 4.6) ...
+  double cycles_div_dp = 34.0;   ///< ... except divide and elementary
+  double cycles_div_sp = 17.0;
+  double cycles_elem_dp = 80.0;  ///< pow/exp/log
+  double cycles_elem_sp = 40.0;
+  double cycles_ldm_hit = 4.0;
+  double cycles_cache_hit = 8.0;
+  double cycles_mem_miss = 300.0;
+
+  // DMA engine: startup + per-byte (derived from 51.2 GB/s at 2.1 GHz).
+  double dma_startup_cycles = 270.0;
+  double dma_cycles_per_byte = 2.1e9 / 51.2e9;
+
+  // MPE: a conventional core with a larger private cache; the paper finds
+  // MPE code compute-bound, so its miss penalty is partly hidden.
+  std::size_t mpe_cache_bytes = 512 * 1024;
+  int mpe_cache_ways = 8;
+  double mpe_cycles_flop = 1.0;
+  double mpe_miss_overlap = 0.5;  ///< fraction of miss latency hidden
+
+  // Job server (SWGOMP Fig. 5): spawning a team/target region on CPEs.
+  double job_spawn_cycles = 2000.0;
+  double team_member_spawn_cycles = 60.0;
+
+  double clock_ghz = 2.1;
+};
+
+} // namespace grist::sunway

@@ -1,0 +1,83 @@
+// One simulated core group: the MPE (a conventional compute-bound core with
+// a larger cache) plus 64 CPEs, and the job-server bookkeeping of SWGOMP's
+// Fig. 5 (MPE spawns team heads, team heads spawn members).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grist/sunway/arch.hpp"
+#include "grist/sunway/cpe.hpp"
+
+namespace grist::sunway {
+
+/// MPE model: compute-bound (paper section 4.6); part of every miss is
+/// hidden behind arithmetic.
+class Mpe {
+ public:
+  explicit Mpe(const ArchParams& params)
+      : params_(&params),
+        cache_(params.mpe_cache_bytes, params.mpe_cache_ways, params.ldcache_line) {}
+
+  void load(std::uint64_t addr, std::size_t size) {
+    const int missed = cache_.access(addr, size);
+    cycles_ += params_->cycles_cache_hit +
+               missed * params_->cycles_mem_miss * (1.0 - params_->mpe_miss_overlap);
+  }
+  void store(std::uint64_t addr, std::size_t size) { load(addr, size); }
+  void flops(double n, SimPrecision) { cycles_ += n * params_->mpe_cycles_flop; }
+  void divs(double n, SimPrecision p) {
+    // The MPE pipeline is what makes DP vs SP nearly identical for bulk
+    // arithmetic; divides keep their latency gap.
+    cycles_ += n * (p == SimPrecision::kDouble ? params_->cycles_div_dp
+                                               : params_->cycles_div_sp);
+  }
+  void elems(double n, SimPrecision p) {
+    cycles_ += n * (p == SimPrecision::kDouble ? params_->cycles_elem_dp
+                                               : params_->cycles_elem_sp);
+  }
+
+  double cycles() const { return cycles_; }
+  void reset() {
+    cycles_ = 0;
+    cache_.reset();
+  }
+
+ private:
+  const ArchParams* params_;
+  LdCache cache_;
+  double cycles_ = 0;
+};
+
+class CoreGroup {
+ public:
+  explicit CoreGroup(ArchParams params = {});
+
+  ArchParams& params() { return params_; }
+  const ArchParams& params() const { return params_; }
+
+  Mpe& mpe() { return mpe_; }
+  Cpe& cpe(int index) { return *cpes_.at(index); }
+  int cpeCount() const { return static_cast<int>(cpes_.size()); }
+
+  /// Job-server event: MPE launches a target region on a team head, which
+  /// spawns the other team members. Adds the spawn overhead to every CPE.
+  void spawnTeam();
+
+  /// Finish a parallel region: every CPE waits for the slowest (implicit
+  /// barrier); returns the region's cycle count.
+  double joinTeam();
+
+  /// Wall-clock seconds of the slowest CPE so far.
+  double cpeSeconds() const;
+  double maxCpeCycles() const;
+
+  void reset();
+
+ private:
+  ArchParams params_;
+  Mpe mpe_;
+  std::vector<std::unique_ptr<Cpe>> cpes_;
+};
+
+} // namespace grist::sunway

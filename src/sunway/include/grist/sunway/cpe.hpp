@@ -1,0 +1,99 @@
+// One simulated compute processing element: a cycle counter driven by
+// explicit load/store/arithmetic events, backed by its private LDCache and
+// an LDM scratch region (the paper's device-stack / omnicopy target).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "grist/sunway/arch.hpp"
+#include "grist/sunway/ldcache.hpp"
+
+namespace grist::sunway {
+
+/// Precision of a simulated arithmetic event (mirrors precision::NsMode but
+/// kept independent so the simulator has no model dependencies).
+enum class SimPrecision { kDouble, kSingle };
+
+class Cpe {
+ public:
+  explicit Cpe(const ArchParams& params)
+      : params_(&params),
+        cache_(params.ldcache_bytes, params.ldcache_ways, params.ldcache_line) {}
+
+  // ---- memory events -----------------------------------------------------
+  /// Cached main-memory access through the LDCache.
+  void load(std::uint64_t addr, std::size_t size) {
+    const int missed = cache_.access(addr, size);
+    cycles_ += params_->cycles_cache_hit + missed * params_->cycles_mem_miss;
+    bytes_ += size;
+  }
+  void store(std::uint64_t addr, std::size_t size) { load(addr, size); }
+
+  /// LDM access (device stack / omnicopy destination): fixed low latency,
+  /// never touches the cache.
+  void ldmAccess(std::size_t size) {
+    cycles_ += params_->cycles_ldm_hit;
+    bytes_ += size;
+  }
+
+  /// DMA transfer between main memory and LDM.
+  void dma(std::size_t bytes) {
+    cycles_ += params_->dma_startup_cycles + bytes * params_->dma_cycles_per_byte;
+    bytes_ += bytes;
+  }
+
+  /// LDM scratch allocation (bounded by the non-cache half of the LDM).
+  void ldmAlloc(std::size_t bytes) {
+    const std::size_t scratch = params_->ldm_bytes - params_->ldcache_bytes;
+    if (ldm_used_ + bytes > scratch) {
+      throw std::length_error("Cpe: LDM scratch exhausted");
+    }
+    ldm_used_ += bytes;
+  }
+  void ldmFree(std::size_t bytes) { ldm_used_ -= std::min(ldm_used_, bytes); }
+
+  // ---- arithmetic events ---------------------------------------------------
+  void flops(double n, SimPrecision p) {
+    cycles_ += n * (p == SimPrecision::kDouble ? params_->cycles_flop_dp
+                                               : params_->cycles_flop_sp);
+    flops_ += n;
+  }
+  void divs(double n, SimPrecision p) {
+    cycles_ += n * (p == SimPrecision::kDouble ? params_->cycles_div_dp
+                                               : params_->cycles_div_sp);
+    flops_ += n;
+  }
+  void elems(double n, SimPrecision p) {
+    cycles_ += n * (p == SimPrecision::kDouble ? params_->cycles_elem_dp
+                                               : params_->cycles_elem_sp);
+    flops_ += n;
+  }
+  void idle(double cycles) { cycles_ += cycles; }
+
+  // ---- accounting ----------------------------------------------------------
+  double cycles() const { return cycles_; }
+  double seconds() const { return cycles_ / (params_->clock_ghz * 1e9); }
+  double flopCount() const { return flops_; }
+  std::int64_t bytesTouched() const { return bytes_; }
+  LdCache& cache() { return cache_; }
+  const LdCache& cache() const { return cache_; }
+
+  void reset() {
+    cycles_ = 0;
+    flops_ = 0;
+    bytes_ = 0;
+    ldm_used_ = 0;
+    cache_.reset();
+  }
+
+ private:
+  const ArchParams* params_;
+  LdCache cache_;
+  double cycles_ = 0;
+  double flops_ = 0;
+  std::int64_t bytes_ = 0;
+  std::size_t ldm_used_ = 0;
+};
+
+} // namespace grist::sunway

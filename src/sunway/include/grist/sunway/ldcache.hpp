@@ -1,0 +1,42 @@
+// Set-associative LRU cache simulator: the LDCache half of a CPE's LDM.
+// Fig. 6's failure mode lives here: arrays aligned to a multiple of the
+// way size and accessed with similar indices map to the same set and evict
+// one another when more arrays than ways are in flight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace grist::sunway {
+
+class LdCache {
+ public:
+  LdCache(std::size_t bytes, int ways, std::size_t line_bytes);
+
+  /// Touch [addr, addr+size); returns the number of MISSED lines (an access
+  /// can straddle a line boundary). Hits refresh LRU order.
+  int access(std::uint64_t addr, std::size_t size);
+
+  void reset();
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  double hitRatio() const {
+    const std::int64_t total = hits_ + misses_;
+    return total == 0 ? 1.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  int sets() const { return nsets_; }
+  int ways() const { return ways_; }
+  std::size_t lineBytes() const { return line_; }
+
+ private:
+  int ways_;
+  std::size_t line_;
+  int nsets_;
+  // tags_[set*ways + k]; lru_[same] = age counter (smaller = older).
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::uint64_t clock_ = 0;
+  std::int64_t hits_ = 0, misses_ = 0;
+};
+
+} // namespace grist::sunway

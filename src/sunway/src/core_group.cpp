@@ -1,0 +1,43 @@
+#include "grist/sunway/core_group.hpp"
+
+#include <algorithm>
+
+namespace grist::sunway {
+
+CoreGroup::CoreGroup(ArchParams params) : params_(params), mpe_(params_) {
+  cpes_.reserve(params_.cpes_per_cg);
+  for (int i = 0; i < params_.cpes_per_cg; ++i) {
+    cpes_.push_back(std::make_unique<Cpe>(params_));
+  }
+}
+
+void CoreGroup::spawnTeam() {
+  // The team head pays the job-server spawn; members pay the fan-out cost.
+  for (int i = 0; i < cpeCount(); ++i) {
+    cpes_[i]->idle(i == 0 ? params_.job_spawn_cycles
+                          : params_.team_member_spawn_cycles);
+  }
+}
+
+double CoreGroup::joinTeam() {
+  const double slowest = maxCpeCycles();
+  for (auto& cpe : cpes_) cpe->idle(slowest - cpe->cycles());
+  return slowest;
+}
+
+double CoreGroup::maxCpeCycles() const {
+  double slowest = 0;
+  for (const auto& cpe : cpes_) slowest = std::max(slowest, cpe->cycles());
+  return slowest;
+}
+
+double CoreGroup::cpeSeconds() const {
+  return maxCpeCycles() / (params_.clock_ghz * 1e9);
+}
+
+void CoreGroup::reset() {
+  mpe_.reset();
+  for (auto& cpe : cpes_) cpe->reset();
+}
+
+} // namespace grist::sunway

@@ -1,0 +1,60 @@
+#include "grist/sunway/ldcache.hpp"
+
+#include <stdexcept>
+
+namespace grist::sunway {
+
+LdCache::LdCache(std::size_t bytes, int ways, std::size_t line_bytes)
+    : ways_(ways), line_(line_bytes) {
+  if (ways < 1 || line_bytes == 0 || bytes < ways * line_bytes) {
+    throw std::invalid_argument("LdCache: bad geometry");
+  }
+  nsets_ = static_cast<int>(bytes / (static_cast<std::size_t>(ways) * line_bytes));
+  if (nsets_ < 1) throw std::invalid_argument("LdCache: zero sets");
+  tags_.assign(static_cast<std::size_t>(nsets_) * ways_, ~std::uint64_t{0});
+  lru_.assign(tags_.size(), 0);
+}
+
+void LdCache::reset() {
+  tags_.assign(tags_.size(), ~std::uint64_t{0});
+  lru_.assign(lru_.size(), 0);
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+int LdCache::access(std::uint64_t addr, std::size_t size) {
+  int missed = 0;
+  const std::uint64_t first = addr / line_;
+  const std::uint64_t last = (addr + (size ? size - 1 : 0)) / line_;
+  for (std::uint64_t lineno = first; lineno <= last; ++lineno) {
+    const int set = static_cast<int>(lineno % nsets_);
+    const std::uint64_t tag = lineno / nsets_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    ++clock_;
+    int found = -1;
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {
+        found = w;
+        break;
+      }
+    }
+    if (found >= 0) {
+      ++hits_;
+      lru_[base + found] = clock_;
+      continue;
+    }
+    ++misses_;
+    ++missed;
+    // Evict the least recently used way.
+    int victim = 0;
+    for (int w = 1; w < ways_; ++w) {
+      if (lru_[base + w] < lru_[base + victim]) victim = w;
+    }
+    tags_[base + victim] = tag;
+    lru_[base + victim] = clock_;
+  }
+  return missed;
+}
+
+} // namespace grist::sunway

@@ -1,0 +1,104 @@
+// SWGOMP: the library-level equivalent of the paper's OpenMP-offload
+// compatibility layer (section 3.3). A `!$omp target parallel do` becomes
+// targetParallelDo(core_group, n, body): the MPE spawns a team through the
+// job server, iterations are distributed statically over the 64 CPEs, and
+// the region ends with an implicit barrier. Unified shared memory means the
+// body reads real host data while the simulator accounts virtual addresses.
+//
+// omnicopy (section 3.3.2) stages a main-memory block into the CPE's LDM
+// scratch via DMA; subsequent accesses through the returned view cost LDM
+// latency instead of cache lookups. On non-Sunway builds the paper's
+// omnicopy degrades to memcpy; here the analog is that the data was already
+// readable -- only the accounting changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "grist/common/types.hpp"
+#include "grist/sunway/core_group.hpp"
+#include "grist/swgomp/pool_allocator.hpp"
+
+namespace grist::swgomp {
+
+/// A typed array visible to the simulator: real host storage plus a virtual
+/// base address from the pool allocator. elem_bytes is 4 when the array
+/// holds `ns` (single-precision) payloads in a MIX build.
+template <typename T>
+struct VirtualArray {
+  const T* data = nullptr;
+  std::uint64_t vbase = 0;
+  std::size_t elem_bytes = sizeof(T);
+
+  VirtualArray() = default;
+  VirtualArray(const T* data_, PoolAllocator& alloc, std::size_t count,
+               std::size_t elem_bytes_ = sizeof(T))
+      : data(data_), vbase(alloc.allocate(count * elem_bytes_)),
+        elem_bytes(elem_bytes_) {}
+
+  /// Read element i through a CPE/MPE context (cache-accounted).
+  template <typename Ctx>
+  T read(Ctx& ctx, Index i) const {
+    ctx.load(vbase + static_cast<std::uint64_t>(i) * elem_bytes, elem_bytes);
+    return data[i];
+  }
+  /// Account a write (value lands in caller-owned memory elsewhere).
+  template <typename Ctx>
+  void write(Ctx& ctx, Index i) const {
+    ctx.store(vbase + static_cast<std::uint64_t>(i) * elem_bytes, elem_bytes);
+  }
+};
+
+/// LDM-resident view created by omnicopy: element reads cost LDM latency.
+template <typename T>
+struct LdmView {
+  const T* data = nullptr;
+  std::size_t elem_bytes = sizeof(T);
+
+  T read(sunway::Cpe& cpe, Index i) const {
+    cpe.ldmAccess(elem_bytes);
+    return data[i];
+  }
+};
+
+/// Stage count elements starting at `first` into LDM scratch via DMA.
+template <typename T>
+LdmView<T> omnicopy(sunway::Cpe& cpe, const VirtualArray<T>& src, Index first,
+                    std::size_t count) {
+  const std::size_t bytes = count * src.elem_bytes;
+  cpe.ldmAlloc(bytes);
+  cpe.dma(bytes);
+  return LdmView<T>{src.data + first, src.elem_bytes};
+}
+
+/// Release an LDM staging buffer (device-stack unwind).
+template <typename T>
+void omnifree(sunway::Cpe& cpe, const LdmView<T>& view, std::size_t count) {
+  cpe.ldmFree(count * view.elem_bytes);
+}
+
+/// Execute body(cpe, i) for i in [0, n), statically chunked over the CPEs
+/// of `cg` (the `!$omp target parallel do` of Fig. 4). Returns the region's
+/// cycle count (slowest CPE, including spawn overhead and final barrier).
+template <typename Body>
+double targetParallelDo(sunway::CoreGroup& cg, Index n, Body&& body) {
+  cg.spawnTeam();
+  const int ncpe = cg.cpeCount();
+  const Index chunk = (n + ncpe - 1) / ncpe;
+  for (int p = 0; p < ncpe; ++p) {
+    sunway::Cpe& cpe = cg.cpe(p);
+    const Index lo = static_cast<Index>(p) * chunk;
+    const Index hi = std::min(n, lo + chunk);
+    for (Index i = lo; i < hi; ++i) body(cpe, i);
+  }
+  return cg.joinTeam();
+}
+
+/// The un-offloaded baseline: the same loop on the MPE.
+template <typename Body>
+double mpeSerialDo(sunway::CoreGroup& cg, Index n, Body&& body) {
+  for (Index i = 0; i < n; ++i) body(cg.mpe(), i);
+  return cg.mpe().cycles();
+}
+
+} // namespace grist::swgomp

@@ -1,0 +1,41 @@
+// The memory-address-distributor pool allocator of paper section 3.3.3
+// (Fig. 6): arrays whose base addresses are aligned to a multiple of the
+// cache-way size all map to the same cache sets and thrash a 4-way LDCache
+// as soon as a loop touches more than four arrays. The distributing policy
+// staggers successive bases across sets.
+//
+// The allocator hands out VIRTUAL addresses for the cache simulator; the
+// payload data lives in ordinary host memory owned by the caller.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "grist/sunway/arch.hpp"
+
+namespace grist::swgomp {
+
+enum class AllocPolicy {
+  kWayAligned,   ///< pathological: every base at a way-size boundary
+  kDistributed,  ///< staggered bases (the paper's DST optimization)
+};
+
+class PoolAllocator {
+ public:
+  explicit PoolAllocator(AllocPolicy policy, const sunway::ArchParams& params = {});
+
+  /// Virtual base address for an array of `bytes` bytes.
+  std::uint64_t allocate(std::size_t bytes);
+
+  AllocPolicy policy() const { return policy_; }
+  void reset();
+
+ private:
+  AllocPolicy policy_;
+  std::size_t way_bytes_;
+  std::size_t line_bytes_;
+  std::uint64_t next_ = 1 << 20;  // keep away from address 0
+  int arrays_ = 0;
+};
+
+} // namespace grist::swgomp

@@ -1,0 +1,56 @@
+// Instrumented replicas of the dycore kernels benchmarked in the paper's
+// Fig. 9, expressed as SWGOMP offload bodies over the simulated SW26010P.
+// Each replica issues the same loads/stores/divides/elementary calls per
+// iteration as its production counterpart in src/dycore, against virtual
+// addresses handed out by the pool allocator -- so the four configurations
+// (DP / DP+DST / MIX / MIX+DST, on MPE or 64 CPEs) reproduce the paper's
+// cache-thrashing and precision effects mechanistically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/sunway/core_group.hpp"
+#include "grist/swgomp/offload.hpp"
+
+namespace grist::swgomp {
+
+enum class SimKernel {
+  kPrimalNormalFluxEdge,
+  kComputeRrr,
+  kCalcCoriolisTerm,
+  kTendGradKeAtEdge,
+  kDivAtCell,
+  kTracerHoriFluxLimiter,
+  kVertImplicitSolver,
+};
+
+const char* kernelName(SimKernel kernel);
+std::vector<SimKernel> allSimKernels();
+
+struct SimConfig {
+  AllocPolicy policy = AllocPolicy::kWayAligned;
+  sunway::SimPrecision precision = sunway::SimPrecision::kDouble;
+  bool on_cpe = true;   ///< false: the MPE baseline
+  bool use_ldm = false; ///< stage hot arrays into LDM via omnicopy
+  int nlev = 30;
+};
+
+/// Run one kernel over the mesh on the given (reset) core group; returns
+/// the region's cycle count.
+double runSimKernel(SimKernel kernel, const grid::HexMesh& mesh,
+                    const grid::TrskWeights& trsk, const SimConfig& config,
+                    sunway::CoreGroup& cg);
+
+/// Fig. 9 row: speedups of the four CPE configurations over the MPE-DP
+/// baseline for one kernel.
+struct KernelSpeedups {
+  std::string kernel;
+  double dp = 0, dp_dst = 0, mix = 0, mix_dst = 0;
+};
+KernelSpeedups measureKernelSpeedups(SimKernel kernel, const grid::HexMesh& mesh,
+                                     const grid::TrskWeights& trsk, int nlev = 30);
+
+} // namespace grist::swgomp

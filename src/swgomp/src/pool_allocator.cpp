@@ -1,0 +1,35 @@
+#include "grist/swgomp/pool_allocator.hpp"
+
+namespace grist::swgomp {
+
+PoolAllocator::PoolAllocator(AllocPolicy policy, const sunway::ArchParams& params)
+    : policy_(policy),
+      way_bytes_(params.ldcache_bytes / params.ldcache_ways),
+      line_bytes_(params.ldcache_line) {}
+
+std::uint64_t PoolAllocator::allocate(std::size_t bytes) {
+  const auto align_up = [](std::uint64_t x, std::uint64_t a) {
+    return (x + a - 1) / a * a;
+  };
+  std::uint64_t base;
+  if (policy_ == AllocPolicy::kWayAligned) {
+    base = align_up(next_, way_bytes_);
+  } else {
+    // Distributed: line-aligned, then staggered by a per-array offset that
+    // walks the sets with a stride coprime to the set count.
+    base = align_up(next_, way_bytes_);
+    const std::uint64_t sets = way_bytes_ / line_bytes_;
+    const std::uint64_t lane = (static_cast<std::uint64_t>(arrays_) * 17) % sets;
+    base += lane * line_bytes_;
+  }
+  ++arrays_;
+  next_ = base + bytes;
+  return base;
+}
+
+void PoolAllocator::reset() {
+  next_ = 1 << 20;
+  arrays_ = 0;
+}
+
+} // namespace grist::swgomp

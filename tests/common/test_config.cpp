@@ -1,0 +1,55 @@
+#include "grist/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grist {
+namespace {
+
+TEST(Config, ParsesTypedValues) {
+  const Config cfg = Config::fromString(R"(
+    # run control
+    grid_level = 5
+    dt_dyn = 4.5     ! seconds
+    use_ml_physics = .true.
+    case_name = doksuri
+  )");
+  EXPECT_EQ(cfg.getInt("grid_level", -1), 5);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("dt_dyn", 0.0), 4.5);
+  EXPECT_TRUE(cfg.getBool("use_ml_physics", false));
+  EXPECT_EQ(cfg.getString("case_name", ""), "doksuri");
+}
+
+TEST(Config, FallbacksApplyWhenMissing) {
+  const Config cfg = Config::fromString("a = 1");
+  EXPECT_EQ(cfg.getInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 2.5), 2.5);
+  EXPECT_FALSE(cfg.getBool("missing", false));
+  EXPECT_FALSE(cfg.has("missing"));
+  EXPECT_TRUE(cfg.has("a"));
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::fromString("no equals sign here"), std::runtime_error);
+  EXPECT_THROW(Config::fromString("= value_without_key"), std::runtime_error);
+}
+
+TEST(Config, NonBooleanValueThrows) {
+  const Config cfg = Config::fromString("flag = maybe");
+  EXPECT_THROW(cfg.getBool("flag", false), std::runtime_error);
+}
+
+TEST(Config, LaterAssignmentWins) {
+  const Config cfg = Config::fromString("x = 1\nx = 2");
+  EXPECT_EQ(cfg.getInt("x", 0), 2);
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg = Config::fromString("a=TRUE\nb=.false.\nc=1\nd=no");
+  EXPECT_TRUE(cfg.getBool("a", false));
+  EXPECT_FALSE(cfg.getBool("b", true));
+  EXPECT_TRUE(cfg.getBool("c", false));
+  EXPECT_FALSE(cfg.getBool("d", true));
+}
+
+} // namespace
+} // namespace grist

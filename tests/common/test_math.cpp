@@ -1,0 +1,71 @@
+#include "grist/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grist {
+namespace {
+
+using constants::kPi;
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3.0);
+  EXPECT_DOUBLE_EQ(c.y, 6.0);
+  EXPECT_DOUBLE_EQ(c.z, -3.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}.norm()), 5.0, 1e-15);
+  EXPECT_NEAR((Vec3{0, 0, 7}.normalized().z), 1.0, 1e-15);
+}
+
+TEST(Geo, RoundTripLonLat) {
+  for (double lon : {-3.0, -1.0, 0.0, 0.5, 2.9}) {
+    for (double lat : {-1.5, -0.3, 0.0, 0.7, 1.5}) {
+      const LonLat ll{lon, lat};
+      const LonLat back = toLonLat(toCartesian(ll));
+      EXPECT_NEAR(back.lon, lon, 1e-12);
+      EXPECT_NEAR(back.lat, lat, 1e-12);
+    }
+  }
+}
+
+TEST(Geo, GreatCircleKnownDistances) {
+  const Vec3 np = toCartesian({0, kPi / 2});
+  const Vec3 eq = toCartesian({0, 0});
+  EXPECT_NEAR(greatCircleDistance(np, eq, 1.0), kPi / 2, 1e-14);
+  // Antipodal points.
+  EXPECT_NEAR(greatCircleDistance(eq, toCartesian({kPi, 0}), 2.0), 2.0 * kPi, 1e-12);
+  // Identical points.
+  EXPECT_NEAR(greatCircleDistance(eq, eq, 1.0), 0.0, 1e-14);
+}
+
+TEST(Geo, OctantTriangleArea) {
+  // The (+x, +y, +z) octant has area 4*pi/8.
+  const double area = sphericalTriangleArea(Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1});
+  EXPECT_NEAR(area, kPi / 2, 1e-13);
+  // Reversed orientation flips the sign.
+  const double rev = sphericalTriangleArea(Vec3{0, 1, 0}, Vec3{1, 0, 0}, Vec3{0, 0, 1});
+  EXPECT_NEAR(rev, -kPi / 2, 1e-13);
+}
+
+TEST(Geo, CircumcenterIsEquidistant) {
+  const Vec3 a = toCartesian({0.1, 0.2});
+  const Vec3 b = toCartesian({0.4, 0.15});
+  const Vec3 c = toCartesian({0.25, 0.45});
+  const Vec3 cc = sphericalCircumcenter(a, b, c);
+  const double da = greatCircleDistance(cc, a, 1.0);
+  const double db = greatCircleDistance(cc, b, 1.0);
+  const double dc = greatCircleDistance(cc, c, 1.0);
+  EXPECT_NEAR(da, db, 1e-12);
+  EXPECT_NEAR(db, dc, 1e-12);
+  EXPECT_NEAR(cc.norm(), 1.0, 1e-12);
+}
+
+TEST(Clamp, Bounds) {
+  EXPECT_EQ(clamp(5, 0, 3), 3);
+  EXPECT_EQ(clamp(-2, 0, 3), 0);
+  EXPECT_EQ(clamp(2, 0, 3), 2);
+}
+
+} // namespace
+} // namespace grist

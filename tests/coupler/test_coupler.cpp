@@ -1,0 +1,149 @@
+#include "grist/coupler/coupler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/common/math.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::coupler {
+namespace {
+
+using constants::kKappa;
+using constants::kP0;
+
+class CouplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mesh_ = grid::buildHexMesh(2);
+    cfg_.nlev = 10;
+    state_ = dycore::initBaroclinicWave(mesh_, cfg_, /*ntracers=*/3);
+    tskin_.assign(mesh_.ncells, 290.0);
+  }
+  grid::HexMesh mesh_;
+  dycore::DycoreConfig cfg_;
+  dycore::State state_;
+  std::vector<double> tskin_;
+};
+
+TEST_F(CouplerTest, ExtractsConsistentThermodynamics) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsInput in(mesh_.ncells, cfg_.nlev);
+  coupler.stateToPhysics(state_, tskin_, /*sim_seconds=*/0.0, in);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      // T = theta * Pi with Pi from the state's own pressure field; at the
+      // hydrostatic initial state p == pi so this is exact.
+      const double pi_exner = std::pow(in.pmid(c, k) / kP0, kKappa);
+      EXPECT_NEAR(in.t(c, k), state_.theta(c, k) * pi_exner, 0.5);
+      // Interface pressures bracket the mid-level value.
+      EXPECT_LT(in.pint(c, k), in.pmid(c, k));
+      EXPECT_GT(in.pint(c, k + 1), in.pmid(c, k));
+      // Heights decrease downward and end at the surface.
+      EXPECT_GT(in.zint(c, k), in.zint(c, k + 1));
+    }
+    EXPECT_NEAR(in.zint(c, cfg_.nlev), 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(in.tskin[c], 290.0);
+    EXPECT_GE(in.coszr[c], 0.0);
+    EXPECT_LE(in.coszr[c], 1.0);
+  }
+}
+
+TEST_F(CouplerTest, ZonalJetAppearsAsPositiveU) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsInput in(mesh_.ncells, cfg_.nlev);
+  coupler.stateToPhysics(state_, tskin_, 0.0, in);
+  // Midlatitude cells should see the westerly jet in the reconstructed u.
+  int positive = 0, total = 0;
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    const double lat = mesh_.cell_ll[c].lat;
+    if (lat > 0.5 && lat < 1.0) {
+      ++total;
+      if (in.u(c, cfg_.nlev - 1) > 0) ++positive;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(positive, 0.8 * total);
+}
+
+TEST_F(CouplerTest, HeatingTendencyWarmsState) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsInput in(mesh_.ncells, cfg_.nlev);
+  coupler.stateToPhysics(state_, tskin_, 0.0, in);
+  physics::PhysicsOutput out(mesh_.ncells, cfg_.nlev);
+  out.zero();
+  const double heating = 1.0e-4;  // K/s
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) out.dtdt(c, k) = heating;
+  }
+  const double dt = 600.0;
+  dycore::State before = state_;
+  coupler.applyTendencies(out, dt, state_);
+  physics::PhysicsInput after(mesh_.ncells, cfg_.nlev);
+  coupler.stateToPhysics(state_, tskin_, 0.0, after);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      // The coupler applies dT at constant pressure (dtheta = dT/Pi). The
+      // re-diagnosed T, however, comes from the constant-volume EOS (phi is
+      // fixed until the next dynamics step), so the instantaneous apparent
+      // warming lands between h*dt and (cp/cv)*h*dt = 1.4*h*dt.
+      const double dT = after.t(c, k) - in.t(c, k);
+      EXPECT_GT(dT, 0.95 * heating * dt);
+      EXPECT_LT(dT, 1.45 * heating * dt);
+      // theta increased as well.
+      EXPECT_GT(state_.theta(c, k), before.theta(c, k));
+    }
+  }
+}
+
+TEST_F(CouplerTest, MoistureTendencyClipsAtZero) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsOutput out(mesh_.ncells, cfg_.nlev);
+  out.zero();
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) out.dqvdt(c, k) = -1.0;  // absurd sink
+  }
+  coupler.applyTendencies(out, 600.0, state_);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      EXPECT_GE(state_.tracers[0](c, k), 0.0);
+    }
+  }
+}
+
+TEST_F(CouplerTest, EastwardWindTendencyAcceleratesEastEdges) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsOutput out(mesh_.ncells, cfg_.nlev);
+  out.zero();
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) out.dudt(c, k) = 1.0e-3;  // m/s^2 east
+  }
+  dycore::State before = state_;
+  const double dt = 100.0;
+  coupler.applyTendencies(out, dt, state_);
+  // Edges whose normal has a strong eastward component accelerate.
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    const Vec3 r = mesh_.edge_x[e];
+    Vec3 east{-r.y, r.x, 0};
+    const double n = east.norm();
+    if (n < 0.5) continue;
+    east = east * (1.0 / n);
+    const double proj = east.dot(mesh_.edge_normal[e]);
+    if (proj > 0.9) {
+      EXPECT_GT(state_.u(e, 0) - before.u(e, 0), 0.5 * 1.0e-3 * dt);
+    }
+  }
+}
+
+TEST_F(CouplerTest, ShapeMismatchThrows) {
+  Coupler coupler(mesh_, cfg_.nlev);
+  physics::PhysicsInput wrong(mesh_.ncells, cfg_.nlev + 1);
+  EXPECT_THROW(coupler.stateToPhysics(state_, tskin_, 0.0, wrong),
+               std::invalid_argument);
+  physics::PhysicsInput ok(mesh_.ncells, cfg_.nlev);
+  std::vector<double> bad_tskin(3, 290.0);
+  EXPECT_THROW(coupler.stateToPhysics(state_, bad_tskin, 0.0, ok),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::coupler

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::dycore {
+namespace {
+
+// Small planet (R/40) so a G3 grid (~24 km cells) resolves a 15 km bubble;
+// the vertical implicit solver converts the buoyancy anomaly into a column
+// adjustment and the horizontal solver into a hydrostatic warm low.
+struct BubbleRun {
+  grid::HexMesh mesh = grid::buildHexMesh(3, constants::kEarthRadius / 40.0);
+  grid::TrskWeights trsk = buildTrskWeights(mesh);
+  DycoreConfig cfg;
+  Index bubble_cell = 0;
+
+  BubbleRun() {
+    cfg.nlev = 16;
+    cfg.dt = 5.0;
+    double best = -2;
+    const Vec3 x0 = toCartesian({0.0, 0.0});
+    for (Index c = 0; c < mesh.ncells; ++c) {
+      const double d = mesh.cell_x[c].dot(x0);
+      if (d > best) {
+        best = d;
+        bubble_cell = c;
+      }
+    }
+  }
+
+  // ps deviation at the bubble relative to the domain mean after n steps.
+  double psAnomalyAfter(double dtheta, int nsteps, State* out = nullptr) {
+    State state = initWarmBubble(mesh, cfg, dtheta, 15.0e3);
+    Dycore dycore(mesh, trsk, cfg);
+    for (int s = 0; s < nsteps; ++s) dycore.step(state);
+    const auto ps = state.surfacePressure(cfg.ptop);
+    double mean = 0;
+    for (const double p : ps) mean += p;
+    mean /= static_cast<double>(ps.size());
+    if (out) *out = std::move(state);
+    return ps[bubble_cell] - mean;
+  }
+};
+
+TEST(WarmBubble, WarmAnomalyFormsSurfaceLow) {
+  BubbleRun run;
+  State state;
+  const double anomaly = run.psAnomalyAfter(+3.0, 40, &state);
+  // Hydrostatic adjustment of a warm column: mass diverges aloft and the
+  // surface pressure under the bubble drops by O(100 Pa).
+  EXPECT_LT(anomaly, -50.0);
+  for (Index c = 0; c < run.mesh.ncells; ++c) {
+    for (int k = 0; k <= run.cfg.nlev; ++k) {
+      ASSERT_TRUE(std::isfinite(state.w(c, k)));
+      ASSERT_LT(std::abs(state.w(c, k)), 50.0);
+    }
+  }
+}
+
+TEST(WarmBubble, ColdAnomalyFormsSurfaceHigh) {
+  BubbleRun run;
+  const double anomaly = run.psAnomalyAfter(-3.0, 40);
+  EXPECT_GT(anomaly, 50.0);
+}
+
+TEST(WarmBubble, ResponseIsAntisymmetricInTheAnomaly) {
+  BubbleRun run;
+  const double warm = run.psAnomalyAfter(+2.0, 30);
+  const double cold = run.psAnomalyAfter(-2.0, 30);
+  // The linear response to +/- dtheta must be antisymmetric to ~10%.
+  EXPECT_NEAR(warm + cold, 0.0, 0.1 * std::abs(warm));
+}
+
+TEST(WarmBubble, ColumnExpandsEarlyInTheRun) {
+  // Within the first few acoustic steps, interfaces above a warm bubble
+  // lift: w > 0 somewhere aloft at the bubble cell.
+  BubbleRun run;
+  State state = initWarmBubble(run.mesh, run.cfg, 3.0, 15.0e3);
+  Dycore dycore(run.mesh, run.trsk, run.cfg);
+  for (int s = 0; s < 10; ++s) dycore.step(state);
+  double wmax_aloft = -1e9;
+  for (int k = 1; k < run.cfg.nlev / 2; ++k) {
+    wmax_aloft = std::max(wmax_aloft, state.w(run.bubble_cell, k));
+  }
+  EXPECT_GT(wmax_aloft, 0.05);
+}
+
+} // namespace
+} // namespace grist::dycore

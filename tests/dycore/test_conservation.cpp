@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "grist/dycore/diagnostics.hpp"
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::dycore {
+namespace {
+
+class BaroclinicRun : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mesh_ = grid::buildHexMesh(3);
+    trsk_ = grid::buildTrskWeights(mesh_);
+    cfg_.nlev = 10;
+    cfg_.dt = 450.0;
+  }
+  grid::HexMesh mesh_;
+  grid::TrskWeights trsk_;
+  DycoreConfig cfg_;
+};
+
+TEST_F(BaroclinicRun, DryMassConservedToRoundoff) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  const double mass0 = totalDryMass(mesh_, state);
+  for (int step = 0; step < 20; ++step) dycore.step(state);
+  const double mass1 = totalDryMass(mesh_, state);
+  EXPECT_NEAR(mass1 / mass0, 1.0, 1e-12);
+}
+
+TEST_F(BaroclinicRun, ThetaMassConservedUpToDiffusion) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  const double theta0 = totalThetaMass(mesh_, state);
+  for (int step = 0; step < 20; ++step) dycore.step(state);
+  const double theta1 = totalThetaMass(mesh_, state);
+  // Flux-form advection conserves delp*theta exactly; the del2 diffusion
+  // redistributes but (being a flux) nearly conserves it too.
+  EXPECT_NEAR(theta1 / theta0, 1.0, 1e-6);
+}
+
+TEST_F(BaroclinicRun, StableAndBounded) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  for (int step = 0; step < 40; ++step) dycore.step(state);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      ASSERT_TRUE(std::isfinite(state.theta(c, k)));
+      ASSERT_GT(state.delp(c, k), 0.0);
+      ASSERT_GT(state.theta(c, k), 150.0);
+      ASSERT_LT(state.theta(c, k), 1200.0);
+    }
+  }
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      ASSERT_TRUE(std::isfinite(state.u(e, k)));
+      ASSERT_LT(std::abs(state.u(e, k)), 300.0);
+    }
+  }
+}
+
+TEST_F(BaroclinicRun, JetProducesVorticityAndEnergy) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  const double ke0 = totalKineticEnergy(mesh_, state);
+  EXPECT_GT(ke0, 0.0);
+  for (int step = 0; step < 10; ++step) dycore.step(state);
+  const std::vector<double> vor = dycore.relativeVorticity(state);
+  double vmax = 0;
+  for (const double v : vor) vmax = std::max(vmax, std::abs(v));
+  EXPECT_GT(vmax, 1e-6);  // jet shear vorticity present
+  // Energy stays the same order of magnitude (no blow-up, no collapse).
+  const double ke1 = totalKineticEnergy(mesh_, state);
+  EXPECT_GT(ke1, 0.1 * ke0);
+  EXPECT_LT(ke1, 10.0 * ke0);
+}
+
+TEST_F(BaroclinicRun, AccumulatedFluxTracksSteps) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  EXPECT_EQ(dycore.accumulatedSteps(), 0);
+  for (int step = 0; step < 5; ++step) dycore.step(state);
+  EXPECT_EQ(dycore.accumulatedSteps(), 5);
+  dycore.resetAccumulatedFlux();
+  EXPECT_EQ(dycore.accumulatedSteps(), 0);
+  for (std::size_t i = 0; i < dycore.accumulatedMassFlux().size(); ++i) {
+    ASSERT_EQ(dycore.accumulatedMassFlux().data()[i], 0.0);
+  }
+}
+
+} // namespace
+} // namespace grist::dycore

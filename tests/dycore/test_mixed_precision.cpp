@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/precision/norms.hpp"
+
+namespace grist::dycore {
+namespace {
+
+// The paper's acceptance procedure (section 3.4.1): run the mixed-precision
+// dycore against the double gold standard across the idealized hierarchy
+// and require relative L2 of surface pressure and relative vorticity below
+// the 5% threshold.
+struct Case {
+  const char* name;
+  State (*init)(const grid::HexMesh&, const DycoreConfig&, int);
+};
+
+State initBaro(const grid::HexMesh& m, const DycoreConfig& c, int nt) {
+  return initBaroclinicWave(m, c, nt);
+}
+State initTy(const grid::HexMesh& m, const DycoreConfig& c, int nt) {
+  return initTyphoon(m, c, {}, nt);
+}
+
+class MixedPrecisionHierarchy : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedPrecisionHierarchy, PsAndVorWithinFivePercent) {
+  const Case cases[] = {{"baroclinic", initBaro}, {"typhoon", initTy}};
+  const Case& cs = cases[GetParam()];
+
+  const grid::HexMesh mesh = grid::buildHexMesh(3);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  DycoreConfig cfg;
+  cfg.nlev = 10;
+  cfg.dt = 450.0;
+
+  DycoreConfig cfg_dp = cfg, cfg_mix = cfg;
+  cfg_dp.ns = precision::NsMode::kDouble;
+  cfg_mix.ns = precision::NsMode::kSingle;
+
+  State gold = cs.init(mesh, cfg_dp, 1);
+  State test = cs.init(mesh, cfg_mix, 1);
+  Dycore dp(mesh, trsk, cfg_dp);
+  Dycore mix(mesh, trsk, cfg_mix);
+  for (int step = 0; step < 24; ++step) {  // 3 hours
+    dp.step(gold);
+    mix.step(test);
+  }
+
+  precision::PrecisionGate gate(0.05);
+  const double ps_err = gate.check(std::string(cs.name) + ":ps",
+                                   test.surfacePressure(cfg.ptop),
+                                   gold.surfacePressure(cfg.ptop));
+  const double vor_err = gate.check(std::string(cs.name) + ":vor",
+                                    mix.relativeVorticity(test),
+                                    dp.relativeVorticity(gold));
+  EXPECT_TRUE(gate.passed()) << cs.name << " ps=" << ps_err << " vor=" << vor_err;
+  // ps deviations should be far below the gate in short runs.
+  EXPECT_LT(ps_err, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hierarchy, MixedPrecisionHierarchy, ::testing::Values(0, 1));
+
+TEST(MixedPrecision, DoubleModeIsBitwiseReproducible) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  DycoreConfig cfg;
+  cfg.nlev = 8;
+  cfg.dt = 600.0;
+  State a = initBaroclinicWave(mesh, cfg);
+  State b = initBaroclinicWave(mesh, cfg);
+  Dycore da(mesh, trsk, cfg);
+  Dycore db(mesh, trsk, cfg);
+  for (int step = 0; step < 5; ++step) {
+    da.step(a);
+    db.step(b);
+  }
+  for (std::size_t i = 0; i < a.u.size(); ++i) {
+    ASSERT_EQ(a.u.data()[i], b.u.data()[i]);
+  }
+  for (std::size_t i = 0; i < a.delp.size(); ++i) {
+    ASSERT_EQ(a.delp.data()[i], b.delp.data()[i]);
+  }
+}
+
+} // namespace
+} // namespace grist::dycore

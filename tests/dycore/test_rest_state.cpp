@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::dycore {
+namespace {
+
+class RestState : public ::testing::TestWithParam<precision::NsMode> {};
+
+TEST_P(RestState, StaysExactlyAtRest) {
+  // A hydrostatically balanced resting atmosphere is a discrete steady
+  // state: every tendency must vanish identically, in both precisions.
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  DycoreConfig cfg;
+  cfg.nlev = 10;
+  cfg.dt = 600.0;
+  cfg.ns = GetParam();
+  State state = initRestState(mesh, cfg);
+  const std::vector<double> ps0 = state.surfacePressure(cfg.ptop);
+
+  Dycore dycore(mesh, trsk, cfg);
+  for (int step = 0; step < 10; ++step) dycore.step(state);
+
+  double umax = 0, wmax = 0;
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    for (int k = 0; k < cfg.nlev; ++k) umax = std::max(umax, std::abs(state.u(e, k)));
+  }
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    for (int k = 0; k <= cfg.nlev; ++k) wmax = std::max(wmax, std::abs(state.w(c, k)));
+  }
+  // u is algebraically zero; w only sees the tiny rounding residual of the
+  // implicit solve (single precision EOS perturbs p by ~1e-7 relative).
+  EXPECT_EQ(umax, 0.0);
+  EXPECT_LT(wmax, 1e-3);
+
+  const std::vector<double> ps1 = state.surfacePressure(cfg.ptop);
+  for (Index c = 0; c < mesh.ncells; ++c) EXPECT_DOUBLE_EQ(ps1[c], ps0[c]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, RestState,
+                         ::testing::Values(precision::NsMode::kDouble,
+                                           precision::NsMode::kSingle));
+
+TEST(RestStateInit, HydrostaticConsistency) {
+  const grid::HexMesh mesh = grid::buildHexMesh(1);
+  DycoreConfig cfg;
+  cfg.nlev = 12;
+  const State state = initRestState(mesh, cfg);
+  // phi decreases downward (phi(k) > phi(k+1)), theta stable (decreasing
+  // with k since k=0 is the top), surface pressure equals the config value.
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    for (int k = 0; k < cfg.nlev; ++k) {
+      EXPECT_GT(state.phi(c, k), state.phi(c, k + 1));
+      if (k > 0) {
+        EXPECT_GT(state.theta(c, k - 1), state.theta(c, k));
+      }
+    }
+  }
+  const auto ps = state.surfacePressure(cfg.ptop);
+  for (const double p : ps) EXPECT_NEAR(p, cfg.p_surface, 1e-9);
+}
+
+TEST(DycoreConstruction, RejectsBadConfig) {
+  const grid::HexMesh mesh = grid::buildHexMesh(1);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  DycoreConfig bad;
+  bad.nlev = 1;
+  EXPECT_THROW(Dycore(mesh, trsk, bad), std::invalid_argument);
+  DycoreConfig bad_dt;
+  bad_dt.dt = 0;
+  EXPECT_THROW(Dycore(mesh, trsk, bad_dt), std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::dycore

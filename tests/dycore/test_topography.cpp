@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::dycore {
+namespace {
+
+class TopographyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mesh_ = grid::buildHexMesh(3);
+    trsk_ = grid::buildTrskWeights(mesh_);
+    cfg_.nlev = 12;
+    cfg_.dt = 450.0;
+    cfg_.w_damp_tau = 900.0;
+  }
+  grid::HexMesh mesh_;
+  grid::TrskWeights trsk_;
+  DycoreConfig cfg_;
+};
+
+TEST_F(TopographyTest, MountainFieldShape) {
+  const auto height = gaussianMountain(mesh_, 1.5, 0.6, 2000.0, 800e3);
+  double peak = 0;
+  for (const double h : height) {
+    EXPECT_GE(h, 0.0);
+    peak = std::max(peak, h);
+  }
+  // The nearest cell center can sit ~half a (900 km) cell from the summit.
+  EXPECT_NEAR(peak, 2000.0, 450.0);
+  // Far side of the planet is flat.
+  const Vec3 antipode = toCartesian({1.5 - constants::kPi, -0.6});
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    if (mesh_.cell_x[c].dot(antipode) > 0.95) {
+      EXPECT_LT(height[c], 1.0);
+    }
+  }
+}
+
+TEST_F(TopographyTest, SurfacePressureReducedOverHighGround) {
+  const auto height = gaussianMountain(mesh_, 1.5, 0.6, 2000.0, 800e3);
+  const State state = initRestStateOverTopography(mesh_, cfg_, height);
+  const auto ps = state.surfacePressure(cfg_.ptop);
+  Index summit = 0;
+  for (Index c = 1; c < mesh_.ncells; ++c) {
+    if (height[c] > height[summit]) summit = c;
+  }
+  // ~2 km of terrain removes ~20 kPa of column mass.
+  EXPECT_LT(ps[summit], 85000.0);
+  EXPECT_GT(ps[summit], 70000.0);
+  // Flat cells keep the reference surface pressure.
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    if (height[c] < 1.0) {
+      EXPECT_NEAR(ps[c], cfg_.p_surface, 50.0);
+    }
+  }
+  // Surface geopotential anchors at g z_s.
+  EXPECT_NEAR(state.phi(summit, cfg_.nlev), constants::kGravity * height[summit],
+              1e-6);
+}
+
+TEST_F(TopographyTest, PgfErrorFlowStaysSmall) {
+  // The classic resting-atmosphere-over-orography test: any flow that
+  // develops is pressure-gradient discretization error (two large
+  // canceling terms along terrain-following levels). For a smooth 2 km
+  // mountain at ~900 km resolution a second-order scheme leaves O(2 m/s);
+  // the test guards the order of magnitude and boundedness.
+  const auto height = gaussianMountain(mesh_, 1.5, 0.6, 2000.0, 1500e3);
+  State state = initRestStateOverTopography(mesh_, cfg_, height);
+  Dycore dycore(mesh_, trsk_, cfg_);
+  double umax_6h = 0;
+  for (int s = 0; s < 48; ++s) {
+    dycore.step(state);
+    if (s == 47) {
+      for (Index e = 0; e < mesh_.nedges; ++e) {
+        for (int k = 0; k < cfg_.nlev; ++k) {
+          ASSERT_TRUE(std::isfinite(state.u(e, k)));
+          umax_6h = std::max(umax_6h, std::abs(state.u(e, k)));
+        }
+      }
+    }
+  }
+  EXPECT_LT(umax_6h, 3.0);
+}
+
+TEST_F(TopographyTest, FlatTopographyMatchesRestState) {
+  const std::vector<double> flat(mesh_.ncells, 0.0);
+  const State a = initRestStateOverTopography(mesh_, cfg_, flat);
+  const State b = initRestState(mesh_, cfg_);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      EXPECT_NEAR(a.delp(c, k), b.delp(c, k), 1e-9);
+      EXPECT_NEAR(a.theta(c, k), b.theta(c, k), 1e-9);
+    }
+  }
+}
+
+TEST_F(TopographyTest, FlowOverMountainLiftsAir) {
+  // Same unbalanced westerly twice, with and without the mountain: both
+  // runs radiate adjustment waves, but only the mountain run forces
+  // additional vertical motion near the summit -- the isolated mountain
+  // response.
+  const double lon0 = 0.0, lat0 = 0.7;
+  const Vec3 summit = toCartesian({lon0, lat0});
+  const auto run = [&](double peak) {
+    const auto height = gaussianMountain(mesh_, lon0, lat0, peak, 900e3);
+    State state = initRestStateOverTopography(mesh_, cfg_, height);
+    for (Index e = 0; e < mesh_.nedges; ++e) {
+      const Vec3 r = mesh_.edge_x[e];
+      Vec3 east{-r.y, r.x, 0};
+      const double n = east.norm();
+      if (n < 1e-12) continue;
+      east = east * (1.0 / n);
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        state.u(e, k) = 10.0 * east.dot(mesh_.edge_normal[e]);
+      }
+    }
+    Dycore dycore(mesh_, trsk_, cfg_);
+    for (int s = 0; s < 16; ++s) dycore.step(state);
+    double w_near = 0;
+    for (Index c = 0; c < mesh_.ncells; ++c) {
+      if (mesh_.cell_x[c].dot(summit) < 0.97) continue;
+      for (int k = 0; k <= cfg_.nlev; ++k) {
+        w_near = std::max(w_near, std::abs(state.w(c, k)));
+      }
+    }
+    return w_near;
+  };
+  const double with_mountain = run(2000.0);
+  const double without_mountain = run(0.0);
+  EXPECT_GT(with_mountain, 2.0 * without_mountain);
+  EXPECT_GT(with_mountain, 1e-3);
+}
+
+} // namespace
+} // namespace grist::dycore

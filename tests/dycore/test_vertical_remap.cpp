@@ -1,0 +1,115 @@
+#include "grist/dycore/vertical_remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/dycore/diagnostics.hpp"
+#include "grist/dycore/dycore.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::dycore {
+namespace {
+
+class RemapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mesh_ = grid::buildHexMesh(2);
+    cfg_.nlev = 12;
+    cfg_.dt = 600.0;
+  }
+  grid::HexMesh mesh_;
+  DycoreConfig cfg_;
+};
+
+TEST_F(RemapTest, UniformLevelsAreFixedPoint) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  const State before = state;
+  verticalRemap(mesh_.ncells, cfg_.nlev, cfg_.ptop, state);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      EXPECT_DOUBLE_EQ(state.delp(c, k), before.delp(c, k));
+      EXPECT_DOUBLE_EQ(state.theta(c, k), before.theta(c, k));
+    }
+  }
+}
+
+TEST_F(RemapTest, RestoresUniformLayersAndConservesMass) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  // Distort the layer distribution within fixed column mass.
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    const double shift = 0.3 * state.delp(c, 0);
+    state.delp(c, 0) -= shift;
+    state.delp(c, 1) += shift;
+  }
+  const double mass0 = totalDryMass(mesh_, state);
+  const double theta0 = totalThetaMass(mesh_, state);
+  const double qmass0 = totalTracerMass(mesh_, state, 0);
+
+  verticalRemap(mesh_.ncells, cfg_.nlev, cfg_.ptop, state);
+
+  EXPECT_NEAR(totalDryMass(mesh_, state) / mass0, 1.0, 1e-13);
+  EXPECT_NEAR(totalThetaMass(mesh_, state) / theta0, 1.0, 1e-12);
+  EXPECT_NEAR(totalTracerMass(mesh_, state, 0) / qmass0, 1.0, 1e-12);
+  // Layers are uniform again.
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 1; k < cfg_.nlev; ++k) {
+      EXPECT_NEAR(state.delp(c, k), state.delp(c, 0), 1e-9);
+    }
+  }
+}
+
+TEST_F(RemapTest, MonotoneProfilesStayMonotone) {
+  // First-order conservative remap cannot create new extrema.
+  State state = initBaroclinicWave(mesh_, cfg_);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      state.delp(c, k) *= 1.0 + 0.3 * std::sin(0.7 * k + 0.01 * c);
+    }
+  }
+  State before = state;
+  verticalRemap(mesh_.ncells, cfg_.nlev, cfg_.ptop, state);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    double old_min = before.theta(c, 0), old_max = before.theta(c, 0);
+    for (int k = 1; k < cfg_.nlev; ++k) {
+      old_min = std::min(old_min, before.theta(c, k));
+      old_max = std::max(old_max, before.theta(c, k));
+    }
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      EXPECT_GE(state.theta(c, k), old_min - 1e-9);
+      EXPECT_LE(state.theta(c, k), old_max + 1e-9);
+    }
+  }
+}
+
+TEST_F(RemapTest, PhiRebuiltHydrostaticallyDecreasingUpward) {
+  State state = initBaroclinicWave(mesh_, cfg_);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    const double shift = 0.4 * state.delp(c, 3);
+    state.delp(c, 3) -= shift;
+    state.delp(c, 7) += shift;
+  }
+  verticalRemap(mesh_.ncells, cfg_.nlev, cfg_.ptop, state);
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    EXPECT_NEAR(state.phi(c, cfg_.nlev), 0.0, 1e-9);  // surface anchored
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      EXPECT_GT(state.phi(c, k), state.phi(c, k + 1));
+    }
+  }
+}
+
+TEST_F(RemapTest, DrainedLayerRecovers) {
+  // The production scenario: one Lagrangian layer nearly drained.
+  State state = initBaroclinicWave(mesh_, cfg_);
+  const Index c = 17;
+  const double stolen = 0.95 * state.delp(c, 0);
+  state.delp(c, 0) -= stolen;
+  state.delp(c, 1) += stolen;
+  verticalRemap(mesh_.ncells, cfg_.nlev, cfg_.ptop, state);
+  EXPECT_NEAR(state.delp(c, 0), state.delp(c, 5), 1e-9);
+  for (int k = 0; k < cfg_.nlev; ++k) {
+    EXPECT_GT(state.delp(c, k), 0.0);
+    EXPECT_TRUE(std::isfinite(state.theta(c, k)));
+  }
+}
+
+} // namespace
+} // namespace grist::dycore

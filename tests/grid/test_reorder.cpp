@@ -1,0 +1,99 @@
+#include "grist/grid/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace grist::grid {
+namespace {
+
+// Simple layer-free divergence used as a physics-invariance probe.
+std::vector<double> divergence(const HexMesh& m, const std::vector<double>& u_edge) {
+  std::vector<double> div(m.ncells, 0.0);
+  for (Index c = 0; c < m.ncells; ++c) {
+    for (Index k = m.cell_offset[c]; k < m.cell_offset[c + 1]; ++k) {
+      const Index e = m.cell_edges[k];
+      div[c] += m.cell_edge_sign[k] * m.edge_le[e] * u_edge[e];
+    }
+    div[c] /= m.cell_area[c];
+  }
+  return div;
+}
+
+TEST(Reorder, PermutationIsBijective) {
+  const HexMesh mesh = buildHexMesh(3);
+  const Permutation p = bfsPermutation(mesh);
+  for (const auto* v : {&p.cell, &p.edge, &p.vertex}) {
+    std::vector<Index> sorted(*v);
+    std::sort(sorted.begin(), sorted.end());
+    for (Index i = 0; i < static_cast<Index>(sorted.size()); ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Reorder, GeometryCarriesOver) {
+  const HexMesh mesh = buildHexMesh(3);
+  const Permutation p = bfsPermutation(mesh);
+  const HexMesh re = applyPermutation(mesh, p);
+  ASSERT_EQ(re.ncells, mesh.ncells);
+  ASSERT_EQ(re.nedges, mesh.nedges);
+  ASSERT_EQ(re.nvertices, mesh.nvertices);
+  double total_old = std::accumulate(mesh.cell_area.begin(), mesh.cell_area.end(), 0.0);
+  double total_new = std::accumulate(re.cell_area.begin(), re.cell_area.end(), 0.0);
+  EXPECT_NEAR(total_old, total_new, 1e-6 * total_old);
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    EXPECT_DOUBLE_EQ(mesh.cell_area[c], re.cell_area[p.cell[c]]);
+    EXPECT_EQ(mesh.cellDegree(c), re.cellDegree(p.cell[c]));
+  }
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    EXPECT_DOUBLE_EQ(mesh.edge_de[e], re.edge_de[p.edge[e]]);
+    EXPECT_DOUBLE_EQ(mesh.edge_le[e], re.edge_le[p.edge[e]]);
+  }
+}
+
+TEST(Reorder, OperatorsInvariantUnderRenumbering) {
+  const HexMesh mesh = buildHexMesh(3);
+  const Permutation p = bfsPermutation(mesh);
+  const HexMesh re = applyPermutation(mesh, p);
+
+  const Vec3 v{11, -4, 6};
+  std::vector<double> u_old(mesh.nedges), u_new(re.nedges);
+  for (Index e = 0; e < mesh.nedges; ++e) {
+    u_old[e] = v.dot(mesh.edge_normal[e]);
+    u_new[p.edge[e]] = v.dot(re.edge_normal[p.edge[e]]);
+  }
+  const std::vector<double> div_old = divergence(mesh, u_old);
+  const std::vector<double> div_new = divergence(re, u_new);
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    EXPECT_NEAR(div_old[c], div_new[p.cell[c]], 1e-18);
+  }
+}
+
+TEST(Reorder, BfsImprovesIndexLocality) {
+  // The paper's section 3.1.3 claim: BFS-sorted indices raise the cache hit
+  // rate. The measurable analog is a smaller normalized neighbor-id spread.
+  const HexMesh raw = buildHexMesh(5);
+  const HexMesh re = applyPermutation(raw, bfsPermutation(raw));
+  EXPECT_LT(indexSpread(re), indexSpread(raw));
+  // BFS should cut the spread substantially, not marginally.
+  EXPECT_LT(indexSpread(re), 0.5 * indexSpread(raw));
+}
+
+TEST(Reorder, RootOutOfRangeThrows) {
+  const HexMesh mesh = buildHexMesh(1);
+  EXPECT_THROW(bfsPermutation(mesh, -1), std::out_of_range);
+  EXPECT_THROW(bfsPermutation(mesh, mesh.ncells), std::out_of_range);
+}
+
+TEST(Reorder, BuildReorderedConvenience) {
+  const HexMesh direct = buildReorderedHexMesh(2);
+  EXPECT_EQ(direct.ncells, buildHexMesh(2).ncells);
+  // Cell 0's neighbors should have small ids after BFS.
+  for (Index k = direct.cell_offset[0]; k < direct.cell_offset[1]; ++k) {
+    EXPECT_LT(direct.cell_cells[k], 16);
+  }
+}
+
+} // namespace
+} // namespace grist::grid

@@ -1,0 +1,63 @@
+#include "grist/grid/tri_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/grid/counts.hpp"
+
+namespace grist::grid {
+namespace {
+
+class TriMeshLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriMeshLevels, CountsMatchClosedForm) {
+  const int level = GetParam();
+  const TriMesh mesh = buildTriMesh(level);
+  const GridCounts expect = countsForLevel(level);
+  EXPECT_EQ(static_cast<std::int64_t>(mesh.vertices.size()), expect.cells);
+  EXPECT_EQ(static_cast<std::int64_t>(mesh.triangles.size()), expect.vertices);
+  EXPECT_EQ(static_cast<std::int64_t>(extractEdges(mesh).size()), expect.edges);
+}
+
+TEST_P(TriMeshLevels, EulerCharacteristicIsTwo) {
+  const TriMesh mesh = buildTriMesh(GetParam());
+  const auto edges = extractEdges(mesh);
+  const std::int64_t v = static_cast<std::int64_t>(mesh.vertices.size());
+  const std::int64_t e = static_cast<std::int64_t>(edges.size());
+  const std::int64_t f = static_cast<std::int64_t>(mesh.triangles.size());
+  EXPECT_EQ(v - e + f, 2);
+}
+
+TEST_P(TriMeshLevels, AllVerticesOnUnitSphere) {
+  const TriMesh mesh = buildTriMesh(GetParam());
+  for (const Vec3& p : mesh.vertices) EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+}
+
+TEST_P(TriMeshLevels, TrianglesOrientedOutward) {
+  const TriMesh mesh = buildTriMesh(GetParam());
+  for (const auto& tri : mesh.triangles) {
+    const Vec3& a = mesh.vertices[tri[0]];
+    const Vec3& b = mesh.vertices[tri[1]];
+    const Vec3& c = mesh.vertices[tri[2]];
+    EXPECT_GT((b - a).cross(c - a).dot(a + b + c), 0.0);
+  }
+}
+
+TEST_P(TriMeshLevels, EveryEdgeHasTwoTriangles) {
+  const TriMesh mesh = buildTriMesh(GetParam());
+  for (const TriEdge& e : extractEdges(mesh)) {
+    EXPECT_NE(e.t0, kInvalidIndex);
+    EXPECT_NE(e.t1, kInvalidIndex);
+    EXPECT_NE(e.t0, e.t1);
+    EXPECT_LT(e.v0, e.v1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, TriMeshLevels, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(TriMesh, RejectsBadLevels) {
+  EXPECT_THROW(buildTriMesh(-1), std::invalid_argument);
+  EXPECT_THROW(buildTriMesh(14), std::length_error);
+}
+
+} // namespace
+} // namespace grist::grid

@@ -1,0 +1,83 @@
+#include "grist/io/grouped_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::io {
+namespace {
+
+using parallel::Decomposition;
+using parallel::Field;
+
+class GroupedWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "grist_io_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(GroupedWriterTest, RoundTripAcrossGroups) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const Index nranks = 6;
+  const Decomposition d = parallel::decompose(mesh, nranks);
+  const int ncomp = 3;
+  std::vector<Field> fields;
+  for (Index r = 0; r < nranks; ++r) {
+    const auto& dom = d.domains[r];
+    Field f(dom.mesh.ncells, ncomp, 0.0);
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+      for (int k = 0; k < ncomp; ++k) f(lc, k) = 10.0 * dom.cell_global[lc] + k;
+    }
+    fields.push_back(std::move(f));
+  }
+
+  GroupedWriter writer(dir_.string(), nranks, /*group_size=*/4);
+  EXPECT_EQ(writer.groups(), 2);
+  writer.writeCellField("ps", d, fields);
+
+  const std::vector<double> global = writer.readCellField("ps", mesh.ncells, ncomp);
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    for (int k = 0; k < ncomp; ++k) {
+      EXPECT_DOUBLE_EQ(global[static_cast<std::size_t>(c) * ncomp + k], 10.0 * c + k);
+    }
+  }
+}
+
+TEST_F(GroupedWriterTest, GroupingReducesFileOps) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const Index nranks = 8;
+  const Decomposition d = parallel::decompose(mesh, nranks);
+  std::vector<Field> fields;
+  for (Index r = 0; r < nranks; ++r) {
+    fields.emplace_back(d.domains[r].mesh.ncells, 1, 1.0);
+  }
+
+  GroupedWriter grouped((dir_ / "g").string(), nranks, 8);
+  grouped.writeCellField("x", d, fields);
+  GroupedWriter per_rank((dir_ / "p").string(), nranks, 1);
+  per_rank.writeCellField("x", d, fields);
+
+  EXPECT_EQ(grouped.stats().file_opens, 1);
+  EXPECT_EQ(per_rank.stats().file_opens, 8);
+  EXPECT_EQ(grouped.stats().aggregation_messages, 7);
+  EXPECT_EQ(per_rank.stats().aggregation_messages, 0);
+}
+
+TEST_F(GroupedWriterTest, MissingFieldThrows) {
+  GroupedWriter writer(dir_.string(), 2, 2);
+  EXPECT_THROW(writer.readCellField("absent", 10, 1), std::runtime_error);
+}
+
+TEST_F(GroupedWriterTest, BadConstructionThrows) {
+  EXPECT_THROW(GroupedWriter(dir_.string(), 0, 1), std::invalid_argument);
+  EXPECT_THROW(GroupedWriter(dir_.string(), 4, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::io

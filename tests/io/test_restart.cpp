@@ -1,0 +1,142 @@
+#include "grist/io/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "grist/core/model.hpp"
+#include "grist/dycore/init.hpp"
+
+namespace grist::io {
+namespace {
+
+class RestartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "grist_restart_test.bin").string();
+    mesh_ = grid::buildHexMesh(2);
+    trsk_ = grid::buildTrskWeights(mesh_);
+    cfg_.dyn.nlev = 10;
+    cfg_.dyn.dt = 600.0;
+    cfg_.trac_interval = 4;
+    cfg_.phy_interval = 4;
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  grid::HexMesh mesh_;
+  grid::TrskWeights trsk_;
+  core::ModelConfig cfg_;
+};
+
+TEST_F(RestartTest, RoundTripIsBitwise) {
+  dycore::State state = dycore::initBaroclinicWave(mesh_, cfg_.dyn, 3);
+  std::vector<double> tskin(mesh_.ncells, 291.5);
+  writeRestart(path_, state, tskin, 12345.0);
+
+  const RestartHeader header = readRestartHeader(path_);
+  EXPECT_EQ(header.ncells, mesh_.ncells);
+  EXPECT_EQ(header.nedges, mesh_.nedges);
+  EXPECT_EQ(header.nlev, cfg_.dyn.nlev);
+  EXPECT_EQ(header.ntracers, 3);
+  EXPECT_DOUBLE_EQ(header.sim_seconds, 12345.0);
+
+  dycore::State loaded(mesh_, cfg_.dyn.nlev, 3);
+  std::vector<double> tskin_loaded;
+  readRestart(path_, loaded, tskin_loaded);
+  for (std::size_t i = 0; i < state.delp.size(); ++i) {
+    ASSERT_EQ(loaded.delp.data()[i], state.delp.data()[i]);
+    ASSERT_EQ(loaded.theta.data()[i], state.theta.data()[i]);
+  }
+  for (std::size_t i = 0; i < state.u.size(); ++i) {
+    ASSERT_EQ(loaded.u.data()[i], state.u.data()[i]);
+  }
+  for (std::size_t i = 0; i < state.phi.size(); ++i) {
+    ASSERT_EQ(loaded.phi.data()[i], state.phi.data()[i]);
+    ASSERT_EQ(loaded.w.data()[i], state.w.data()[i]);
+  }
+  EXPECT_EQ(tskin_loaded, tskin);
+}
+
+TEST_F(RestartTest, DynamicsOnlyContinuationIsBitwise) {
+  // With physics off, 16 straight steps == 8 steps -> restart -> 8 steps,
+  // bit for bit (restart written on a tracer boundary).
+  core::ModelConfig cfg = cfg_;
+  cfg.phy_interval = 1 << 20;
+  core::Model straight(mesh_, trsk_, cfg, dycore::initBaroclinicWave(mesh_, cfg.dyn, 3));
+  straight.run(16);
+
+  core::Model first(mesh_, trsk_, cfg, dycore::initBaroclinicWave(mesh_, cfg.dyn, 3));
+  first.run(8);
+  writeRestart(path_, first.state(), first.tskin(), first.simSeconds());
+
+  core::Model second(mesh_, trsk_, cfg, dycore::initBaroclinicWave(mesh_, cfg.dyn, 3));
+  std::vector<double> tskin;
+  const RestartHeader header = readRestart(path_, second.state(), tskin);
+  second.setTskin(std::move(tskin));
+  second.setSimSeconds(header.sim_seconds);
+  second.resyncAfterRestart();
+  second.run(8);
+
+  EXPECT_DOUBLE_EQ(second.simSeconds(), straight.simSeconds());
+  for (std::size_t i = 0; i < straight.state().u.size(); ++i) {
+    ASSERT_EQ(second.state().u.data()[i], straight.state().u.data()[i]);
+  }
+  for (std::size_t i = 0; i < straight.state().theta.size(); ++i) {
+    ASSERT_EQ(second.state().theta.data()[i], straight.state().theta.data()[i]);
+  }
+}
+
+TEST_F(RestartTest, PhysicsCoupledContinuationIsNearExact) {
+  // Physics holds re-warmable caches (radiation cache, soil temperatures)
+  // that the restart does not carry; the continued run re-fires radiation
+  // and re-spins the soil, so agreement is close but not bitwise.
+  core::Model straight(mesh_, trsk_, cfg_,
+                       dycore::initBaroclinicWave(mesh_, cfg_.dyn, 3));
+  straight.run(16);
+
+  core::Model first(mesh_, trsk_, cfg_, dycore::initBaroclinicWave(mesh_, cfg_.dyn, 3));
+  first.run(8);
+  writeRestart(path_, first.state(), first.tskin(), first.simSeconds());
+
+  core::Model second(mesh_, trsk_, cfg_,
+                     dycore::initBaroclinicWave(mesh_, cfg_.dyn, 3));
+  std::vector<double> tskin;
+  const RestartHeader header = readRestart(path_, second.state(), tskin);
+  second.setTskin(std::move(tskin));
+  second.setSimSeconds(header.sim_seconds);
+  second.resyncAfterRestart();
+  second.run(8);
+
+  double umax = 0, udiff = 0;
+  for (std::size_t i = 0; i < straight.state().u.size(); ++i) {
+    umax = std::max(umax, std::abs(straight.state().u.data()[i]));
+    udiff = std::max(udiff, std::abs(second.state().u.data()[i] -
+                                     straight.state().u.data()[i]));
+  }
+  EXPECT_LT(udiff, 1e-2 * umax);
+}
+
+TEST_F(RestartTest, ShapeMismatchThrows) {
+  dycore::State state = dycore::initBaroclinicWave(mesh_, cfg_.dyn, 3);
+  std::vector<double> tskin(mesh_.ncells, 290.0);
+  writeRestart(path_, state, tskin, 0.0);
+  dycore::State wrong(mesh_, cfg_.dyn.nlev + 2, 3);
+  std::vector<double> t2;
+  EXPECT_THROW(readRestart(path_, wrong, t2), std::runtime_error);
+}
+
+TEST_F(RestartTest, MissingOrCorruptFileThrows) {
+  EXPECT_THROW(readRestartHeader("/nonexistent/restart.bin"), std::runtime_error);
+  // Corrupt magic.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const char garbage[32] = "not a restart";
+    out.write(garbage, sizeof garbage);
+  }
+  EXPECT_THROW(readRestartHeader(path_), std::runtime_error);
+}
+
+} // namespace
+} // namespace grist::io

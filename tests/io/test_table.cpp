@@ -1,0 +1,32 @@
+#include "grist/io/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grist::io {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"Grid", "SDPD"});
+  t.addRow({"G6", "12000.5"});
+  t.addRow({"G12", "181"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Grid"), std::string::npos);
+  EXPECT_NE(s.find("G12"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Each row on its own line: header + underline + 2 rows = 4 newlines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only_one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+} // namespace
+} // namespace grist::io

@@ -1,0 +1,122 @@
+#include "grist/ml/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/ml/ml_suite.hpp"
+#include "grist/ml/traindata.hpp"
+
+namespace grist::ml {
+namespace {
+
+std::shared_ptr<Q1Q2Net> makeNet(int nlev, std::uint64_t seed) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = nlev;
+  cfg.channels = 12;
+  cfg.res_units = 1;
+  cfg.seed = seed;
+  return std::make_shared<Q1Q2Net>(cfg);
+}
+
+struct Column {
+  std::vector<double> u, v, t, q, p;
+  explicit Column(int nlev)
+      : u(nlev, 5.0), v(nlev, -2.0), t(nlev, 280.0), q(nlev, 0.008), p(nlev, 6e4) {}
+};
+
+TEST(Ensemble, RejectsBadMemberSets) {
+  EXPECT_THROW(Q1Q2Ensemble({}), std::invalid_argument);
+  EXPECT_THROW(Q1Q2Ensemble({nullptr}), std::invalid_argument);
+  Q1Q2NetConfig other;
+  other.nlev = 12;
+  other.channels = 12;
+  other.res_units = 1;
+  EXPECT_THROW(Q1Q2Ensemble({makeNet(8, 1), std::make_shared<Q1Q2Net>(other)}),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, SingleMemberMatchesTheMember) {
+  const int nlev = 8;
+  auto net = makeNet(nlev, 7);
+  Q1Q2Ensemble ensemble({net});
+  const Column col(nlev);
+  std::vector<double> q1a(nlev), q2a(nlev), q1b(nlev), q2b(nlev);
+  net->predict(col.u.data(), col.v.data(), col.t.data(), col.q.data(), col.p.data(),
+               q1a.data(), q2a.data());
+  ensemble.predict(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                   col.p.data(), q1b.data(), q2b.data());
+  for (int k = 0; k < nlev; ++k) {
+    EXPECT_DOUBLE_EQ(q1a[k], q1b[k]);
+    EXPECT_DOUBLE_EQ(q2a[k], q2b[k]);
+  }
+}
+
+TEST(Ensemble, MeanOfMembersAndBoundedByExtremes) {
+  const int nlev = 8;
+  auto a = makeNet(nlev, 11);
+  auto b = makeNet(nlev, 22);
+  auto c = makeNet(nlev, 33);
+  Q1Q2Ensemble ensemble({a, b, c});
+  EXPECT_EQ(ensemble.size(), 3u);
+  const Column col(nlev);
+  std::vector<double> q1(nlev), q2(nlev);
+  ensemble.predict(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                   col.p.data(), q1.data(), q2.data());
+  std::vector<double> q1m(nlev), q2m(nlev);
+  std::vector<double> lo(nlev, 1e30), hi(nlev, -1e30), sum(nlev, 0.0);
+  for (const auto& net : {a, b, c}) {
+    net->predict(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                 col.p.data(), q1m.data(), q2m.data());
+    for (int k = 0; k < nlev; ++k) {
+      lo[k] = std::min(lo[k], q1m[k]);
+      hi[k] = std::max(hi[k], q1m[k]);
+      sum[k] += q1m[k];
+    }
+  }
+  for (int k = 0; k < nlev; ++k) {
+    EXPECT_NEAR(q1[k], sum[k] / 3.0, 1e-12);
+    EXPECT_GE(q1[k], lo[k] - 1e-12);  // mean never exceeds the extremes
+    EXPECT_LE(q1[k], hi[k] + 1e-12);
+  }
+}
+
+TEST(Ensemble, SpreadPositiveForDistinctMembersZeroForClones) {
+  const int nlev = 8;
+  auto a = makeNet(nlev, 11);
+  const Column col(nlev);
+  std::vector<double> spread(nlev);
+
+  Q1Q2Ensemble clones({a, a, a});
+  clones.spread(col.u.data(), col.v.data(), col.t.data(), col.q.data(), col.p.data(),
+                spread.data());
+  for (int k = 0; k < nlev; ++k) EXPECT_NEAR(spread[k], 0.0, 1e-12);
+
+  Q1Q2Ensemble distinct({a, makeNet(nlev, 22), makeNet(nlev, 33)});
+  distinct.spread(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                  col.p.data(), spread.data());
+  double total = 0;
+  for (int k = 0; k < nlev; ++k) total += spread[k];
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Ensemble, DrivesTheMlSuite) {
+  const int nlev = 20;
+  auto ensemble = std::make_shared<Q1Q2Ensemble>(
+      std::vector<std::shared_ptr<const Q1Q2Net>>{makeNet(nlev, 1), makeNet(nlev, 2)});
+  RadMlpConfig rcfg;
+  rcfg.nlev = nlev;
+  rcfg.hidden = 16;
+  auto rad = std::make_shared<RadMlp>(rcfg);
+  MlPhysicsSuite suite(8, nlev, ensemble, rad);
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], 8, nlev);
+  physics::PhysicsOutput out(8, nlev);
+  suite.run(in, 600.0, out);
+  for (Index c = 0; c < 8; ++c) {
+    for (int k = 0; k < nlev; ++k) ASSERT_TRUE(std::isfinite(out.dtdt(c, k)));
+  }
+  // Flop accounting counts every member.
+  EXPECT_GT(suite.flopsPerColumn(),
+            2.0 * ensemble->parameterCount() * nlev * 0.99);
+}
+
+} // namespace
+} // namespace grist::ml

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "grist/ml/layers.hpp"
+#include "grist/ml/matrix.hpp"
+
+namespace grist::ml {
+namespace {
+
+TEST(Gemm, MatchesHandComputedProduct) {
+  Matrix a(2, 3), b(3, 2), c(2, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  float av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.a.begin());
+  std::copy(bv, bv + 6, b.a.begin());
+  gemm(false, false, 1.f, a, b, 0.f, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(Gemm, TransposedVariantsAgree) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1, 1);
+  Matrix a(4, 3), at(3, 4), b(3, 5), bt(5, 3);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      a.at(i, j) = dist(rng);
+      at.at(j, i) = a.at(i, j);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      b.at(i, j) = dist(rng);
+      bt.at(j, i) = b.at(i, j);
+    }
+  }
+  Matrix c1(4, 5), c2(4, 5), c3(4, 5);
+  gemm(false, false, 1.f, a, b, 0.f, c1);
+  gemm(true, false, 1.f, at, b, 0.f, c2);
+  gemm(false, true, 1.f, a, bt, 0.f, c3);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.a[i], c2.a[i], 1e-5);
+    EXPECT_NEAR(c1.a[i], c3.a[i], 1e-5);
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2), c(2, 2);
+  EXPECT_THROW(gemm(false, false, 1.f, a, b, 0.f, c), std::invalid_argument);
+}
+
+TEST(Conv1d, IdentityKernelPassesThrough) {
+  Conv1dParams p(1, 1, 3);
+  p.w.zero();
+  p.w.at(0, 1) = 1.f;  // center tap
+  Matrix x(1, 5);
+  for (int l = 0; l < 5; ++l) x.at(0, l) = static_cast<float>(l + 1);
+  Matrix col;
+  const Matrix y = conv1dForward(p, x, col);
+  for (int l = 0; l < 5; ++l) EXPECT_FLOAT_EQ(y.at(0, l), x.at(0, l));
+}
+
+TEST(Conv1d, SamePaddingZeroesOutside) {
+  Conv1dParams p(1, 1, 3);
+  p.w.zero();
+  p.w.at(0, 0) = 1.f;  // left tap: y[l] = x[l-1]
+  Matrix x(1, 4);
+  for (int l = 0; l < 4; ++l) x.at(0, l) = static_cast<float>(l + 1);
+  Matrix col;
+  const Matrix y = conv1dForward(p, x, col);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.f);  // padded
+  EXPECT_FLOAT_EQ(y.at(0, 1), 1.f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 3.f);
+}
+
+// Finite-difference gradient check for the convolution backward pass.
+TEST(Conv1d, GradientMatchesFiniteDifference) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(-0.5f, 0.5f);
+  Conv1dParams p(2, 3, 3);
+  initConv(p, 42);
+  Matrix x(2, 6);
+  for (float& v : x.a) v = dist(rng);
+
+  // Loss = sum(y^2)/2; dL/dy = y.
+  Matrix col;
+  const Matrix y = conv1dForward(p, x, col);
+  Conv1dParams grad(2, 3, 3);
+  const Matrix dx = conv1dBackward(p, x, col, y, grad);
+
+  const float eps = 1e-3f;
+  const auto loss = [&](const Conv1dParams& pp, const Matrix& xx) {
+    Matrix cc;
+    const Matrix yy = conv1dForward(pp, xx, cc);
+    double l = 0;
+    for (const float v : yy.a) l += 0.5 * v * v;
+    return l;
+  };
+  // Check several weight gradients.
+  for (const int idx : {0, 5, 11, 17}) {
+    Conv1dParams pp = p;
+    pp.w.a[idx] += eps;
+    const double lp = loss(pp, x);
+    pp.w.a[idx] -= 2 * eps;
+    const double lm = loss(pp, x);
+    const double fd = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad.w.a[idx], fd, 2e-2 * std::max(1.0, std::abs(fd)));
+  }
+  // And input gradients.
+  for (const int idx : {0, 4, 9}) {
+    Matrix xx = x;
+    xx.a[idx] += eps;
+    const double lp = loss(p, xx);
+    xx.a[idx] -= 2 * eps;
+    const double lm = loss(p, xx);
+    const double fd = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.a[idx], fd, 2e-2 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+TEST(Dense, GradientMatchesFiniteDifference) {
+  DenseParams p(4, 3);
+  initDense(p, 43);
+  std::vector<float> x{0.3f, -0.2f, 0.5f, 0.1f};
+  const std::vector<float> y = denseForward(p, x);
+  DenseParams grad(4, 3);
+  const std::vector<float> dx = denseBackward(p, x, y, grad);  // L = sum y^2/2
+
+  const float eps = 1e-3f;
+  const auto loss = [&](const DenseParams& pp, const std::vector<float>& xx) {
+    const std::vector<float> yy = denseForward(pp, xx);
+    double l = 0;
+    for (const float v : yy) l += 0.5 * v * v;
+    return l;
+  };
+  for (const int idx : {0, 5, 11}) {
+    DenseParams pp = p;
+    pp.w.a[idx] += eps;
+    const double lp = loss(pp, x);
+    pp.w.a[idx] -= 2 * eps;
+    const double lm = loss(pp, x);
+    EXPECT_NEAR(grad.w.a[idx], (lp - lm) / (2 * eps), 2e-2);
+  }
+  for (int idx = 0; idx < 4; ++idx) {
+    std::vector<float> xx = x;
+    xx[idx] += eps;
+    const double lp = loss(p, xx);
+    xx[idx] -= 2 * eps;
+    const double lm = loss(p, xx);
+    EXPECT_NEAR(dx[idx], (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(Relu, ForwardAndBackward) {
+  Matrix x(1, 4);
+  x.a = {-1.f, 0.f, 2.f, -3.f};
+  reluInPlace(x);
+  EXPECT_FLOAT_EQ(x.a[0], 0.f);
+  EXPECT_FLOAT_EQ(x.a[2], 2.f);
+  Matrix d(1, 4);
+  d.a = {1.f, 1.f, 1.f, 1.f};
+  reluBackwardInPlace(x, d);
+  EXPECT_FLOAT_EQ(d.a[0], 0.f);
+  EXPECT_FLOAT_EQ(d.a[2], 1.f);
+}
+
+} // namespace
+} // namespace grist::ml

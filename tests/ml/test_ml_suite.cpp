@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "grist/ml/ml_suite.hpp"
+#include "grist/ml/traindata.hpp"
+
+namespace grist::ml {
+namespace {
+
+std::shared_ptr<Q1Q2Net> smallQ1Q2(int nlev) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = nlev;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  return std::make_shared<Q1Q2Net>(cfg);
+}
+
+std::shared_ptr<RadMlp> smallRad(int nlev) {
+  RadMlpConfig cfg;
+  cfg.nlev = nlev;
+  cfg.hidden = 32;
+  return std::make_shared<RadMlp>(cfg);
+}
+
+TEST(MlSuite, RunsWithUntrainedNetsAndStaysFinite) {
+  const int nlev = 20;
+  const auto sc = table1Scenarios()[0];
+  physics::PhysicsInput in = synthesizeColumns(sc, 12, nlev);
+  MlPhysicsSuite suite(in.ncolumns, nlev, smallQ1Q2(nlev), smallRad(nlev));
+  physics::PhysicsOutput out(in.ncolumns, nlev);
+  suite.run(in, 600.0, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    EXPECT_GE(out.precip[c], 0.0);
+    EXPECT_GE(out.gsw[c], 0.0);
+    for (int k = 0; k < nlev; ++k) {
+      ASSERT_TRUE(std::isfinite(out.dtdt(c, k)));
+      ASSERT_TRUE(std::isfinite(out.dqvdt(c, k)));
+    }
+  }
+  EXPECT_STREQ(suite.name(), "ML-physics");
+}
+
+TEST(MlSuite, NullNetworksRejected) {
+  EXPECT_THROW(
+      MlPhysicsSuite(4, 20, std::shared_ptr<const Q1Q2Net>{}, smallRad(20)),
+      std::invalid_argument);
+  EXPECT_THROW(MlPhysicsSuite(4, 20, smallQ1Q2(20), nullptr), std::invalid_argument);
+}
+
+TEST(MlSuite, NlevMismatchRejected) {
+  EXPECT_THROW(MlPhysicsSuite(4, 24, smallQ1Q2(20), smallRad(24)),
+               std::invalid_argument);
+}
+
+TEST(MlSuite, TrainedEmulatorTracksConventionalTendencies) {
+  // The core claim behind Fig. 8: after distillation training, the ML suite
+  // reproduces the conventional suite's Q1/Q2 far better than an untrained
+  // network does.
+  const int nlev = 20;
+  const auto scenarios = table1Scenarios();
+  std::vector<ColumnSample> cols;
+  std::vector<RadSample> rads;
+  for (const auto& sc : scenarios) {
+    physics::PhysicsInput in = synthesizeColumns(sc, 96, nlev);
+    physics::ConventionalSuite conv(in.ncolumns, nlev);
+    harvestSamples(in, conv, 600.0, cols, rads);
+  }
+  auto net = smallQ1Q2(nlev);
+  net->fitNormalization(cols);
+  const double loss_before = net->evaluate(cols);
+  Adam adam(AdamConfig{.lr = 2e-3f});
+  adam.registerParams(net->paramViews());
+  // Minibatch epochs.
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (std::size_t base = 0; base + 32 <= cols.size(); base += 32) {
+      std::vector<ColumnSample> batch(cols.begin() + base, cols.begin() + base + 32);
+      net->trainBatch(batch, adam);
+    }
+  }
+  const double loss_after = net->evaluate(cols);
+  EXPECT_LT(loss_after, 0.5 * loss_before);
+}
+
+TEST(MlSuite, FlopAccountingIsDenseArithmetic) {
+  const int nlev = 20;
+  MlPhysicsSuite suite(4, nlev, smallQ1Q2(nlev), smallRad(nlev));
+  // ~2 flops per parameter per level for the CNN; > 0.1 MFLOP even for the
+  // small test nets (the paper-scale net is ~30 MFLOP per column).
+  EXPECT_GT(suite.flopsPerColumn(), 1.0e5);
+}
+
+} // namespace
+} // namespace grist::ml

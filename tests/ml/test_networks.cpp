@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include "grist/ml/adam.hpp"
+#include "grist/ml/q1q2_net.hpp"
+#include "grist/ml/rad_mlp.hpp"
+
+namespace grist::ml {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  std::vector<float> x{5.f, -3.f};
+  std::vector<float> g(2, 0.f);
+  Adam adam(AdamConfig{.lr = 0.05f});
+  adam.registerParams({{x.data(), g.data(), 2}});
+  for (int it = 0; it < 400; ++it) {
+    g[0] = 2 * x[0];
+    g[1] = 2 * x[1];
+    adam.step();
+  }
+  EXPECT_NEAR(x[0], 0.f, 0.05f);
+  EXPECT_NEAR(x[1], 0.f, 0.05f);
+  EXPECT_EQ(adam.steps(), 400);
+}
+
+TEST(Adam, NullViewThrows) {
+  Adam adam;
+  EXPECT_THROW(adam.registerParams({{nullptr, nullptr, 1}}), std::invalid_argument);
+}
+
+TEST(Q1Q2Net, PaperScaleParameterCount) {
+  // Paper section 3.2.3: 5 ResUnits, an 11-layer CNN, ~0.5M parameters.
+  Q1Q2Net net(Q1Q2NetConfig{.nlev = 30, .channels = 128, .res_units = 5});
+  EXPECT_EQ(net.convLayerCount(), 11);
+  EXPECT_GT(net.parameterCount(), 450'000u);
+  EXPECT_LT(net.parameterCount(), 550'000u);
+}
+
+// Deterministic toy mapping the nets must be able to learn.
+std::vector<ColumnSample> toyColumnSamples(int n, int nlev, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.f, 1.f);
+  std::vector<ColumnSample> samples;
+  for (int i = 0; i < n; ++i) {
+    ColumnSample s;
+    s.x = Matrix(5, nlev);
+    s.y = Matrix(2, nlev);
+    for (int l = 0; l < nlev; ++l) {
+      for (int ci = 0; ci < 5; ++ci) s.x.at(ci, l) = dist(rng);
+      // Smooth nonlinear targets from the inputs.
+      s.y.at(0, l) = 0.5f * s.x.at(2, l) + 0.3f * s.x.at(3, l) * s.x.at(3, l);
+      s.y.at(1, l) = std::sin(s.x.at(0, l)) - 0.2f * s.x.at(4, l);
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Q1Q2Net, LearnsToyMapping) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = 8;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  Q1Q2Net net(cfg);
+  auto samples = toyColumnSamples(64, cfg.nlev, 99);
+  net.fitNormalization(samples);
+  Adam adam(AdamConfig{.lr = 3e-3f});
+  adam.registerParams(net.paramViews());
+  const double loss0 = net.evaluate(samples);
+  for (int epoch = 0; epoch < 30; ++epoch) net.trainBatch(samples, adam);
+  const double loss1 = net.evaluate(samples);
+  EXPECT_LT(loss1, 0.3 * loss0);
+}
+
+TEST(Q1Q2Net, SaveLoadRoundTrip) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = 6;
+  cfg.channels = 8;
+  cfg.res_units = 1;
+  Q1Q2Net a(cfg);
+  auto samples = toyColumnSamples(8, cfg.nlev, 5);
+  a.fitNormalization(samples);
+  const auto path = std::filesystem::temp_directory_path() / "q1q2_test.bin";
+  a.save(path.string());
+  Q1Q2Net b(cfg);
+  b.load(path.string());
+  std::vector<double> u(cfg.nlev, 1.0), v(cfg.nlev, 2.0), t(cfg.nlev, 280.0),
+      q(cfg.nlev, 0.01), p(cfg.nlev, 5e4), q1a(cfg.nlev), q2a(cfg.nlev),
+      q1b(cfg.nlev), q2b(cfg.nlev);
+  a.predict(u.data(), v.data(), t.data(), q.data(), p.data(), q1a.data(), q2a.data());
+  b.predict(u.data(), v.data(), t.data(), q.data(), p.data(), q1b.data(), q2b.data());
+  for (int l = 0; l < cfg.nlev; ++l) {
+    EXPECT_FLOAT_EQ(static_cast<float>(q1a[l]), static_cast<float>(q1b[l]));
+    EXPECT_FLOAT_EQ(static_cast<float>(q2a[l]), static_cast<float>(q2b[l]));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Q1Q2Net, LoadShapeMismatchThrows) {
+  Q1Q2NetConfig small;
+  small.nlev = 6;
+  small.channels = 8;
+  small.res_units = 1;
+  Q1Q2Net a(small);
+  const auto path = std::filesystem::temp_directory_path() / "q1q2_small.bin";
+  a.save(path.string());
+  Q1Q2NetConfig big = small;
+  big.channels = 16;
+  Q1Q2Net b(big);
+  EXPECT_THROW(b.load(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(RadMlp, SevenLayersAndLearnsToyRadiation) {
+  RadMlpConfig cfg;
+  cfg.nlev = 10;
+  cfg.hidden = 32;
+  RadMlp net(cfg);
+  EXPECT_EQ(net.denseLayerCount(), 7);
+  // Toy "radiation": gsw ~ coszr * const, glw ~ sigma T^4-ish of lowest T.
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<float> unit(0.f, 1.f);
+  std::vector<RadSample> samples;
+  for (int i = 0; i < 128; ++i) {
+    RadSample s;
+    s.x.resize(2 * cfg.nlev + 2);
+    for (int k = 0; k < cfg.nlev; ++k) {
+      s.x[k] = 250.f + 50.f * unit(rng);             // T
+      s.x[cfg.nlev + k] = 0.02f * unit(rng);         // qv
+    }
+    s.x[2 * cfg.nlev] = 280.f + 25.f * unit(rng);    // tskin
+    s.x[2 * cfg.nlev + 1] = unit(rng);               // coszr
+    const float tlow = s.x[cfg.nlev - 1];
+    s.y = {900.f * s.x[2 * cfg.nlev + 1],
+           5.67e-8f * tlow * tlow * tlow * tlow * 0.8f};
+    samples.push_back(std::move(s));
+  }
+  net.fitNormalization(samples);
+  Adam adam(AdamConfig{.lr = 2e-3f});
+  adam.registerParams(net.paramViews());
+  const double loss0 = net.evaluate(samples);
+  for (int epoch = 0; epoch < 60; ++epoch) net.trainBatch(samples, adam);
+  EXPECT_LT(net.evaluate(samples), 0.2 * loss0);
+  // Predictions are clamped non-negative.
+  std::vector<double> t(cfg.nlev, 180.0), qv(cfg.nlev, 0.0);
+  double gsw = -1, glw = -1;
+  net.predict(t.data(), qv.data(), 180.0, 0.0, &gsw, &glw);
+  EXPECT_GE(gsw, 0.0);
+  EXPECT_GE(glw, 0.0);
+}
+
+} // namespace
+} // namespace grist::ml

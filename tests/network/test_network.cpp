@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "grist/network/fat_tree.hpp"
+#include "grist/network/projector.hpp"
+
+namespace grist::network {
+namespace {
+
+TEST(FatTree, HopTiersMatchTopology) {
+  FatTreeModel net;
+  EXPECT_EQ(net.hops(128), 1);      // one supernode
+  EXPECT_EQ(net.hops(1536), 1);
+  EXPECT_EQ(net.hops(8192), 3);     // through the spine
+  EXPECT_EQ(net.hops(524288), 5);   // two spine layers
+}
+
+TEST(FatTree, ExchangeSlowsAcrossTiers) {
+  FatTreeModel net;
+  const double bytes = 200e3;
+  const double inside = net.haloExchangeTime(1024, bytes, 6);
+  const double spine = net.haloExchangeTime(8192, bytes, 6);
+  const double top = net.haloExchangeTime(262144, bytes, 6);
+  EXPECT_LT(inside, spine);
+  EXPECT_LT(spine, top);
+}
+
+TEST(FatTree, AllreduceGrowsWithScale) {
+  FatTreeModel net;
+  EXPECT_DOUBLE_EQ(net.allreduceTime(1), 0.0);
+  EXPECT_LT(net.allreduceTime(128), net.allreduceTime(524288));
+}
+
+TEST(Interpolation, PiecewiseLinearWithExtrapolation) {
+  const auto f = interpolateCostCurve({10, 100, 1000}, {5.0, 8.0, 20.0});
+  EXPECT_DOUBLE_EQ(f(10), 5.0);
+  EXPECT_DOUBLE_EQ(f(55), 6.5);
+  EXPECT_DOUBLE_EQ(f(1000), 20.0);
+  // Below range clamps; above extrapolates linearly.
+  EXPECT_DOUBLE_EQ(f(1), 5.0);
+  EXPECT_NEAR(f(1900), 32.0, 1e-9);
+  EXPECT_THROW(interpolateCostCurve({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(interpolateCostCurve({1, 1}, {1, 2}), std::invalid_argument);
+}
+
+class ProjectorTest : public ::testing::Test {
+ protected:
+  ProjectorConfig makeConfig() {
+    ProjectorConfig cfg;
+    // Flat-ish cost curves for the unit tests (benchmarks use measured
+    // simulator curves).
+    cfg.dyn_cycles_dp = interpolateCostCurve({50, 5000}, {220.0, 320.0});
+    cfg.dyn_cycles_mix = interpolateCostCurve({50, 5000}, {140.0, 210.0});
+    return cfg;
+  }
+};
+
+TEST_F(ProjectorTest, MixedPrecisionIsFaster) {
+  SdpdProjector proj(makeConfig());
+  SchemeCost dp{.mixed_precision = false, .ml_physics = false};
+  SchemeCost mix{.mixed_precision = true, .ml_physics = false};
+  EXPECT_GT(proj.sdpd(9, 30, 16.0, 32768, mix), proj.sdpd(9, 30, 16.0, 32768, dp));
+}
+
+TEST_F(ProjectorTest, MlPhysicsIsFaster) {
+  SdpdProjector proj(makeConfig());
+  SchemeCost phy{.mixed_precision = true, .ml_physics = false};
+  SchemeCost ml{.mixed_precision = true, .ml_physics = true};
+  EXPECT_GT(proj.sdpd(9, 30, 16.0, 32768, ml), proj.sdpd(9, 30, 16.0, 32768, phy));
+}
+
+TEST_F(ProjectorTest, WeakScalingEfficiencyDeclinesAndCommShareRises) {
+  SdpdProjector proj(makeConfig());
+  SchemeCost mix{.mixed_precision = true, .ml_physics = false};
+  // The paper's ladder: resolution x2 per step, processes x4 (Fig. 10).
+  const std::vector<std::pair<int, Index>> ladder = {
+      {6, 128}, {7, 512}, {8, 2048}, {9, 8192}, {10, 32768}, {11, 131072}};
+  const auto points = proj.weakScaling(ladder, 30, 4.0, mix);
+  ASSERT_EQ(points.size(), ladder.size());
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].efficiency, points[i - 1].efficiency + 1e-9);
+    EXPECT_GE(points[i].comm_share, points[i - 1].comm_share - 1e-9);
+  }
+  // Efficiency stays meaningful (not collapsed to zero).
+  EXPECT_GT(points.back().efficiency, 0.3);
+  EXPECT_LT(points.back().efficiency, 1.0);
+}
+
+TEST_F(ProjectorTest, StrongScalingSpeedRisesEfficiencyFalls) {
+  // Flat per-cell cost: with no cache-curve effect, strong scaling must be
+  // monotone sublinear (the paper's G12 behavior).
+  ProjectorConfig cfg = makeConfig();
+  cfg.dyn_cycles_dp = interpolateCostCurve({50, 5000}, {260.0, 260.0});
+  cfg.dyn_cycles_mix = interpolateCostCurve({50, 5000}, {170.0, 170.0});
+  SdpdProjector proj(cfg);
+  SchemeCost mix{.mixed_precision = true, .ml_physics = true};
+  const std::vector<Index> procs = {32768, 65536, 131072, 262144, 524288};
+  const auto points = proj.strongScaling(12, 30, 4.0, procs, mix);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].sdpd, points[i - 1].sdpd);       // still speeds up
+    EXPECT_LT(points[i].efficiency, points[i - 1].efficiency);  // sublinearly
+  }
+}
+
+TEST_F(ProjectorTest, CacheCostCurveProducesSuperlinearBump) {
+  // When per-cell cycles FALL as the per-CG working set approaches the
+  // LDCache size, strong scaling turns superlinear -- the G11S "marginal
+  // increase in computation speed" of the paper's Fig. 11.
+  SdpdProjector proj(makeConfig());  // downward-sloping curve
+  SchemeCost mix{.mixed_precision = true, .ml_physics = true};
+  const auto points = proj.strongScaling(12, 30, 4.0, {32768, 65536, 131072}, mix);
+  bool superlinear = false;
+  for (const auto& p : points) superlinear = superlinear || p.efficiency > 1.0;
+  EXPECT_TRUE(superlinear);
+}
+
+TEST_F(ProjectorTest, RejectsOversubscribedGrids) {
+  SdpdProjector proj(makeConfig());
+  SchemeCost dp;
+  EXPECT_THROW(proj.sdpd(2, 30, 4.0, 524288, dp), std::invalid_argument);
+}
+
+TEST(Projector, RequiresCostCurves) {
+  ProjectorConfig cfg;
+  EXPECT_THROW(SdpdProjector{cfg}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::network

@@ -1,0 +1,132 @@
+#include "grist/parallel/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::parallel {
+namespace {
+
+class DecomposeRanks : public ::testing::TestWithParam<Index> {
+ protected:
+  grid::HexMesh mesh_ = grid::buildHexMesh(3);
+  Decomposition d_ = decompose(mesh_, GetParam());
+};
+
+TEST_P(DecomposeRanks, OwnedCellsPartitionTheGlobe) {
+  Index total_owned = 0;
+  std::vector<int> owner_count(mesh_.ncells, 0);
+  for (const LocalDomain& dom : d_.domains) {
+    total_owned += dom.ncells_owned;
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) ++owner_count[dom.cell_global[lc]];
+  }
+  EXPECT_EQ(total_owned, mesh_.ncells);
+  for (const int n : owner_count) EXPECT_EQ(n, 1);
+}
+
+TEST_P(DecomposeRanks, OwnedEdgesPartitionTheGlobe) {
+  std::vector<int> owner_count(mesh_.nedges, 0);
+  for (const LocalDomain& dom : d_.domains) {
+    for (Index le = 0; le < dom.nedges_owned; ++le) ++owner_count[dom.edge_global[le]];
+  }
+  for (const int n : owner_count) EXPECT_EQ(n, 1);
+}
+
+TEST_P(DecomposeRanks, LocalGeometryMatchesGlobal) {
+  for (const LocalDomain& dom : d_.domains) {
+    for (Index lc = 0; lc < dom.mesh.ncells; ++lc) {
+      const Index g = dom.cell_global[lc];
+      EXPECT_DOUBLE_EQ(dom.mesh.cell_area[lc], mesh_.cell_area[g]);
+      EXPECT_EQ(dom.mesh.cellDegree(lc), mesh_.cellDegree(g));
+    }
+    for (Index le = 0; le < dom.mesh.nedges; ++le) {
+      const Index g = dom.edge_global[le];
+      EXPECT_DOUBLE_EQ(dom.mesh.edge_de[le], mesh_.edge_de[g]);
+      EXPECT_DOUBLE_EQ(dom.mesh.edge_le[le], mesh_.edge_le[g]);
+    }
+  }
+}
+
+TEST_P(DecomposeRanks, OwnedCellsHaveCompleteStencils) {
+  // Every owned cell's ring must be fully resolved locally (no
+  // kInvalidIndex): that is what halo depth 2 guarantees.
+  for (const LocalDomain& dom : d_.domains) {
+    for (Index lc = 0; lc < dom.ncells_inner1; ++lc) {
+      for (Index k = dom.mesh.cell_offset[lc]; k < dom.mesh.cell_offset[lc + 1]; ++k) {
+        EXPECT_NE(dom.mesh.cell_edges[k], kInvalidIndex);
+        EXPECT_NE(dom.mesh.cell_cells[k], kInvalidIndex);
+        EXPECT_NE(dom.mesh.cell_vertices[k], kInvalidIndex);
+      }
+    }
+  }
+}
+
+TEST_P(DecomposeRanks, OwnedEdgeStencilsResolveTrskNeighborhood) {
+  // A tendency at an owned edge touches all edges of its two cells plus the
+  // vertices of the edge; verify those are local and complete.
+  for (const LocalDomain& dom : d_.domains) {
+    for (Index le = 0; le < dom.nedges_owned; ++le) {
+      for (const Index lc : dom.mesh.edge_cell[le]) {
+        ASSERT_NE(lc, kInvalidIndex);
+        for (Index k = dom.mesh.cell_offset[lc]; k < dom.mesh.cell_offset[lc + 1]; ++k) {
+          EXPECT_NE(dom.mesh.cell_edges[k], kInvalidIndex);
+        }
+      }
+      for (const Index lv : dom.mesh.edge_vertex[le]) {
+        ASSERT_NE(lv, kInvalidIndex);
+        EXPECT_LT(lv, dom.nvtx_complete);
+      }
+    }
+  }
+}
+
+TEST_P(DecomposeRanks, PatternsCoverAllHaloEntities) {
+  std::vector<std::vector<bool>> cell_covered(d_.nranks);
+  std::vector<std::vector<bool>> edge_covered(d_.nranks);
+  for (Index r = 0; r < d_.nranks; ++r) {
+    cell_covered[r].assign(d_.domains[r].mesh.ncells, false);
+    edge_covered[r].assign(d_.domains[r].mesh.nedges, false);
+  }
+  for (const ExchangePattern& pat : d_.patterns) {
+    EXPECT_NE(pat.from, pat.to);
+    ASSERT_EQ(pat.send_cells.size(), pat.recv_cells.size());
+    ASSERT_EQ(pat.send_edges.size(), pat.recv_edges.size());
+    for (std::size_t i = 0; i < pat.recv_cells.size(); ++i) {
+      // Sender side must be an owned cell holding the same global id.
+      EXPECT_LT(pat.send_cells[i], d_.domains[pat.from].ncells_owned);
+      EXPECT_EQ(d_.domains[pat.from].cell_global[pat.send_cells[i]],
+                d_.domains[pat.to].cell_global[pat.recv_cells[i]]);
+      cell_covered[pat.to][pat.recv_cells[i]] = true;
+    }
+    for (std::size_t i = 0; i < pat.recv_edges.size(); ++i) {
+      EXPECT_LT(pat.send_edges[i], d_.domains[pat.from].nedges_owned);
+      EXPECT_EQ(d_.domains[pat.from].edge_global[pat.send_edges[i]],
+                d_.domains[pat.to].edge_global[pat.recv_edges[i]]);
+      edge_covered[pat.to][pat.recv_edges[i]] = true;
+    }
+  }
+  for (Index r = 0; r < d_.nranks; ++r) {
+    const LocalDomain& dom = d_.domains[r];
+    for (Index lc = dom.ncells_owned; lc < dom.mesh.ncells; ++lc) {
+      EXPECT_TRUE(cell_covered[r][lc]) << "rank " << r << " cell " << lc;
+    }
+    for (Index le = dom.nedges_owned; le < dom.mesh.nedges; ++le) {
+      EXPECT_TRUE(edge_covered[r][le]) << "rank " << r << " edge " << le;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DecomposeRanks, ::testing::Values(1, 2, 4, 8, 13));
+
+TEST(Decompose, RejectsBadInput) {
+  const grid::HexMesh mesh = grid::buildHexMesh(1);
+  std::vector<Index> short_part(3, 0);
+  EXPECT_THROW(decompose(mesh, short_part, 2), std::invalid_argument);
+  std::vector<Index> ok(mesh.ncells, 0);
+  EXPECT_THROW(decompose(mesh, ok, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::parallel

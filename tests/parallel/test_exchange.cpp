@@ -1,0 +1,127 @@
+#include "grist/parallel/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::parallel {
+namespace {
+
+// A recognizable global value: f(global_id, comp).
+double marker(Index global, int comp) { return 1000.0 * global + comp; }
+
+class ExchangeRanks : public ::testing::TestWithParam<Index> {
+ protected:
+  grid::HexMesh mesh_ = grid::buildHexMesh(3);
+  Decomposition d_ = decompose(mesh_, GetParam());
+};
+
+TEST_P(ExchangeRanks, HaloReceivesOwnerValues) {
+  const int nlev = 4;
+  std::vector<Field> cell_fields, edge_fields;
+  std::vector<ExchangeList> lists(d_.nranks);
+  for (Index r = 0; r < d_.nranks; ++r) {
+    const LocalDomain& dom = d_.domains[r];
+    cell_fields.emplace_back(dom.mesh.ncells, nlev, -1.0);
+    edge_fields.emplace_back(dom.mesh.nedges, nlev, -1.0);
+  }
+  for (Index r = 0; r < d_.nranks; ++r) {
+    const LocalDomain& dom = d_.domains[r];
+    // Fill owned entities only; halos stay at the -1 sentinel.
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+      for (int k = 0; k < nlev; ++k) cell_fields[r](lc, k) = marker(dom.cell_global[lc], k);
+    }
+    for (Index le = 0; le < dom.nedges_owned; ++le) {
+      for (int k = 0; k < nlev; ++k) edge_fields[r](le, k) = marker(dom.edge_global[le], k);
+    }
+    lists[r].addCellField(cell_fields[r]);
+    lists[r].addEdgeField(edge_fields[r]);
+  }
+
+  Communicator comm(d_);
+  comm.exchange(lists);
+
+  for (Index r = 0; r < d_.nranks; ++r) {
+    const LocalDomain& dom = d_.domains[r];
+    for (Index lc = 0; lc < dom.mesh.ncells; ++lc) {
+      for (int k = 0; k < nlev; ++k) {
+        EXPECT_DOUBLE_EQ(cell_fields[r](lc, k), marker(dom.cell_global[lc], k))
+            << "rank " << r << " cell " << lc;
+      }
+    }
+    for (Index le = 0; le < dom.mesh.nedges; ++le) {
+      for (int k = 0; k < nlev; ++k) {
+        EXPECT_DOUBLE_EQ(edge_fields[r](le, k), marker(dom.edge_global[le], k))
+            << "rank " << r << " edge " << le;
+      }
+    }
+  }
+}
+
+TEST_P(ExchangeRanks, BatchingKeepsMessageCountAtNeighborPairs) {
+  // The paper's point (section 3.1.3): gathering all variables into one
+  // exchange call keeps the message count at the number of neighbor pairs,
+  // independent of how many variables are queued.
+  const Index nranks = d_.nranks;
+  if (nranks == 1) GTEST_SKIP() << "no communication with one rank";
+
+  std::vector<Field> many_fields;
+  std::vector<ExchangeList> lists(nranks);
+  for (Index r = 0; r < nranks; ++r) {
+    for (int v = 0; v < 6; ++v) {
+      many_fields.emplace_back(d_.domains[r].mesh.ncells, 3, 0.0);
+    }
+  }
+  for (Index r = 0; r < nranks; ++r) {
+    for (int v = 0; v < 6; ++v) lists[r].addCellField(many_fields[r * 6 + v]);
+  }
+  Communicator comm(d_);
+  comm.exchange(lists);
+  const CommStats one_call = comm.stats();
+  EXPECT_EQ(one_call.exchanges, 1);
+  EXPECT_EQ(one_call.messages, static_cast<std::int64_t>(d_.patterns.size()));
+
+  // Exchanging the six variables one at a time costs 6x the messages.
+  comm.resetStats();
+  for (int v = 0; v < 6; ++v) {
+    std::vector<ExchangeList> single(nranks);
+    for (Index r = 0; r < nranks; ++r) single[r].addCellField(many_fields[r * 6 + v]);
+    comm.exchange(single);
+  }
+  EXPECT_EQ(comm.stats().messages, 6 * one_call.messages);
+  // Byte volume is identical either way.
+  EXPECT_EQ(comm.stats().bytes, one_call.bytes);
+}
+
+TEST_P(ExchangeRanks, StatsCountBytesExactly) {
+  if (d_.nranks == 1) GTEST_SKIP();
+  const int nlev = 5;
+  std::vector<Field> fields;
+  std::vector<ExchangeList> lists(d_.nranks);
+  for (Index r = 0; r < d_.nranks; ++r) {
+    fields.emplace_back(d_.domains[r].mesh.ncells, nlev, 0.0);
+  }
+  for (Index r = 0; r < d_.nranks; ++r) lists[r].addCellField(fields[r]);
+  Communicator comm(d_);
+  comm.exchange(lists);
+  std::int64_t expected = 0;
+  for (const ExchangePattern& pat : d_.patterns) {
+    expected += static_cast<std::int64_t>(pat.send_cells.size()) * nlev * 8;
+  }
+  EXPECT_EQ(comm.stats().bytes, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ExchangeRanks, ::testing::Values(1, 2, 4, 9));
+
+TEST(Exchange, WrongListCountThrows) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const Decomposition d = decompose(mesh, Index{4});
+  Communicator comm(d);
+  std::vector<ExchangeList> lists(2);
+  EXPECT_THROW(comm.exchange(lists), std::invalid_argument);
+}
+
+} // namespace
+} // namespace grist::parallel

@@ -1,0 +1,105 @@
+#include "grist/partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grist/grid/hex_mesh.hpp"
+
+namespace grist::partition {
+namespace {
+
+class PartitionCounts : public ::testing::TestWithParam<Index> {
+ protected:
+  grid::HexMesh mesh_ = grid::buildHexMesh(4);  // 2562 cells
+};
+
+TEST_P(PartitionCounts, EveryCellAssignedInRange) {
+  const Index nparts = GetParam();
+  const std::vector<Index> part = Partitioner::partition(mesh_, nparts);
+  ASSERT_EQ(static_cast<Index>(part.size()), mesh_.ncells);
+  for (const Index p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, nparts);
+  }
+}
+
+TEST_P(PartitionCounts, BalanceWithinFivePercent) {
+  const Index nparts = GetParam();
+  const std::vector<Index> part = Partitioner::partition(mesh_, nparts);
+  const PartitionQuality q = Partitioner::evaluate(mesh_, part);
+  EXPECT_EQ(q.parts, nparts);
+  EXPECT_LE(q.imbalance, 0.05) << "nparts=" << nparts;
+}
+
+TEST_P(PartitionCounts, EdgeCutNearSurfaceScaling) {
+  // Compact parts on a sphere have boundary ~ perimeter of a disk of area
+  // ncells/nparts, i.e. cut ~ 3 sqrt(ncells * nparts) for hexagonal cells.
+  // C=5 (~1.7x the isoperimetric ideal) rejects fragmented partitions while
+  // accepting the quality a greedy+KL heuristic delivers.
+  const Index nparts = GetParam();
+  const std::vector<Index> part = Partitioner::partition(mesh_, nparts);
+  const PartitionQuality q = Partitioner::evaluate(mesh_, part);
+  const double bound = 5.0 * std::sqrt(static_cast<double>(mesh_.ncells) * nparts);
+  EXPECT_LT(static_cast<double>(q.edge_cut), bound) << "nparts=" << nparts;
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionCounts, ::testing::Values(2, 3, 4, 7, 16, 32));
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const std::vector<Index> part = Partitioner::partition(mesh, 1);
+  for (const Index p : part) EXPECT_EQ(p, 0);
+  const PartitionQuality q = Partitioner::evaluate(mesh, part);
+  EXPECT_EQ(q.edge_cut, 0);
+  EXPECT_NEAR(q.imbalance, 0.0, 1e-12);
+}
+
+TEST(Partitioner, Deterministic) {
+  const grid::HexMesh mesh = grid::buildHexMesh(3);
+  EXPECT_EQ(Partitioner::partition(mesh, 8), Partitioner::partition(mesh, 8));
+}
+
+TEST(Partitioner, RejectsBadPartCounts) {
+  const grid::HexMesh mesh = grid::buildHexMesh(1);
+  EXPECT_THROW(Partitioner::partition(mesh, 0), std::invalid_argument);
+  EXPECT_THROW(Partitioner::partition(mesh, mesh.ncells + 1), std::invalid_argument);
+}
+
+TEST(Partitioner, EvaluateRejectsSizeMismatch) {
+  const grid::HexMesh mesh = grid::buildHexMesh(1);
+  std::vector<Index> bad(3, 0);
+  EXPECT_THROW(Partitioner::evaluate(mesh, bad), std::invalid_argument);
+}
+
+TEST(Partitioner, PartsAreMostlyConnected) {
+  // Region growth + refinement should keep parts contiguous; allow a couple
+  // of stragglers from the enclosure fallback.
+  const grid::HexMesh mesh = grid::buildHexMesh(4);
+  const Index nparts = 12;
+  const std::vector<Index> part = Partitioner::partition(mesh, nparts);
+  int components = 0;
+  std::vector<int> color(mesh.ncells, -1);
+  for (Index c0 = 0; c0 < mesh.ncells; ++c0) {
+    if (color[c0] >= 0) continue;
+    ++components;
+    // BFS inside the part.
+    std::vector<Index> stack{c0};
+    color[c0] = components;
+    while (!stack.empty()) {
+      const Index c = stack.back();
+      stack.pop_back();
+      for (Index k = mesh.cell_offset[c]; k < mesh.cell_offset[c + 1]; ++k) {
+        const Index nb = mesh.cell_cells[k];
+        if (color[nb] < 0 && part[nb] == part[c]) {
+          color[nb] = components;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+  EXPECT_LE(components, nparts + 3);
+}
+
+} // namespace
+} // namespace grist::partition

@@ -1,0 +1,99 @@
+#include "grist/physics/held_suarez.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/core/model.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/ml/traindata.hpp"
+
+namespace grist::physics {
+namespace {
+
+using constants::kPi;
+
+TEST(HeldSuarez, EquilibriumProfileShape) {
+  HeldSuarezSuite hs;
+  // Warm equator, cold pole at the surface.
+  EXPECT_GT(hs.equilibriumT(0.0, 9.5e4, 1e5), hs.equilibriumT(kPi / 3, 9.5e4, 1e5));
+  // Equatorial surface Teq near 315 K.
+  EXPECT_NEAR(hs.equilibriumT(0.0, 1.0e5, 1e5), 315.0, 3.0);
+  // Stratospheric floor.
+  EXPECT_DOUBLE_EQ(hs.equilibriumT(0.0, 5e2, 1e5), 200.0);
+  EXPECT_DOUBLE_EQ(hs.equilibriumT(kPi / 2, 5e2, 1e5), 200.0);
+}
+
+TEST(HeldSuarez, RelaxationSignsAndFriction) {
+  const auto sc = ml::table1Scenarios()[0];
+  PhysicsInput in = ml::synthesizeColumns(sc, 8, 16);
+  // Column 0: hot everywhere -> cooling; column 1: cold -> warming.
+  for (int k = 0; k < in.nlev; ++k) {
+    in.t(0, k) = 400.0;
+    in.t(1, k) = 150.0;
+  }
+  in.u(0, in.nlev - 1) = 15.0;  // surface wind, friction target
+  HeldSuarezSuite hs;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  hs.run(in, 600.0, out);
+  for (int k = 0; k < in.nlev; ++k) {
+    EXPECT_LT(out.dtdt(0, k), 0.0);
+    EXPECT_GT(out.dtdt(1, k), 0.0);
+  }
+  EXPECT_LT(out.dudt(0, in.nlev - 1), 0.0);  // friction opposes wind
+  // No friction aloft (sigma < sigma_b).
+  EXPECT_DOUBLE_EQ(out.dudt(0, 0), 0.0);
+  // No moisture/precip from HS.
+  for (Index c = 0; c < in.ncolumns; ++c) EXPECT_DOUBLE_EQ(out.precip[c], 0.0);
+}
+
+TEST(HeldSuarez, SpinsUpWesterliesAndBaroclinicityFromRest) {
+  // Starting from a resting isothermal-ish state, 20 simulated days of HS
+  // forcing must establish (a) westerlies aloft in midlatitudes, (b) a
+  // friction-sheared profile (upper winds > near-surface winds), and (c) a
+  // meridional temperature gradient approaching the Teq contrast. (The full
+  // eddy-driven jet/superrotation partition needs finer grids and hundreds
+  // of days -- beyond a unit-test budget.)
+  const grid::HexMesh mesh = grid::buildHexMesh(3);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  core::ModelConfig cfg;
+  cfg.dyn.nlev = 12;
+  cfg.dyn.dt = 600.0;
+  cfg.dyn.w_damp_tau = 1200.0;
+  cfg.dyn.diff_coef = 0.002;
+  cfg.trac_interval = 4;
+  cfg.phy_interval = 2;
+  cfg.scheme = core::PhysicsScheme::kHeldSuarez;
+  core::Model model(mesh, trsk, cfg, dycore::initRestState(mesh, cfg.dyn, 300.0, 3));
+  EXPECT_STREQ(model.schemeName(), "DP-HS");
+  model.run(20 * 144);  // 20 simulated days
+
+  coupler::Coupler coupler(mesh, cfg.dyn.nlev);
+  physics::PhysicsInput in(mesh.ncells, cfg.dyn.nlev);
+  coupler.stateToPhysics(model.state(), model.tskin(), 0.0, in);
+  const int k_upper = 2, k_low = cfg.dyn.nlev - 2;
+  double u_mid_up = 0, u_mid_low = 0, n_mid = 0;
+  double t_eq = 0, n_eq = 0, t_pole = 0, n_pole = 0;
+  for (Index c = 0; c < mesh.ncells; ++c) {
+    ASSERT_TRUE(std::isfinite(in.u(c, k_upper)));
+    const double alat = std::abs(mesh.cell_ll[c].lat);
+    if (alat > 0.6 && alat < 1.0) {
+      u_mid_up += in.u(c, k_upper);
+      u_mid_low += in.u(c, k_low);
+      ++n_mid;
+    }
+    if (alat < 0.2) {
+      t_eq += in.t(c, k_low);
+      ++n_eq;
+    } else if (alat > 1.2) {
+      t_pole += in.t(c, k_low);
+      ++n_pole;
+    }
+  }
+  u_mid_up /= n_mid;
+  u_mid_low /= n_mid;
+  EXPECT_GT(u_mid_up, 2.0);             // westerlies aloft
+  EXPECT_GT(u_mid_up, 1.5 * u_mid_low); // friction shears the profile
+  EXPECT_GT(t_eq / n_eq - t_pole / n_pole, 15.0);  // baroclinicity built
+}
+
+} // namespace
+} // namespace grist::physics

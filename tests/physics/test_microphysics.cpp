@@ -1,0 +1,98 @@
+#include "grist/physics/microphysics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/common/math.hpp"
+#include "grist/ml/traindata.hpp"
+#include "grist/physics/saturation.hpp"
+
+namespace grist::physics {
+namespace {
+
+using constants::kGravity;
+
+PhysicsInput testColumns(Index n) {
+  return ml::synthesizeColumns(ml::table1Scenarios()[1], n, 20);
+}
+
+TEST(Microphysics, SupersaturationCondensesAndWarms) {
+  PhysicsInput in = testColumns(4);
+  const Index c = 0;
+  const int k = in.nlev - 2;
+  in.qv(c, k) = 1.3 * saturationMixingRatio(in.t(c, k), in.pmid(c, k));
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Microphysics mp;
+  mp.run(in, 300.0, out);
+  EXPECT_LT(out.dqvdt(c, k), 0.0);  // vapor consumed
+  EXPECT_GT(out.dtdt(c, k), 0.0);   // latent heating
+  EXPECT_GT(out.dqcdt(c, k) + out.dqrdt(c, k), 0.0);
+}
+
+TEST(Microphysics, RainyColumnPrecipitates) {
+  PhysicsInput in = testColumns(4);
+  const Index c = 1;
+  for (int k = in.nlev / 2; k < in.nlev; ++k) in.qr(c, k) = 2e-3;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Microphysics mp;
+  mp.run(in, 300.0, out);
+  EXPECT_GT(out.precip[c], 0.1);  // mm/day
+}
+
+TEST(Microphysics, TotalWaterConserved) {
+  PhysicsInput in = testColumns(8);
+  // Make a couple of columns actively raining.
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    in.qc(c, in.nlev - 3) = 2e-3;
+    in.qr(c, in.nlev - 2) = 1e-3;
+  }
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Microphysics mp;
+  const double dt = 300.0;
+  mp.run(in, dt, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    // Column water change (kg/m^2) must equal -precip flux.
+    double dwater = 0.0;
+    for (int k = 0; k < in.nlev; ++k) {
+      dwater += (out.dqvdt(c, k) + out.dqcdt(c, k) + out.dqrdt(c, k)) *
+                in.delp(c, k) / kGravity * dt;
+    }
+    const double precip_mass = out.precip[c] / 86400.0 * dt;  // mm -> kg/m^2
+    EXPECT_NEAR(dwater + precip_mass, 0.0, 1e-7);
+  }
+}
+
+TEST(Microphysics, NoNegativeMixingRatiosProduced) {
+  PhysicsInput in = testColumns(8);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Microphysics mp;
+  const double dt = 300.0;
+  mp.run(in, dt, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    for (int k = 0; k < in.nlev; ++k) {
+      EXPECT_GE(in.qv(c, k) + out.dqvdt(c, k) * dt, -1e-12);
+      EXPECT_GE(in.qc(c, k) + out.dqcdt(c, k) * dt, -1e-12);
+      EXPECT_GE(in.qr(c, k) + out.dqrdt(c, k) * dt, -1e-12);
+    }
+  }
+}
+
+TEST(Microphysics, DryColumnInert) {
+  PhysicsInput in = testColumns(2);
+  const Index c = 0;
+  for (int k = 0; k < in.nlev; ++k) {
+    in.qv(c, k) = 0.0;  // bone dry (even the cold model top cannot condense)
+    in.qc(c, k) = 0.0;
+    in.qr(c, k) = 0.0;
+  }
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Microphysics mp;
+  mp.run(in, 300.0, out);
+  EXPECT_DOUBLE_EQ(out.precip[c], 0.0);
+  for (int k = 0; k < in.nlev; ++k) {
+    EXPECT_NEAR(out.dqcdt(c, k), 0.0, 1e-15);
+    EXPECT_NEAR(out.dqrdt(c, k), 0.0, 1e-15);
+  }
+}
+
+} // namespace
+} // namespace grist::physics

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "grist/common/math.hpp"
+#include "grist/ml/traindata.hpp"
+#include "grist/physics/land.hpp"
+#include "grist/physics/pbl.hpp"
+#include "grist/physics/surface.hpp"
+
+namespace grist::physics {
+namespace {
+
+PhysicsInput testColumns(Index n) {
+  return ml::synthesizeColumns(ml::table1Scenarios()[2], n, 20);
+}
+
+TEST(SurfaceLayer, WarmSkinDrivesUpwardFluxes) {
+  PhysicsInput in = testColumns(6);
+  for (Index c = 0; c < in.ncolumns; ++c) in.tskin[c] = in.t(c, in.nlev - 1) + 5.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  SurfaceLayer surface;
+  surface.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    EXPECT_GT(out.shflx[c], 0.0);
+    EXPECT_GE(out.lhflx[c], 0.0);
+  }
+}
+
+TEST(SurfaceLayer, ColdSkinDrivesDownwardSensibleFlux) {
+  PhysicsInput in = testColumns(4);
+  for (Index c = 0; c < in.ncolumns; ++c) in.tskin[c] = in.t(c, in.nlev - 1) - 5.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  SurfaceLayer surface;
+  surface.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) EXPECT_LT(out.shflx[c], 0.0);
+}
+
+TEST(SurfaceLayer, DragOpposesWind) {
+  PhysicsInput in = testColumns(4);
+  const int kb = in.nlev - 1;
+  in.u(0, kb) = 10.0;
+  in.v(0, kb) = -6.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  SurfaceLayer surface;
+  surface.run(in, out);
+  EXPECT_LT(out.dudt(0, kb), 0.0);
+  EXPECT_GT(out.dvdt(0, kb), 0.0);
+}
+
+TEST(Pbl, SurfaceHeatFluxWarmsLowestLayers) {
+  PhysicsInput in = testColumns(4);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  std::vector<double> sh(in.ncolumns, 200.0), lh(in.ncolumns, 0.0);
+  Pbl pbl;
+  pbl.run(in, 600.0, sh, lh, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    EXPECT_GT(out.dtdt(c, in.nlev - 1), 0.0);
+  }
+}
+
+TEST(Pbl, DiffusionSmoothsSharpGradient) {
+  PhysicsInput in = testColumns(2);
+  const Index c = 0;
+  // Insert a kink in T near the surface.
+  in.t(c, in.nlev - 2) += 8.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  std::vector<double> zero(in.ncolumns, 0.0);
+  Pbl pbl;
+  pbl.run(in, 600.0, zero, zero, out);
+  // The hot layer cools, its neighbors warm.
+  EXPECT_LT(out.dtdt(c, in.nlev - 2), 0.0);
+  EXPECT_GT(out.dtdt(c, in.nlev - 1) + out.dtdt(c, in.nlev - 3), 0.0);
+}
+
+TEST(Pbl, ApproximatelyConservesColumnHeat) {
+  PhysicsInput in = testColumns(4);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  std::vector<double> zero(in.ncolumns, 0.0);
+  Pbl pbl;
+  pbl.run(in, 600.0, zero, zero, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    double net = 0, scale = 0;
+    for (int k = 0; k < in.nlev; ++k) {
+      net += out.dtdt(c, k) * in.delp(c, k);
+      scale += std::abs(out.dtdt(c, k)) * in.delp(c, k);
+    }
+    if (scale > 0) {
+      EXPECT_LT(std::abs(net) / scale, 0.35);
+    }
+  }
+}
+
+TEST(Land, PositiveRadiationWarmsSkin) {
+  PhysicsInput in = testColumns(4);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  LandModel land(in.ncolumns);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    in.tskin[c] = 285.0;
+    out.gsw[c] = 600.0;
+    out.glw[c] = 350.0;
+    out.shflx[c] = 50.0;
+    out.lhflx[c] = 50.0;
+  }
+  land.run(in, 600.0, out);
+  for (Index c = 0; c < in.ncolumns; ++c) EXPECT_GT(out.tskin_new[c], 285.0);
+}
+
+TEST(Land, NoForcingRelaxesTowardDeepTemperature) {
+  PhysicsInput in = testColumns(2);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  LandConfig cfg;
+  LandModel land(in.ncolumns, cfg);
+  in.tskin[0] = 310.0;  // hot skin, no sun
+  out.gsw[0] = 0.0;
+  out.glw[0] = 300.0;
+  land.run(in, 600.0, out);
+  EXPECT_LT(out.tskin_new[0], 310.0);
+}
+
+} // namespace
+} // namespace grist::physics

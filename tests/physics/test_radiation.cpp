@@ -1,0 +1,89 @@
+#include "grist/physics/radiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grist/ml/traindata.hpp"
+
+namespace grist::physics {
+namespace {
+
+PhysicsInput testColumns(Index n) {
+  // Scenario-conditioned synthetic columns give physically plausible states.
+  const auto scenarios = ml::table1Scenarios();
+  return ml::synthesizeColumns(scenarios[0], n, 20);
+}
+
+TEST(Radiation, DaytimeSurfaceShortwavePositive) {
+  PhysicsInput in = testColumns(16);
+  for (Index c = 0; c < in.ncolumns; ++c) in.coszr[c] = 0.8;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Radiation rad;
+  rad.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    EXPECT_GT(out.gsw[c], 50.0);
+    EXPECT_LT(out.gsw[c], 1361.0);
+  }
+}
+
+TEST(Radiation, NighttimeShortwaveZero) {
+  PhysicsInput in = testColumns(8);
+  for (Index c = 0; c < in.ncolumns; ++c) in.coszr[c] = 0.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Radiation rad;
+  rad.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) EXPECT_DOUBLE_EQ(out.gsw[c], 0.0);
+}
+
+TEST(Radiation, DownwardLongwaveInPlausibleRange) {
+  PhysicsInput in = testColumns(16);
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Radiation rad;
+  rad.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    EXPECT_GT(out.glw[c], 100.0);   // clear cold sky lower bound
+    EXPECT_LT(out.glw[c], 550.0);   // warm moist upper bound
+  }
+}
+
+TEST(Radiation, MoreVaporMoreGreenhouse) {
+  PhysicsInput dry = testColumns(8);
+  PhysicsInput wet = dry;
+  for (Index c = 0; c < wet.ncolumns; ++c) {
+    for (int k = 0; k < wet.nlev; ++k) wet.qv(c, k) *= 2.0;
+  }
+  PhysicsOutput out_dry(dry.ncolumns, dry.nlev), out_wet(wet.ncolumns, wet.nlev);
+  Radiation rad;
+  rad.run(dry, out_dry);
+  rad.run(wet, out_wet);
+  for (Index c = 0; c < dry.ncolumns; ++c) EXPECT_GT(out_wet.glw[c], out_dry.glw[c]);
+}
+
+TEST(Radiation, NighttimeColumnCoolsOnAverage) {
+  PhysicsInput in = testColumns(8);
+  for (Index c = 0; c < in.ncolumns; ++c) in.coszr[c] = 0.0;
+  PhysicsOutput out(in.ncolumns, in.nlev);
+  Radiation rad;
+  rad.run(in, out);
+  for (Index c = 0; c < in.ncolumns; ++c) {
+    // Tropospheric mean only: the stratospheric layers carry the ozone
+    // stand-in relaxation, which can be weakly warming.
+    double mean = 0;
+    int count = 0;
+    for (int k = 0; k < in.nlev; ++k) {
+      if (in.pmid(c, k) < 2.0e4) continue;
+      mean += out.dtdt(c, k);
+      ++count;
+    }
+    mean /= count;
+    EXPECT_LT(mean, 0.0);                 // longwave cooling
+    EXPECT_GT(mean, -50.0 / 86400.0);     // but < 50 K/day
+  }
+}
+
+TEST(Radiation, FlopsEstimateScalesWithBandsAndLevels) {
+  Radiation rad;
+  EXPECT_GT(rad.flopsPerColumn(60), rad.flopsPerColumn(30) * 1.9);
+}
+
+} // namespace
+} // namespace grist::physics

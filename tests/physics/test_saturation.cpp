@@ -1,0 +1,51 @@
+#include "grist/physics/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace grist::physics {
+namespace {
+
+TEST(Saturation, KnownValues) {
+  // es(0 C) ~ 611 Pa; es(20 C) ~ 2339 Pa; es(-20 C) ~ 126 Pa (Tetens).
+  EXPECT_NEAR(saturationVaporPressure(273.15), 611.0, 5.0);
+  EXPECT_NEAR(saturationVaporPressure(293.15), 2339.0, 50.0);
+  EXPECT_NEAR(saturationVaporPressure(253.15), 126.0, 15.0);
+}
+
+TEST(Saturation, MonotonicInTemperature) {
+  double prev = 0.0;
+  for (double t = 230.0; t <= 320.0; t += 5.0) {
+    const double es = saturationVaporPressure(t);
+    EXPECT_GT(es, prev);
+    prev = es;
+  }
+}
+
+TEST(Saturation, MixingRatioIncreasesWithTAndDecreasesWithP) {
+  EXPECT_GT(saturationMixingRatio(300.0, 9e4), saturationMixingRatio(290.0, 9e4));
+  EXPECT_GT(saturationMixingRatio(300.0, 8e4), saturationMixingRatio(300.0, 1e5));
+  // Typical magnitude: ~22 g/kg at 300 K, 1000 hPa.
+  EXPECT_NEAR(saturationMixingRatio(300.0, 1e5), 0.022, 0.004);
+}
+
+TEST(Saturation, SlopeMatchesFiniteDifference) {
+  for (double t : {260.0, 280.0, 300.0}) {
+    const double h = 0.5;
+    const double fd =
+        (saturationMixingRatio(t + h, 9e4) - saturationMixingRatio(t - h, 9e4)) /
+        (2 * h);
+    EXPECT_NEAR(saturationMixingRatioSlope(t, 9e4), fd, 0.05 * fd);
+  }
+}
+
+TEST(Saturation, LowPressureGuard) {
+  // Near/below es the formula must stay finite and positive.
+  const double q = saturationMixingRatio(320.0, 500.0);
+  EXPECT_GT(q, 0.0);
+  EXPECT_TRUE(std::isfinite(q));
+}
+
+} // namespace
+} // namespace grist::physics

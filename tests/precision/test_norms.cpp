@@ -1,0 +1,74 @@
+#include "grist/precision/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grist/precision/ns.hpp"
+
+namespace grist::precision {
+namespace {
+
+TEST(Norms, RelativeL2KnownValues) {
+  const std::vector<double> gold{3.0, 4.0};
+  const std::vector<double> same = gold;
+  EXPECT_DOUBLE_EQ(relativeL2(same, gold), 0.0);
+  const std::vector<double> off{3.0, 4.0 + 5.0};  // diff norm 5, ref norm 5
+  EXPECT_DOUBLE_EQ(relativeL2(off, gold), 1.0);
+}
+
+TEST(Norms, ZeroReferenceFallsBackToAbsolute) {
+  const std::vector<double> gold{0.0, 0.0};
+  const std::vector<double> test{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(relativeL2(test, gold), 5.0);
+}
+
+TEST(Norms, SizeMismatchThrows) {
+  EXPECT_THROW(relativeL2({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(relativeLinf({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Norms, RelativeLinf) {
+  const std::vector<double> gold{2.0, -4.0};
+  const std::vector<double> test{2.5, -4.0};
+  EXPECT_DOUBLE_EQ(relativeLinf(test, gold), 0.5 / 4.0);
+}
+
+TEST(PrecisionGate, PassesWithinThreshold) {
+  PrecisionGate gate(0.05);
+  const std::vector<double> gold{1.0, 1.0, 1.0, 1.0};
+  std::vector<double> test{1.01, 1.0, 0.99, 1.0};
+  const double norm = gate.check("ps", test, gold);
+  EXPECT_LT(norm, 0.05);
+  EXPECT_TRUE(gate.passed());
+  EXPECT_EQ(gate.records().size(), 1u);
+}
+
+TEST(PrecisionGate, FailsBeyondThreshold) {
+  PrecisionGate gate(0.05);
+  const std::vector<double> gold{1.0, 1.0};
+  const std::vector<double> test{1.2, 1.0};
+  gate.check("vor", test, gold);
+  EXPECT_FALSE(gate.passed());
+}
+
+TEST(PrecisionGate, NanFails) {
+  PrecisionGate gate(0.05);
+  const std::vector<double> gold{1.0};
+  const std::vector<double> test{std::nan("")};
+  gate.check("ps", test, gold);
+  EXPECT_FALSE(gate.passed());
+}
+
+TEST(Ns, ConversionAndNames) {
+  EXPECT_EQ(std::string(name(NsMode::kDouble)), "DP");
+  EXPECT_EQ(std::string(name(NsMode::kSingle)), "MIX");
+  // float conversion rounds to the nearest representable value (lossy by
+  // design); double conversion is exact.
+  EXPECT_EQ(toNs<float>(1.0000001), static_cast<float>(1.0000001));
+  EXPECT_NE(static_cast<double>(toNs<float>(1.0000001)), 1.0000001);
+  EXPECT_DOUBLE_EQ(toNs<double>(1.0000001), 1.0000001);
+}
+
+} // namespace
+} // namespace grist::precision

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "grist/sunway/core_group.hpp"
+
+namespace grist::sunway {
+namespace {
+
+TEST(Cpe, CycleAccounting) {
+  ArchParams params;
+  Cpe cpe(params);
+  cpe.flops(10, SimPrecision::kDouble);
+  EXPECT_DOUBLE_EQ(cpe.cycles(), 10 * params.cycles_flop_dp);
+  cpe.divs(2, SimPrecision::kSingle);
+  EXPECT_DOUBLE_EQ(cpe.cycles(),
+                   10 * params.cycles_flop_dp + 2 * params.cycles_div_sp);
+  // SP divide is half the DP latency (the paper's section 4.6 observation).
+  EXPECT_DOUBLE_EQ(params.cycles_div_sp * 2, params.cycles_div_dp);
+}
+
+TEST(Cpe, MissCostsDominateColdStreams) {
+  ArchParams params;
+  Cpe cpe(params);
+  // Stream 1 MB: every line misses.
+  for (std::uint64_t addr = 0; addr < (1 << 20); addr += 8) cpe.load(addr, 8);
+  const double cycles_cold = cpe.cycles();
+  cpe.reset();
+  // Re-walk a cache-resident 64 KB window.
+  for (int rep = 0; rep < 16; ++rep) {
+    for (std::uint64_t addr = 0; addr < (1 << 16); addr += 8) cpe.load(addr, 8);
+  }
+  EXPECT_LT(cpe.cycles(), cycles_cold);
+}
+
+TEST(Cpe, LdmScratchBounded) {
+  ArchParams params;
+  Cpe cpe(params);
+  const std::size_t scratch = params.ldm_bytes - params.ldcache_bytes;
+  cpe.ldmAlloc(scratch);
+  EXPECT_THROW(cpe.ldmAlloc(1), std::length_error);
+  cpe.ldmFree(scratch);
+  cpe.ldmAlloc(16);  // fine again
+}
+
+TEST(Cpe, DmaCheaperThanMissesForBulk) {
+  ArchParams params;
+  Cpe via_cache(params), via_dma(params);
+  const std::size_t bytes = 64 * 1024;
+  for (std::uint64_t addr = 0; addr < bytes; addr += 8) via_cache.load(addr, 8);
+  via_dma.dma(bytes);
+  EXPECT_LT(via_dma.cycles(), via_cache.cycles());
+}
+
+TEST(CoreGroup, SixtyFourCpes) {
+  CoreGroup cg;
+  EXPECT_EQ(cg.cpeCount(), 64);
+}
+
+TEST(CoreGroup, TeamSpawnAndBarrier) {
+  CoreGroup cg;
+  cg.spawnTeam();
+  // Team head pays more than members.
+  EXPECT_GT(cg.cpe(0).cycles(), cg.cpe(1).cycles());
+  // Unbalanced work, then the barrier equalizes.
+  cg.cpe(3).flops(5000, SimPrecision::kDouble);
+  const double region = cg.joinTeam();
+  EXPECT_DOUBLE_EQ(region, cg.cpe(3).cycles());
+  for (int p = 0; p < cg.cpeCount(); ++p) {
+    EXPECT_DOUBLE_EQ(cg.cpe(p).cycles(), region);
+  }
+}
+
+TEST(Mpe, ComputeBoundModel) {
+  ArchParams params;
+  Mpe mpe(params);
+  // Bulk DP vs SP flops cost the same on the MPE (section 4.6: "the Sunway
+  // architecture generally does not exhibit higher calculation performance
+  // in single precision... except division and elemental functions").
+  mpe.flops(1000, SimPrecision::kDouble);
+  const double dp = mpe.cycles();
+  Mpe mpe2(params);
+  mpe2.flops(1000, SimPrecision::kSingle);
+  EXPECT_DOUBLE_EQ(mpe2.cycles(), dp);
+}
+
+} // namespace
+} // namespace grist::sunway

@@ -1,0 +1,67 @@
+#include "grist/sunway/ldcache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grist::sunway {
+namespace {
+
+TEST(LdCache, GeometryDerivedFromParameters) {
+  LdCache cache(128 * 1024, 4, 256);
+  EXPECT_EQ(cache.sets(), 128);
+  EXPECT_EQ(cache.ways(), 4);
+  EXPECT_EQ(cache.lineBytes(), 256u);
+  EXPECT_THROW(LdCache(100, 4, 256), std::invalid_argument);
+}
+
+TEST(LdCache, RepeatAccessHits) {
+  LdCache cache(128 * 1024, 4, 256);
+  EXPECT_EQ(cache.access(0x1000, 8), 1);  // cold miss
+  EXPECT_EQ(cache.access(0x1000, 8), 0);  // hit
+  EXPECT_EQ(cache.access(0x1008, 8), 0);  // same line
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LdCache, StraddlingAccessTouchesTwoLines) {
+  LdCache cache(128 * 1024, 4, 256);
+  EXPECT_EQ(cache.access(256 - 4, 8), 2);
+}
+
+TEST(LdCache, FourWayHoldsFourConflictingLines) {
+  LdCache cache(128 * 1024, 4, 256);
+  // Five addresses mapping to set 0 (stride = sets * line = 32 KB): with 4
+  // ways, cycling through 5 of them thrashes -- the paper's Fig. 6(a).
+  const std::uint64_t way_stride = 128ull * 256ull;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 4; ++i) cache.access(i * way_stride, 8);
+  }
+  EXPECT_EQ(cache.misses(), 4);  // only cold misses: 4 lines fit 4 ways
+  cache.reset();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 5; ++i) cache.access(i * way_stride, 8);
+  }
+  EXPECT_EQ(cache.hits(), 0);  // LRU thrashing: every access misses
+}
+
+TEST(LdCache, DistributedBasesAvoidThrashing) {
+  LdCache cache(128 * 1024, 4, 256);
+  // Same five streams, but staggered by one line each: distinct sets.
+  const std::uint64_t way_stride = 128ull * 256ull;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 5; ++i) cache.access(i * way_stride + i * 256ull, 8);
+  }
+  EXPECT_EQ(cache.misses(), 5);  // cold only
+  EXPECT_EQ(cache.hits(), 10);
+}
+
+TEST(LdCache, HitRatioReporting) {
+  LdCache cache(128 * 1024, 4, 256);
+  EXPECT_DOUBLE_EQ(cache.hitRatio(), 1.0);  // vacuous
+  cache.access(0, 8);
+  cache.access(0, 8);
+  cache.access(0, 8);
+  EXPECT_NEAR(cache.hitRatio(), 2.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace grist::sunway

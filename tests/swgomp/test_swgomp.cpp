@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "grist/grid/trsk.hpp"
+#include "grist/swgomp/offload.hpp"
+#include "grist/swgomp/pool_allocator.hpp"
+#include "grist/swgomp/sim_kernels.hpp"
+
+namespace grist::swgomp {
+namespace {
+
+using sunway::ArchParams;
+using sunway::CoreGroup;
+using sunway::SimPrecision;
+
+TEST(PoolAllocator, WayAlignedBasesCollideInOneSet) {
+  ArchParams params;
+  PoolAllocator alloc(AllocPolicy::kWayAligned, params);
+  const std::size_t way = params.ldcache_bytes / params.ldcache_ways;
+  const std::uint64_t a = alloc.allocate(1000);
+  const std::uint64_t b = alloc.allocate(1000);
+  EXPECT_EQ(a % way, 0u);
+  EXPECT_EQ(b % way, 0u);
+}
+
+TEST(PoolAllocator, DistributedBasesSpreadAcrossSets) {
+  ArchParams params;
+  PoolAllocator alloc(AllocPolicy::kDistributed, params);
+  const std::size_t way = params.ldcache_bytes / params.ldcache_ways;
+  std::set<std::uint64_t> lanes;
+  for (int i = 0; i < 8; ++i) {
+    lanes.insert(alloc.allocate(1000) % way / params.ldcache_line);
+  }
+  // Eight arrays land in (nearly) eight distinct lanes.
+  EXPECT_GE(lanes.size(), 7u);
+}
+
+TEST(TargetParallelDo, DistributesIterationsAndBarriers) {
+  CoreGroup cg;
+  std::vector<int> touched(640, 0);
+  const double region = targetParallelDo(cg, 640, [&](sunway::Cpe& cpe, Index i) {
+    ++touched[i];
+    cpe.flops(1, SimPrecision::kDouble);
+  });
+  for (const int t : touched) EXPECT_EQ(t, 1);
+  EXPECT_GT(region, 0.0);
+  // All CPEs end at the same cycle count (implicit barrier).
+  for (int p = 1; p < cg.cpeCount(); ++p) {
+    EXPECT_DOUBLE_EQ(cg.cpe(p).cycles(), cg.cpe(0).cycles());
+  }
+}
+
+TEST(Omnicopy, LdmAccessesSkipTheCache) {
+  CoreGroup cg;
+  PoolAllocator alloc(AllocPolicy::kWayAligned, cg.params());
+  std::vector<double> host(1024, 2.0);
+  VirtualArray<double> arr(host.data(), alloc, host.size());
+  sunway::Cpe& cpe = cg.cpe(0);
+  const LdmView<double> view = omnicopy(cpe, arr, 0, 256);
+  const auto misses_after_dma = cpe.cache().misses();
+  double sum = 0;
+  for (Index i = 0; i < 256; ++i) sum += view.read(cpe, i);
+  EXPECT_DOUBLE_EQ(sum, 512.0);
+  EXPECT_EQ(cpe.cache().misses(), misses_after_dma);  // no cache traffic
+  omnifree(cpe, view, 256);
+}
+
+class SimKernelCase : public ::testing::TestWithParam<SimKernel> {
+ protected:
+  grid::HexMesh mesh_ = grid::buildHexMesh(3);
+  grid::TrskWeights trsk_ = grid::buildTrskWeights(mesh_);
+};
+
+TEST_P(SimKernelCase, CpeOffloadBeatsMpe) {
+  CoreGroup cg;
+  SimConfig cfg;
+  cfg.nlev = 10;
+  cfg.on_cpe = false;
+  const double mpe = runSimKernel(GetParam(), mesh_, trsk_, cfg, cg);
+  cfg.on_cpe = true;
+  const double cpe = runSimKernel(GetParam(), mesh_, trsk_, cfg, cg);
+  // 64 CPEs must beat one MPE by a clear factor even with cache misses.
+  EXPECT_GT(mpe / cpe, 5.0) << kernelName(GetParam());
+  EXPECT_LT(mpe / cpe, 128.0) << kernelName(GetParam());
+}
+
+TEST_P(SimKernelCase, SpeedupMatrixOrdering) {
+  const KernelSpeedups s = measureKernelSpeedups(GetParam(), mesh_, trsk_, 10);
+  // Every configuration accelerates; DST never hurts; the paper's Fig. 9
+  // band is roughly 20-70x for the best configurations.
+  EXPECT_GT(s.dp, 1.0) << s.kernel;
+  EXPECT_GE(s.dp_dst, 0.95 * s.dp) << s.kernel;
+  EXPECT_GE(s.mix_dst, 0.95 * s.mix) << s.kernel;
+  EXPECT_GE(s.mix_dst, 0.95 * s.dp_dst) << s.kernel;
+  EXPECT_LT(s.mix_dst, 150.0) << s.kernel;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SimKernelCase,
+                         ::testing::ValuesIn(allSimKernels()),
+                         [](const auto& info) {
+                           return std::string(kernelName(info.param));
+                         });
+
+TEST(SimKernels, MixBeatsDpWhereDividesDominate) {
+  // primal_normal_flux_edge has 2 divides per point (the paper calls out
+  // its "numerous division, power and other computationally expensive
+  // calculations"); MIX must help it.
+  const grid::HexMesh mesh = grid::buildHexMesh(3);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  const KernelSpeedups s =
+      measureKernelSpeedups(SimKernel::kPrimalNormalFluxEdge, mesh, trsk, 10);
+  EXPECT_GT(s.mix, 1.15 * s.dp);
+}
+
+TEST(SimKernels, DstHelpsTheManyArrayKernelMost) {
+  // tracer_transport_hori_flux_limiter touches > 4 arrays per loop, so the
+  // address distributor buys it more than the 3-array grad-ke kernel (the
+  // contrast the paper's Fig. 9 shows).
+  const grid::HexMesh mesh = grid::buildHexMesh(3);
+  const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  const KernelSpeedups fct =
+      measureKernelSpeedups(SimKernel::kTracerHoriFluxLimiter, mesh, trsk, 10);
+  const KernelSpeedups ke =
+      measureKernelSpeedups(SimKernel::kTendGradKeAtEdge, mesh, trsk, 10);
+  const double fct_gain = fct.dp_dst / fct.dp;
+  const double ke_gain = ke.dp_dst / ke.dp;
+  EXPECT_GT(fct_gain, ke_gain);
+}
+
+} // namespace
+} // namespace grist::swgomp
