@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_run.dir/grist_run.cpp.o"
+  "CMakeFiles/grist_run.dir/grist_run.cpp.o.d"
+  "grist_run"
+  "grist_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

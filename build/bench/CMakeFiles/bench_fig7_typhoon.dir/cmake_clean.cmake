@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_typhoon.dir/bench_fig7_typhoon.cpp.o"
+  "CMakeFiles/bench_fig7_typhoon.dir/bench_fig7_typhoon.cpp.o.d"
+  "bench_fig7_typhoon"
+  "bench_fig7_typhoon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_typhoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ml_physics.dir/bench_fig8_ml_physics.cpp.o"
+  "CMakeFiles/bench_fig8_ml_physics.dir/bench_fig8_ml_physics.cpp.o.d"
+  "bench_fig8_ml_physics"
+  "bench_fig8_ml_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ml_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

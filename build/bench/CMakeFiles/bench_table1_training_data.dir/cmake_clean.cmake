@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_training_data.dir/bench_table1_training_data.cpp.o"
+  "CMakeFiles/bench_table1_training_data.dir/bench_table1_training_data.cpp.o.d"
+  "bench_table1_training_data"
+  "bench_table1_training_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_training_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_grids.dir/bench_table2_grids.cpp.o"
+  "CMakeFiles/bench_table2_grids.dir/bench_table2_grids.cpp.o.d"
+  "bench_table2_grids"
+  "bench_table2_grids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_schemes.dir/bench_table3_schemes.cpp.o"
+  "CMakeFiles/bench_table3_schemes.dir/bench_table3_schemes.cpp.o.d"
+  "bench_table3_schemes"
+  "bench_table3_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_ml.dir/climate_ml.cpp.o"
+  "CMakeFiles/climate_ml.dir/climate_ml.cpp.o.d"
+  "climate_ml"
+  "climate_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

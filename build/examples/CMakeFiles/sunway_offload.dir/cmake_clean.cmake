@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunway_offload.dir/sunway_offload.cpp.o"
+  "CMakeFiles/sunway_offload.dir/sunway_offload.cpp.o.d"
+  "sunway_offload"
+  "sunway_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunway_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

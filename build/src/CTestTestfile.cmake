@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("grid")
+subdirs("partition")
+subdirs("parallel")
+subdirs("io")
+subdirs("precision")
+subdirs("dycore")
+subdirs("physics")
+subdirs("ml")
+subdirs("coupler")
+subdirs("sunway")
+subdirs("swgomp")
+subdirs("network")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_common.dir/src/config.cpp.o"
+  "CMakeFiles/grist_common.dir/src/config.cpp.o.d"
+  "CMakeFiles/grist_common.dir/src/log.cpp.o"
+  "CMakeFiles/grist_common.dir/src/log.cpp.o.d"
+  "CMakeFiles/grist_common.dir/src/timer.cpp.o"
+  "CMakeFiles/grist_common.dir/src/timer.cpp.o.d"
+  "libgrist_common.a"
+  "libgrist_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

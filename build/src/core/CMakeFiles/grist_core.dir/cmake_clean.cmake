@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_core.dir/src/factory.cpp.o"
+  "CMakeFiles/grist_core.dir/src/factory.cpp.o.d"
+  "CMakeFiles/grist_core.dir/src/model.cpp.o"
+  "CMakeFiles/grist_core.dir/src/model.cpp.o.d"
+  "CMakeFiles/grist_core.dir/src/parallel_model.cpp.o"
+  "CMakeFiles/grist_core.dir/src/parallel_model.cpp.o.d"
+  "libgrist_core.a"
+  "libgrist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_coupler.dir/src/coupler.cpp.o"
+  "CMakeFiles/grist_coupler.dir/src/coupler.cpp.o.d"
+  "libgrist_coupler.a"
+  "libgrist_coupler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

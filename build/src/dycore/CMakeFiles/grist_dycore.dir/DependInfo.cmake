@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dycore/src/diagnostics.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/diagnostics.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/diagnostics.cpp.o.d"
+  "/root/repo/src/dycore/src/dycore.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/dycore.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/dycore.cpp.o.d"
+  "/root/repo/src/dycore/src/init.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/init.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/init.cpp.o.d"
+  "/root/repo/src/dycore/src/state.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/state.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/state.cpp.o.d"
+  "/root/repo/src/dycore/src/tracer.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/tracer.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/tracer.cpp.o.d"
+  "/root/repo/src/dycore/src/vertical_remap.cpp" "src/dycore/CMakeFiles/grist_dycore.dir/src/vertical_remap.cpp.o" "gcc" "src/dycore/CMakeFiles/grist_dycore.dir/src/vertical_remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/grist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/grist_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/grist_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

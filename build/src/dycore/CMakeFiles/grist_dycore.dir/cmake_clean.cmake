@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_dycore.dir/src/diagnostics.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/diagnostics.cpp.o.d"
+  "CMakeFiles/grist_dycore.dir/src/dycore.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/dycore.cpp.o.d"
+  "CMakeFiles/grist_dycore.dir/src/init.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/init.cpp.o.d"
+  "CMakeFiles/grist_dycore.dir/src/state.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/state.cpp.o.d"
+  "CMakeFiles/grist_dycore.dir/src/tracer.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/tracer.cpp.o.d"
+  "CMakeFiles/grist_dycore.dir/src/vertical_remap.cpp.o"
+  "CMakeFiles/grist_dycore.dir/src/vertical_remap.cpp.o.d"
+  "libgrist_dycore.a"
+  "libgrist_dycore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_dycore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

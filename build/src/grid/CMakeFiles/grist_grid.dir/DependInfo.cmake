@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/src/hex_mesh.cpp" "src/grid/CMakeFiles/grist_grid.dir/src/hex_mesh.cpp.o" "gcc" "src/grid/CMakeFiles/grist_grid.dir/src/hex_mesh.cpp.o.d"
+  "/root/repo/src/grid/src/reorder.cpp" "src/grid/CMakeFiles/grist_grid.dir/src/reorder.cpp.o" "gcc" "src/grid/CMakeFiles/grist_grid.dir/src/reorder.cpp.o.d"
+  "/root/repo/src/grid/src/tri_mesh.cpp" "src/grid/CMakeFiles/grist_grid.dir/src/tri_mesh.cpp.o" "gcc" "src/grid/CMakeFiles/grist_grid.dir/src/tri_mesh.cpp.o.d"
+  "/root/repo/src/grid/src/trsk.cpp" "src/grid/CMakeFiles/grist_grid.dir/src/trsk.cpp.o" "gcc" "src/grid/CMakeFiles/grist_grid.dir/src/trsk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_grid.dir/src/hex_mesh.cpp.o"
+  "CMakeFiles/grist_grid.dir/src/hex_mesh.cpp.o.d"
+  "CMakeFiles/grist_grid.dir/src/reorder.cpp.o"
+  "CMakeFiles/grist_grid.dir/src/reorder.cpp.o.d"
+  "CMakeFiles/grist_grid.dir/src/tri_mesh.cpp.o"
+  "CMakeFiles/grist_grid.dir/src/tri_mesh.cpp.o.d"
+  "CMakeFiles/grist_grid.dir/src/trsk.cpp.o"
+  "CMakeFiles/grist_grid.dir/src/trsk.cpp.o.d"
+  "libgrist_grid.a"
+  "libgrist_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

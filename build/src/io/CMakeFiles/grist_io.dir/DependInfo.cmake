@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/src/grouped_writer.cpp" "src/io/CMakeFiles/grist_io.dir/src/grouped_writer.cpp.o" "gcc" "src/io/CMakeFiles/grist_io.dir/src/grouped_writer.cpp.o.d"
+  "/root/repo/src/io/src/restart.cpp" "src/io/CMakeFiles/grist_io.dir/src/restart.cpp.o" "gcc" "src/io/CMakeFiles/grist_io.dir/src/restart.cpp.o.d"
+  "/root/repo/src/io/src/table.cpp" "src/io/CMakeFiles/grist_io.dir/src/table.cpp.o" "gcc" "src/io/CMakeFiles/grist_io.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dycore/CMakeFiles/grist_dycore.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/grist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/grist_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/grist_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_io.dir/src/grouped_writer.cpp.o"
+  "CMakeFiles/grist_io.dir/src/grouped_writer.cpp.o.d"
+  "CMakeFiles/grist_io.dir/src/restart.cpp.o"
+  "CMakeFiles/grist_io.dir/src/restart.cpp.o.d"
+  "CMakeFiles/grist_io.dir/src/table.cpp.o"
+  "CMakeFiles/grist_io.dir/src/table.cpp.o.d"
+  "libgrist_io.a"
+  "libgrist_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

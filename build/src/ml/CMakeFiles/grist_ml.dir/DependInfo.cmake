@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/adam.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/adam.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/adam.cpp.o.d"
+  "/root/repo/src/ml/src/ensemble.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/ensemble.cpp.o.d"
+  "/root/repo/src/ml/src/layers.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/layers.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/layers.cpp.o.d"
+  "/root/repo/src/ml/src/matrix.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/ml/src/ml_suite.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/ml_suite.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/ml_suite.cpp.o.d"
+  "/root/repo/src/ml/src/q1q2_net.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/q1q2_net.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/q1q2_net.cpp.o.d"
+  "/root/repo/src/ml/src/rad_mlp.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/rad_mlp.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/rad_mlp.cpp.o.d"
+  "/root/repo/src/ml/src/traindata.cpp" "src/ml/CMakeFiles/grist_ml.dir/src/traindata.cpp.o" "gcc" "src/ml/CMakeFiles/grist_ml.dir/src/traindata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/grist_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dycore/CMakeFiles/grist_dycore.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/grist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/grist_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/grist_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

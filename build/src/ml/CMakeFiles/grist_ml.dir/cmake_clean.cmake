@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_ml.dir/src/adam.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/adam.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/ensemble.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/ensemble.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/layers.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/layers.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/matrix.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/ml_suite.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/ml_suite.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/q1q2_net.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/q1q2_net.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/rad_mlp.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/rad_mlp.cpp.o.d"
+  "CMakeFiles/grist_ml.dir/src/traindata.cpp.o"
+  "CMakeFiles/grist_ml.dir/src/traindata.cpp.o.d"
+  "libgrist_ml.a"
+  "libgrist_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

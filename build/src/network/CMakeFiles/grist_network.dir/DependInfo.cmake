@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/src/fat_tree.cpp" "src/network/CMakeFiles/grist_network.dir/src/fat_tree.cpp.o" "gcc" "src/network/CMakeFiles/grist_network.dir/src/fat_tree.cpp.o.d"
+  "/root/repo/src/network/src/projector.cpp" "src/network/CMakeFiles/grist_network.dir/src/projector.cpp.o" "gcc" "src/network/CMakeFiles/grist_network.dir/src/projector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

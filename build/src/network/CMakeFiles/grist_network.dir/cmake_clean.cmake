@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_network.dir/src/fat_tree.cpp.o"
+  "CMakeFiles/grist_network.dir/src/fat_tree.cpp.o.d"
+  "CMakeFiles/grist_network.dir/src/projector.cpp.o"
+  "CMakeFiles/grist_network.dir/src/projector.cpp.o.d"
+  "libgrist_network.a"
+  "libgrist_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_parallel.dir/src/decompose.cpp.o"
+  "CMakeFiles/grist_parallel.dir/src/decompose.cpp.o.d"
+  "CMakeFiles/grist_parallel.dir/src/exchange.cpp.o"
+  "CMakeFiles/grist_parallel.dir/src/exchange.cpp.o.d"
+  "libgrist_parallel.a"
+  "libgrist_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_partition.dir/src/partitioner.cpp.o"
+  "CMakeFiles/grist_partition.dir/src/partitioner.cpp.o.d"
+  "libgrist_partition.a"
+  "libgrist_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/src/convection.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/convection.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/convection.cpp.o.d"
+  "/root/repo/src/physics/src/held_suarez.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/held_suarez.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/held_suarez.cpp.o.d"
+  "/root/repo/src/physics/src/land.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/land.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/land.cpp.o.d"
+  "/root/repo/src/physics/src/microphysics.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/microphysics.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/microphysics.cpp.o.d"
+  "/root/repo/src/physics/src/pbl.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/pbl.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/pbl.cpp.o.d"
+  "/root/repo/src/physics/src/radiation.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/radiation.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/radiation.cpp.o.d"
+  "/root/repo/src/physics/src/saturation.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/saturation.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/saturation.cpp.o.d"
+  "/root/repo/src/physics/src/suite.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/suite.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/suite.cpp.o.d"
+  "/root/repo/src/physics/src/surface.cpp" "src/physics/CMakeFiles/grist_physics.dir/src/surface.cpp.o" "gcc" "src/physics/CMakeFiles/grist_physics.dir/src/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/grist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/grist_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_physics.dir/src/convection.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/convection.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/held_suarez.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/held_suarez.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/land.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/land.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/microphysics.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/microphysics.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/pbl.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/pbl.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/radiation.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/radiation.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/saturation.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/saturation.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/suite.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/suite.cpp.o.d"
+  "CMakeFiles/grist_physics.dir/src/surface.cpp.o"
+  "CMakeFiles/grist_physics.dir/src/surface.cpp.o.d"
+  "libgrist_physics.a"
+  "libgrist_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

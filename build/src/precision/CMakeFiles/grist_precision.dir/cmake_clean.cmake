@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_precision.dir/src/norms.cpp.o"
+  "CMakeFiles/grist_precision.dir/src/norms.cpp.o.d"
+  "libgrist_precision.a"
+  "libgrist_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrist_precision.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_sunway.dir/src/core_group.cpp.o"
+  "CMakeFiles/grist_sunway.dir/src/core_group.cpp.o.d"
+  "CMakeFiles/grist_sunway.dir/src/ldcache.cpp.o"
+  "CMakeFiles/grist_sunway.dir/src/ldcache.cpp.o.d"
+  "libgrist_sunway.a"
+  "libgrist_sunway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grist_swgomp.dir/src/pool_allocator.cpp.o"
+  "CMakeFiles/grist_swgomp.dir/src/pool_allocator.cpp.o.d"
+  "CMakeFiles/grist_swgomp.dir/src/sim_kernels.cpp.o"
+  "CMakeFiles/grist_swgomp.dir/src/sim_kernels.cpp.o.d"
+  "libgrist_swgomp.a"
+  "libgrist_swgomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grist_swgomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupler.dir/coupler/test_coupler.cpp.o"
+  "CMakeFiles/test_coupler.dir/coupler/test_coupler.cpp.o.d"
+  "test_coupler"
+  "test_coupler.pdb"
+  "test_coupler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

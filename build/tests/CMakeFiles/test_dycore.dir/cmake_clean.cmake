@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dycore.dir/dycore/test_bubble.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_bubble.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_conservation.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_conservation.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_mixed_precision.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_mixed_precision.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_operators.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_operators.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_rest_state.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_rest_state.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_topography.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_topography.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_tracer.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_tracer.cpp.o.d"
+  "CMakeFiles/test_dycore.dir/dycore/test_vertical_remap.cpp.o"
+  "CMakeFiles/test_dycore.dir/dycore/test_vertical_remap.cpp.o.d"
+  "test_dycore"
+  "test_dycore.pdb"
+  "test_dycore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dycore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

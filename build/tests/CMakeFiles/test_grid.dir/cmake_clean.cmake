@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/test_hex_mesh.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_hex_mesh.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_reorder.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_reorder.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_tri_mesh.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_tri_mesh.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_trsk.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_trsk.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

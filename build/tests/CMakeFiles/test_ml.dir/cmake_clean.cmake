@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_matrix_layers.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_matrix_layers.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_ml_suite.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_ml_suite.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_networks.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_networks.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_traindata.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_traindata.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics.dir/physics/test_convection_suite.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_convection_suite.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_held_suarez.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_held_suarez.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_microphysics.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_microphysics.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_pbl_surface_land.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_pbl_surface_land.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_radiation.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_radiation.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_saturation.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_saturation.cpp.o.d"
+  "test_physics"
+  "test_physics.pdb"
+  "test_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sunway.dir/sunway/test_cpe_cg.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_cpe_cg.cpp.o.d"
+  "CMakeFiles/test_sunway.dir/sunway/test_ldcache.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_ldcache.cpp.o.d"
+  "test_sunway"
+  "test_sunway.pdb"
+  "test_sunway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

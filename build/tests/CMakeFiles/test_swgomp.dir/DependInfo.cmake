@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swgomp/test_swgomp.cpp" "tests/CMakeFiles/test_swgomp.dir/swgomp/test_swgomp.cpp.o" "gcc" "tests/CMakeFiles/test_swgomp.dir/swgomp/test_swgomp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/grist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coupler/CMakeFiles/grist_coupler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/grist_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/grist_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/grist_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dycore/CMakeFiles/grist_dycore.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/grist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/grist_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/grist_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/swgomp/CMakeFiles/grist_swgomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sunway/CMakeFiles/grist_sunway.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/grist_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/grist_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

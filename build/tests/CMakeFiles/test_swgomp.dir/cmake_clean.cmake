@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swgomp.dir/swgomp/test_swgomp.cpp.o"
+  "CMakeFiles/test_swgomp.dir/swgomp/test_swgomp.cpp.o.d"
+  "test_swgomp"
+  "test_swgomp.pdb"
+  "test_swgomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swgomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
