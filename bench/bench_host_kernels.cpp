@@ -4,8 +4,14 @@
 // mixed precision alone buys little on a conventional cache-rich CPU (the
 // big wins in Fig. 9 come from the CPE memory system, reproduced in
 // bench_fig9_kernels).
+//
+// The BM_Unfused*/BM_Fused* pairs measure the fused single-sweep tendency
+// pipeline against the multi-sweep kernel sequence it replaced; record them
+// to BENCH_host_kernels.json with the --benchmark_format=json invocation
+// documented in README.md.
 #include <benchmark/benchmark.h>
 
+#include "grist/common/math.hpp"
 #include "grist/dycore/kernels.hpp"
 #include "grist/grid/hex_mesh.hpp"
 #include "grist/grid/trsk.hpp"
@@ -28,12 +34,42 @@ struct Fixture {
   parallel::Field out_edge{mesh.nedges, nlev, 0.0};
   parallel::Field vor{mesh.nvertices, nlev, 0.0};
   parallel::Field qv{mesh.nvertices, nlev, 1.0e-8};
+  // Extra streams for the fused-vs-unfused tendency pipeline.
+  parallel::Field uflux{mesh.nedges, nlev, 0.0};
+  parallel::Field div_flux{mesh.ncells, nlev, 0.0};
+  parallel::Field div_u{mesh.ncells, nlev, 0.0};
+  parallel::Field ke{mesh.ncells, nlev, 0.0};
+  parallel::Field alpha{mesh.ncells, nlev, 0.0};
+  parallel::Field p{mesh.ncells, nlev, 0.0};
+  parallel::Field exner{mesh.ncells, nlev, 0.0};
+  parallel::Field pi_mid{mesh.ncells, nlev, 0.0};
+  parallel::Field vvor{mesh.nvertices, nlev, 0.0};
+  parallel::Field vqv{mesh.nvertices, nlev, 0.0};
+  parallel::Field delp_tend{mesh.ncells, nlev, 0.0};
+  parallel::Field thetam_tend{mesh.ncells, nlev, 0.0};
+  parallel::Field scalar_del2{mesh.ncells, nlev, 0.0};
+  parallel::Field u_tend{mesh.nedges, nlev, 0.0};
+  parallel::Field w{mesh.ncells, nlev + 1, 0.01};
+  double nu_theta = 0.005 / 300.0;
+  double nu_div = 0.02 / 300.0;
+  double nu_vor = 0.005 / 300.0;
 
   Fixture() {
-    // Hydrostatic-ish phi so compute_rrr's pow() sees sane ratios.
+    // Hydrostatic-ish phi so compute_rrr's pow() sees sane ratios; gentle
+    // per-entity variation so upwind branches and limiters see both signs.
     for (Index c = 0; c < mesh.ncells; ++c) {
+      for (int k = 0; k < nlev; ++k) {
+        delp(c, k) = 500.0 + 20.0 * std::sin(0.37 * c + 0.9 * k);
+        theta(c, k) = 300.0 + 10.0 * std::cos(0.11 * c - 0.5 * k);
+      }
       for (int k = nlev; k >= 0; --k) phi(c, k) = (nlev - k) * 2000.0;
     }
+    for (Index e = 0; e < mesh.nedges; ++e) {
+      for (int k = 0; k < nlev; ++k) u(e, k) = 12.0 * std::sin(0.23 * e + 0.4 * k) - 3.0;
+    }
+    dycore::kernels::computeRrr<double>(mesh.ncells, nlev, 225.0, delp.data(),
+                                        theta.data(), phi.data(), alpha.data(),
+                                        p.data(), exner.data(), pi_mid.data());
   }
 };
 
@@ -92,6 +128,217 @@ void BM_CoriolisTerm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
 }
 
+// ---------------------------------------------------------------------------
+// Fused-vs-unfused pairs. Each BM_Unfused* reproduces the pre-fusion kernel
+// sequence (including its zero-fill and read-modify-write passes over the
+// tendency arrays); the BM_Fused* partner runs the single-sweep replacement
+// on identical inputs. The *TendencyPipeline pair is the acceptance number:
+// the full horizontal tendency step, everything downstream of computeRrr.
+// ---------------------------------------------------------------------------
+
+template <typename NS>
+void unfusedEdgeFluxes(Fixture& f) {
+  dycore::kernels::primalNormalFluxEdge<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                            f.delp.data(), f.u.data(),
+                                            f.flux.data());
+  // Pre-fusion dycore filled uflux with its own edge loop (always double).
+  double* uflux = f.uflux.data();
+  const double* u = f.u.data();
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < f.mesh.nedges; ++e) {
+    const double le = f.mesh.edge_le[e];
+    for (int k = 0; k < f.nlev; ++k) uflux[e * f.nlev + k] = le * u[e * f.nlev + k];
+  }
+}
+
+template <typename NS>
+void unfusedCellDiagnostics(Fixture& f) {
+  dycore::kernels::divAtCell<NS>(f.mesh, f.mesh.ncells, f.nlev, f.flux.data(),
+                                 f.div_flux.data());
+  dycore::kernels::divAtCell<NS>(f.mesh, f.mesh.ncells, f.nlev, f.uflux.data(),
+                                 f.div_u.data());
+  dycore::kernels::kineticEnergy<NS>(f.mesh, f.mesh.ncells, f.nlev, f.u.data(),
+                                     f.ke.data());
+}
+
+template <typename NS>
+void unfusedScalarTendencies(Fixture& f) {
+  const std::size_t cn = static_cast<std::size_t>(f.mesh.ncells) * f.nlev;
+  double* dt = f.delp_tend.data();
+  const double* div = f.div_flux.data();
+  for (std::size_t i = 0; i < cn; ++i) dt[i] = -div[i];
+  f.scalar_del2.fill(0.0);
+  dycore::kernels::scalarFluxTendency<NS>(f.mesh, f.mesh.ncells, f.nlev,
+                                          f.flux.data(), f.theta.data(),
+                                          f.thetam_tend.data());
+  dycore::kernels::del2Scalar<NS>(f.mesh, f.mesh.ncells, f.nlev, f.theta.data(),
+                                  f.nu_theta, f.scalar_del2.data());
+  double* tt = f.thetam_tend.data();
+  const double* dp = f.delp.data();
+  const double* s2 = f.scalar_del2.data();
+  for (std::size_t i = 0; i < cn; ++i) tt[i] += dp[i] * s2[i];
+}
+
+template <typename NS>
+void unfusedMomentumTendency(Fixture& f) {
+  f.u_tend.fill(0.0);
+  dycore::kernels::tendGradKeAtEdge<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                        f.ke.data(), f.u_tend.data());
+  dycore::kernels::calcCoriolisTerm<NS>(f.mesh, f.trsk, f.mesh.nedges, f.nlev,
+                                        f.flux.data(), f.vqv.data(),
+                                        f.u_tend.data());
+  dycore::kernels::calcPressureGradient(f.mesh, f.mesh.nedges, f.nlev,
+                                        f.phi.data(), f.alpha.data(), f.p.data(),
+                                        f.pi_mid.data(), f.u_tend.data());
+  dycore::kernels::del2Momentum<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                    f.div_u.data(), f.vor.data(), f.nu_div,
+                                    f.nu_vor, f.u_tend.data());
+}
+
+template <typename NS>
+void BM_UnfusedEdgeFluxes(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    unfusedEdgeFluxes<NS>(f);
+    benchmark::DoNotOptimize(f.uflux.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+template <typename NS>
+void BM_FusedEdgeFluxes(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    dycore::kernels::fusedEdgeFluxes<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                         f.delp.data(), f.u.data(),
+                                         f.flux.data(), f.uflux.data());
+    benchmark::DoNotOptimize(f.uflux.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+template <typename NS>
+void BM_UnfusedCellDiagnostics(benchmark::State& state) {
+  Fixture& f = fixture();
+  unfusedEdgeFluxes<NS>(f);
+  for (auto _ : state) {
+    unfusedCellDiagnostics<NS>(f);
+    benchmark::DoNotOptimize(f.ke.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
+}
+
+template <typename NS>
+void BM_FusedCellDiagnostics(benchmark::State& state) {
+  Fixture& f = fixture();
+  unfusedEdgeFluxes<NS>(f);
+  for (auto _ : state) {
+    dycore::kernels::fusedCellDiagnostics<NS>(f.mesh, f.mesh.ncells, f.nlev,
+                                              f.flux.data(), f.uflux.data(),
+                                              f.u.data(), f.div_flux.data(),
+                                              f.div_u.data(), f.ke.data());
+    benchmark::DoNotOptimize(f.ke.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
+}
+
+template <typename NS>
+void BM_UnfusedMomentumTendency(benchmark::State& state) {
+  Fixture& f = fixture();
+  unfusedEdgeFluxes<NS>(f);
+  unfusedCellDiagnostics<NS>(f);
+  dycore::kernels::fusedVertexDiagnostics<NS>(f.mesh, f.mesh.nvertices, f.nlev,
+                                              f.u.data(), f.delp.data(),
+                                              constants::kOmega, f.vvor.data(),
+                                              f.vqv.data());
+  for (auto _ : state) {
+    unfusedMomentumTendency<NS>(f);
+    benchmark::DoNotOptimize(f.u_tend.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+template <typename NS>
+void BM_FusedMomentumTendency(benchmark::State& state) {
+  Fixture& f = fixture();
+  unfusedEdgeFluxes<NS>(f);
+  unfusedCellDiagnostics<NS>(f);
+  dycore::kernels::fusedVertexDiagnostics<NS>(f.mesh, f.mesh.nvertices, f.nlev,
+                                              f.u.data(), f.delp.data(),
+                                              constants::kOmega, f.vvor.data(),
+                                              f.vqv.data());
+  for (auto _ : state) {
+    dycore::kernels::fusedMomentumTendency<NS>(
+        f.mesh, f.trsk, f.mesh.nedges, f.nlev, f.ke.data(), f.vqv.data(),
+        f.flux.data(), f.phi.data(), f.alpha.data(), f.p.data(),
+        f.div_u.data(), f.vvor.data(), f.nu_div, f.nu_vor, f.u_tend.data());
+    benchmark::DoNotOptimize(f.u_tend.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+// The acceptance pair: the whole horizontal tendency step (everything
+// downstream of computeRrr), old multi-sweep sequence vs fused pipeline.
+template <typename NS>
+void BM_UnfusedTendencyPipeline(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    unfusedEdgeFluxes<NS>(f);
+    unfusedCellDiagnostics<NS>(f);
+    dycore::kernels::vorticityAtVertex<NS>(f.mesh, f.mesh.nvertices, f.nlev,
+                                           f.u.data(), f.vvor.data());
+    dycore::kernels::potentialVorticityAtVertex<NS>(
+        f.mesh, f.mesh.nvertices, f.nlev, f.vvor.data(), f.delp.data(),
+        constants::kOmega, f.vqv.data());
+    unfusedScalarTendencies<NS>(f);
+    unfusedMomentumTendency<NS>(f);
+    benchmark::DoNotOptimize(f.u_tend.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+template <typename NS>
+void BM_FusedTendencyPipeline(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    dycore::kernels::fusedEdgeFluxes<NS>(f.mesh, f.mesh.nedges, f.nlev,
+                                         f.delp.data(), f.u.data(),
+                                         f.flux.data(), f.uflux.data());
+    dycore::kernels::fusedCellDiagnostics<NS>(f.mesh, f.mesh.ncells, f.nlev,
+                                              f.flux.data(), f.uflux.data(),
+                                              f.u.data(), f.div_flux.data(),
+                                              f.div_u.data(), f.ke.data());
+    dycore::kernels::fusedVertexDiagnostics<NS>(
+        f.mesh, f.mesh.nvertices, f.nlev, f.u.data(), f.delp.data(),
+        constants::kOmega, f.vvor.data(), f.vqv.data());
+    dycore::kernels::fusedScalarTendencies<NS>(
+        f.mesh, f.mesh.ncells, f.nlev, f.flux.data(), f.theta.data(),
+        f.delp.data(), f.div_flux.data(), f.nu_theta, f.delp_tend.data(),
+        f.thetam_tend.data());
+    dycore::kernels::fusedMomentumTendency<NS>(
+        f.mesh, f.trsk, f.mesh.nedges, f.nlev, f.ke.data(), f.vqv.data(),
+        f.flux.data(), f.phi.data(), f.alpha.data(), f.p.data(),
+        f.div_u.data(), f.vvor.data(), f.nu_div, f.nu_vor, f.u_tend.data());
+    benchmark::DoNotOptimize(f.u_tend.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.nedges * f.nlev);
+}
+
+// Workspace-backed column solve (hard double): confirms the arena refactor
+// did not slow the Thomas sweeps down.
+void BM_VertImplicitSolver(benchmark::State& state) {
+  Fixture& f = fixture();
+  parallel::Field w = f.w;
+  parallel::Field phi = f.phi;
+  for (auto _ : state) {
+    dycore::kernels::vertImplicitSolver(f.mesh.ncells, f.nlev, 300.0, 225.0,
+                                        f.delp.data(), f.theta.data(),
+                                        f.p.data(), w.data(), phi.data(), 0.0);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
+}
+
 } // namespace
 
 BENCHMARK_TEMPLATE(BM_PrimalNormalFlux, double)->Unit(benchmark::kMillisecond);
@@ -102,5 +349,23 @@ BENCHMARK_TEMPLATE(BM_ComputeRrr, double)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_ComputeRrr, float)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_CoriolisTerm, double)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_CoriolisTerm, float)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_TEMPLATE(BM_UnfusedEdgeFluxes, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedEdgeFluxes, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedEdgeFluxes, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedEdgeFluxes, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedCellDiagnostics, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedCellDiagnostics, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedCellDiagnostics, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedCellDiagnostics, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedMomentumTendency, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedMomentumTendency, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedMomentumTendency, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedMomentumTendency, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedTendencyPipeline, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedTendencyPipeline, double)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_UnfusedTendencyPipeline, float)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_FusedTendencyPipeline, float)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VertImplicitSolver)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Per-thread bump-pointer scratch arena for per-iteration temporaries in
+// hot parallel loops. The dycore's column solves (vertical implicit solver,
+// vertical remap) and the tracer limiter need a handful of nlev-sized work
+// arrays per cell; allocating them as std::vector inside an
+// `omp parallel for` puts the allocator lock on the critical path and
+// thrashes the heap. A Workspace is instead reserved once per thread before
+// the loop and handed out by pointer bumps -- zero heap traffic in the
+// steady state.
+//
+// Usage pattern:
+//
+//   #pragma omp parallel
+//   {
+//     auto& ws = common::Workspace::threadLocal();
+//     ws.reserve(Workspace::bytesFor<double>(nlev) * 6);
+//   #pragma omp for schedule(static)
+//     for (Index c = 0; c < ncells; ++c) {
+//       common::Workspace::Frame frame(ws);  // releases on scope exit
+//       double* tmp = ws.get<double>(nlev);
+//       ...
+//     }
+//   }
+//
+// The arena never shrinks: `threadLocal()` arenas persist for the thread's
+// lifetime, so a warmed-up solver performs no allocation at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace grist::common {
+
+class Workspace {
+ public:
+  /// Every get() is rounded up to this alignment (one cache line), so
+  /// per-iteration arrays never share a line across requests.
+  static constexpr std::size_t kAlign = 64;
+
+  /// Bytes one get<T>(n) consumes, including alignment padding. Sum these
+  /// when sizing reserve().
+  template <typename T>
+  static constexpr std::size_t bytesFor(std::size_t n) {
+    return roundUp(n * sizeof(T));
+  }
+
+  /// Grow capacity to at least `bytes`. Growth is only legal while no
+  /// allocation is live (offset == 0): growing would move the buffer and
+  /// dangle every pointer previously handed out.
+  void reserve(std::size_t bytes) {
+    if (bytes <= buf_.size()) return;
+    if (offset_ != 0) {
+      throw std::logic_error("Workspace::reserve: live allocations present");
+    }
+    buf_.resize(bytes);
+    ++growths_;
+  }
+
+  /// Bump-allocate n elements of T (uninitialized). Throws if the request
+  /// does not fit: callers must reserve() the loop's worst case up front --
+  /// that contract is what makes the zero-allocation guarantee checkable.
+  template <typename T>
+  T* get(std::size_t n) {
+    const std::size_t bytes = roundUp(n * sizeof(T));
+    if (offset_ + bytes > buf_.size()) {
+      if (offset_ == 0) {
+        // No live pointers: growing is safe (first-use convenience).
+        buf_.resize(offset_ + bytes);
+        ++growths_;
+      } else {
+        throw std::logic_error("Workspace::get: overflow; reserve() more");
+      }
+    }
+    T* p = reinterpret_cast<T*>(buf_.data() + offset_);
+    offset_ += bytes;
+    if (offset_ > high_water_) high_water_ = offset_;
+    return p;
+  }
+
+  /// Release everything (capacity is kept).
+  void reset() { offset_ = 0; }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t used() const { return offset_; }
+  /// Peak bytes ever live at once (sizing aid).
+  std::size_t highWater() const { return high_water_; }
+  /// Number of times the backing buffer (re)allocated -- a warmed-up arena
+  /// stops incrementing this.
+  std::int64_t growths() const { return growths_; }
+
+  /// RAII mark/release: restores the arena to its state at construction,
+  /// so nested users (an outer routine holding arrays across a call into
+  /// an inner one) compose safely.
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws) : ws_(ws), saved_(ws.offset_) {}
+    ~Frame() { ws_.offset_ = saved_; }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace& ws_;
+    std::size_t saved_;
+  };
+
+  /// The calling thread's persistent arena.
+  static Workspace& threadLocal() {
+    static thread_local Workspace ws;
+    return ws;
+  }
+
+ private:
+  static constexpr std::size_t roundUp(std::size_t bytes) {
+    return (bytes + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  std::vector<unsigned char> buf_;
+  std::size_t offset_ = 0;
+  std::size_t high_water_ = 0;
+  std::int64_t growths_ = 0;
+};
+
+} // namespace grist::common

@@ -63,12 +63,18 @@ class Dycore {
   DycoreConfig config_;
   Bounds bounds_;
 
-  // Scratch (allocated once).
-  parallel::Field flux_, uflux_, div_flux_, ke_, alpha_, p_, exner_, pi_mid_;
-  parallel::Field div_u_, thetam_tend_, delp_tend_, u_tend_, scalar_del2_;
-  parallel::Field vor_, qv_;
-  parallel::Field delp0_, thetam0_, u0_;  // step-start copies for RK
+  // Scratch (allocated once), grouped by mesh entity; the constructor
+  // asserts every field's size against its entity count.
+  // Cell fields:
+  parallel::Field div_flux_, ke_, alpha_, p_, exner_, pi_mid_, div_u_;
+  parallel::Field thetam_tend_, delp_tend_;
+  parallel::Field delp0_, thetam0_;  // step-start copies for RK
+  // Edge fields:
+  parallel::Field flux_, uflux_, u_tend_;
+  parallel::Field u0_;  // step-start copy for RK
   parallel::Field acc_flux_;
+  // Vertex fields:
+  parallel::Field vor_, qv_;
   int acc_steps_ = 0;
 };
 

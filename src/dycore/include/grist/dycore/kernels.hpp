@@ -17,6 +17,7 @@
 #include <cmath>
 
 #include "grist/common/math.hpp"
+#include "grist/common/workspace.hpp"
 #include "grist/dycore/config.hpp"
 #include "grist/grid/hex_mesh.hpp"
 #include "grist/grid/trsk.hpp"
@@ -331,10 +332,268 @@ void del2Scalar(const HexMesh& m, Index ncells, int nlev, const double* scalar,
 // ---------------------------------------------------------------------------
 // vert_implicit_solver (SENSITIVE -- double only): fully implicit update of
 // (w, phi) coupling the vertical acoustic terms; Thomas algorithm per
-// column. See dycore.cpp for the discretization notes.
+// column. See dycore.cpp for the discretization notes. All per-column
+// temporaries come from the calling thread's common::Workspace: zero heap
+// allocations in the steady state.
 // ---------------------------------------------------------------------------
 void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
                         const double* delp, const double* theta, const double* p,
                         double* w, double* phi, double w_damp_tau);
+
+// ===========================================================================
+// Fused single-sweep kernels. The dycore tendency step is memory-bandwidth
+// bound: each unfused kernel above re-streams the same connectivity (CSR
+// neighbor lists, edge endpoints) and geometry, and the momentum tendency is
+// zero-filled then read-modify-written four times. The fused variants below
+// make one pass per entity class and write each output exactly once.
+//
+// Numerical contract: for every output element the fused kernels perform
+// the SAME operations in the SAME order as the unfused sequence they
+// replace, so results are bit-identical in both precisions (asserted by
+// tests/dycore/test_fused_kernels.cpp). The precision split is preserved:
+// the pressure-gradient contribution inside fusedMomentumTendency stays
+// hard-double exactly as calcPressureGradient does.
+// ===========================================================================
+
+// ---------------------------------------------------------------------------
+// Fused EDGE sweep: primal_normal_flux_edge + the plain velocity flux
+// uflux = le * u, sharing the edge_cell / le / u loads of a single pass.
+// uflux feeds divAtCell(div_u) and is computed in double like the loop it
+// replaces in Dycore::computeTendencies.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void fusedEdgeFluxes(const HexMesh& m, Index nedges, int nlev,
+                     const double* delp, const double* u, double* flux,
+                     double* uflux) {
+#pragma omp parallel for schedule(static)
+  for (Index e = 0; e < nedges; ++e) {
+    const Index c1 = m.edge_cell[e][0];
+    const Index c2 = m.edge_cell[e][1];
+    const double le_d = m.edge_le[e];
+    const NS le = static_cast<NS>(le_d);
+    for (int k = 0; k < nlev; ++k) {
+      const NS h1 = static_cast<NS>(delp[c1 * nlev + k]);
+      const NS h2 = static_cast<NS>(delp[c2 * nlev + k]);
+      const NS ue = static_cast<NS>(u[e * nlev + k]);
+      const NS centered = NS(0.5) * (h1 + h2);
+      const NS upwind = ue >= NS(0) ? h1 : h2;
+      const NS r = upwind / centered;
+      const NS blend = NS(1) / (NS(1) + r * r);
+      const NS he = centered + blend * (upwind - centered) * NS(0.5);
+      flux[e * nlev + k] = static_cast<double>(le * ue * he);
+      uflux[e * nlev + k] = le_d * u[e * nlev + k];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused CELL-NEIGHBOR sweep: divAtCell(flux) + divAtCell(uflux) +
+// kineticEnergy in one pass over the cell_edges CSR lists (the unfused
+// kernels each re-stream cell_offset/cell_edges/cell_edge_sign and re-zero
+// their output).
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void fusedCellDiagnostics(const HexMesh& m, Index ncells, int nlev,
+                          const double* flux, const double* uflux,
+                          const double* u, double* div_flux, double* div_u,
+                          double* ke) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    double* df = div_flux + static_cast<std::size_t>(c) * nlev;
+    double* du = div_u + static_cast<std::size_t>(c) * nlev;
+    double* kc = ke + static_cast<std::size_t>(c) * nlev;
+    for (int k = 0; k < nlev; ++k) {
+      df[k] = 0.0;
+      du[k] = 0.0;
+      kc[k] = 0.0;
+    }
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
+      const NS weight =
+          static_cast<NS>(0.25 * m.edge_le[e] * m.edge_de[e]) * inv_area;
+      for (int k = 0; k < nlev; ++k) {
+        df[k] += static_cast<double>(
+            sign * static_cast<NS>(flux[e * nlev + k]) * inv_area);
+        du[k] += static_cast<double>(
+            sign * static_cast<NS>(uflux[e * nlev + k]) * inv_area);
+        const NS ue = static_cast<NS>(u[e * nlev + k]);
+        kc[k] += static_cast<double>(weight * ue * ue);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused VERTEX sweep: vorticityAtVertex + potentialVorticityAtVertex. The
+// PV kernel consumes the vorticity of the very vertex the first kernel just
+// wrote; fusing removes a full vertex-field round trip through memory.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void fusedVertexDiagnostics(const HexMesh& m, Index nvertices, int nlev,
+                            const double* u, const double* delp, double omega,
+                            double* vor, double* qv) {
+#pragma omp parallel for schedule(static)
+  for (Index v = 0; v < nvertices; ++v) {
+    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
+    const NS f = static_cast<NS>(2.0 * omega * m.vtx_x[v].z);
+    for (int k = 0; k < nlev; ++k) {
+      NS acc = NS(0);
+      for (int j = 0; j < 3; ++j) {
+        const Index e = m.vtx_edges[v][j];
+        acc += static_cast<NS>(m.vtx_edge_sign[v][j] * m.edge_de[e]) *
+               static_cast<NS>(u[e * nlev + k]);
+      }
+      const double zeta = static_cast<double>(acc * inv_area);
+      vor[v * nlev + k] = zeta;
+      NS hv = NS(0);
+      for (int j = 0; j < 3; ++j) {
+        hv += static_cast<NS>(m.vtx_kite_area[v][j]) *
+              static_cast<NS>(delp[m.vtx_cells[v][j] * nlev + k]);
+      }
+      hv *= inv_area;
+      qv[v * nlev + k] =
+          static_cast<double>((static_cast<NS>(zeta) + f) / hv);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused CELL-TENDENCY sweep: delp_tend = -div(flux), plus the mass-weighted
+// theta tendency = scalarFluxTendency + delp * del2Scalar(theta, nu) in one
+// CSR pass (the unfused path runs three cell loops and a zero-fill of a
+// scratch field). The delp_tend row doubles as the del2 accumulator until
+// its own value is written last -- both rows are private to the cell.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void fusedScalarTendencies(const HexMesh& m, Index ncells, int nlev,
+                           const double* flux, const double* scalar,
+                           const double* delp, const double* div_flux,
+                           double nu, double* delp_tend, double* thetam_tend) {
+#pragma omp parallel for schedule(static)
+  for (Index c = 0; c < ncells; ++c) {
+    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
+    double* dt_row = delp_tend + static_cast<std::size_t>(c) * nlev;
+    double* tt_row = thetam_tend + static_cast<std::size_t>(c) * nlev;
+    for (int k = 0; k < nlev; ++k) {
+      tt_row[k] = 0.0;  // advective accumulator
+      dt_row[k] = 0.0;  // del2 accumulator (overwritten with -div below)
+    }
+    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+      const Index e = m.cell_edges[j];
+      const Index c1 = m.edge_cell[e][0];
+      const Index c2 = m.edge_cell[e][1];
+      const Index nb = m.cell_cells[j];
+      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
+      const NS w = static_cast<NS>(m.edge_le[e] / m.edge_de[e] * m.edge_de[e] *
+                                   m.edge_de[e] * nu) *
+                   inv_area;
+      for (int k = 0; k < nlev; ++k) {
+        const NS fl = static_cast<NS>(flux[e * nlev + k]);
+        const NS se = fl >= NS(0) ? static_cast<NS>(scalar[c1 * nlev + k])
+                                  : static_cast<NS>(scalar[c2 * nlev + k]);
+        tt_row[k] -= static_cast<double>(sign * fl * se * inv_area);
+        dt_row[k] += static_cast<double>(
+            w * (static_cast<NS>(scalar[nb * nlev + k]) -
+                 static_cast<NS>(scalar[c * nlev + k])));
+      }
+    }
+    for (int k = 0; k < nlev; ++k) {
+      tt_row[k] += delp[c * nlev + k] * dt_row[k];
+      dt_row[k] = -div_flux[c * nlev + k];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused EDGE-TENDENCY sweep: tendGradKeAtEdge + calcCoriolisTerm +
+// calcPressureGradient + del2Momentum in one pass; u_tend is written once
+// instead of zero-filled then read-modify-written four times. The per-(e,k)
+// accumulation order matches the unfused kernel sequence exactly; the PGF
+// contribution remains hard-double (SENSITIVE) while the rest runs in NS.
+// ---------------------------------------------------------------------------
+template <precision::NsReal NS>
+void fusedMomentumTendency(const HexMesh& m, const TrskWeights& trsk,
+                           Index nedges, int nlev, const double* ke,
+                           const double* qv, const double* flux,
+                           const double* phi, const double* alpha,
+                           const double* p, const double* div_u,
+                           const double* vor, double nu_div, double nu_vor,
+                           double* tend_u) {
+#pragma omp parallel
+  {
+    // Per-level accumulator rows (arena-backed, heap-free when warm). The
+    // Coriolis stencil loop runs j-outer / k-inner so the TRSK indices,
+    // weights and 1/le' are loaded once per stencil edge instead of once per
+    // (stencil edge, level); per element the NS additions still happen in
+    // ascending-j order, so results stay bitwise identical to the unfused
+    // k-outer calcCoriolisTerm.
+    common::Workspace& ws = common::Workspace::threadLocal();
+    ws.reserve(2 * common::Workspace::bytesFor<NS>(nlev));
+#pragma omp for schedule(static)
+    for (Index e = 0; e < nedges; ++e) {
+      const common::Workspace::Frame frame(ws);
+      NS* qe_row = ws.get<NS>(nlev);
+      NS* acc_row = ws.get<NS>(nlev);
+      const Index c1 = m.edge_cell[e][0];
+      const Index c2 = m.edge_cell[e][1];
+      const Index v1 = m.edge_vertex[e][0];
+      const Index v2 = m.edge_vertex[e][1];
+      const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
+      const NS inv_le = static_cast<NS>(1.0 / m.edge_le[e]);
+      const NS scale = static_cast<NS>(m.edge_de[e] * m.edge_de[e]);
+      const double inv_de_d = 1.0 / m.edge_de[e];
+      for (int k = 0; k < nlev; ++k) {
+        qe_row[k] = NS(0.5) * (static_cast<NS>(qv[v1 * nlev + k]) +
+                               static_cast<NS>(qv[v2 * nlev + k]));
+        acc_row[k] = NS(0);
+      }
+      // 2) TRSK nonlinear Coriolis (accumulated first; folded in below in
+      //    the unfused gradKe -> Coriolis -> PGF -> del2 order).
+      for (Index j = trsk.offset[e]; j < trsk.offset[e + 1]; ++j) {
+        const Index ep = trsk.edge[j];
+        const NS wj = static_cast<NS>(trsk.weight[j]);
+        const NS inv_lep = static_cast<NS>(1.0 / m.edge_le[ep]);
+        const double* qv1 = qv + m.edge_vertex[ep][0] * nlev;
+        const double* qv2 = qv + m.edge_vertex[ep][1] * nlev;
+        const double* fl = flux + ep * nlev;
+        for (int k = 0; k < nlev; ++k) {
+          const NS qep = NS(0.5) * (static_cast<NS>(qv1[k]) +
+                                    static_cast<NS>(qv2[k]));
+          acc_row[k] += wj * static_cast<NS>(fl[k]) * inv_lep * NS(0.5) *
+                        (qe_row[k] + qep);
+        }
+      }
+      for (int k = 0; k < nlev; ++k) {
+        // 1) -grad(ke) (accumulation starts from the unfused zero-fill).
+        double t = 0.0;
+        t += static_cast<double>(
+            -(static_cast<NS>(ke[c2 * nlev + k]) - static_cast<NS>(ke[c1 * nlev + k])) *
+            inv_de);
+        t += static_cast<double>(acc_row[k]);
+        // 3) Pressure gradient (SENSITIVE -- double; see calcPressureGradient
+        //    for the cancellation notes).
+        const double phm1 =
+            0.5 * (phi[c1 * (nlev + 1) + k] + phi[c1 * (nlev + 1) + k + 1]);
+        const double phm2 =
+            0.5 * (phi[c2 * (nlev + 1) + k] + phi[c2 * (nlev + 1) + k + 1]);
+        const double alpha_e = 0.5 * (alpha[c1 * nlev + k] + alpha[c2 * nlev + k]);
+        t -= ((phm2 - phm1) + alpha_e * (p[c2 * nlev + k] - p[c1 * nlev + k])) *
+             inv_de_d;
+        // 4) del2 damping.
+        const NS grad_div = (static_cast<NS>(div_u[c2 * nlev + k]) -
+                             static_cast<NS>(div_u[c1 * nlev + k])) *
+                            inv_de;
+        const NS curl_vor = (static_cast<NS>(vor[v2 * nlev + k]) -
+                             static_cast<NS>(vor[v1 * nlev + k])) *
+                            inv_le;
+        t += static_cast<double>(scale * (static_cast<NS>(nu_div) * grad_div -
+                                          static_cast<NS>(nu_vor) * curl_vor));
+        tend_u[e * nlev + k] = t;
+      }
+    }
+  } // omp parallel
+}
 
 } // namespace grist::dycore::kernels

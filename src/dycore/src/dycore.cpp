@@ -1,8 +1,10 @@
 #include "grist/dycore/dycore.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "grist/common/timer.hpp"
+#include "grist/common/workspace.hpp"
 #include "grist/dycore/kernels.hpp"
 
 namespace grist::dycore {
@@ -27,8 +29,12 @@ Dycore::Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
   if (config_.nlev < 2) throw std::invalid_argument("Dycore: nlev < 2");
   if (config_.dt <= 0) throw std::invalid_argument("Dycore: dt <= 0");
   const int nlev = config_.nlev;
-  flux_ = Field(mesh.nedges, nlev);
-  uflux_ = Field(mesh.nedges, nlev);
+
+  // Scratch fields, grouped BY MESH ENTITY. Keep additions inside the
+  // matching block: every field is size-checked against its entity count
+  // below, so a field allocated under the wrong group fails construction
+  // instead of silently aliasing out-of-range rows.
+  // -- cell fields (ncells x nlev) --
   div_flux_ = Field(mesh.ncells, nlev);
   ke_ = Field(mesh.ncells, nlev);
   alpha_ = Field(mesh.ncells, nlev);
@@ -38,14 +44,42 @@ Dycore::Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
   div_u_ = Field(mesh.ncells, nlev);
   thetam_tend_ = Field(mesh.ncells, nlev);
   delp_tend_ = Field(mesh.ncells, nlev);
-  u_tend_ = Field(mesh.nedges, nlev);
-  scalar_del2_ = Field(mesh.ncells, nlev);
-  vor_ = Field(mesh.nvertices, nlev);
-  qv_ = Field(mesh.nvertices, nlev);
   delp0_ = Field(mesh.ncells, nlev);
   thetam0_ = Field(mesh.ncells, nlev);
+  // -- edge fields (nedges x nlev) --
+  flux_ = Field(mesh.nedges, nlev);
+  uflux_ = Field(mesh.nedges, nlev);
+  u_tend_ = Field(mesh.nedges, nlev);
   u0_ = Field(mesh.nedges, nlev);
   acc_flux_ = Field(mesh.nedges, nlev);
+  // -- vertex fields (nvertices x nlev) --
+  vor_ = Field(mesh.nvertices, nlev);
+  qv_ = Field(mesh.nvertices, nlev);
+
+  const auto expect = [nlev](const Field& f, Index nentity, const char* name) {
+    if (f.entities() != nentity || f.components() != nlev) {
+      throw std::logic_error(std::string("Dycore: mis-sized scratch field ") +
+                             name);
+    }
+  };
+  expect(div_flux_, mesh.ncells, "div_flux");
+  expect(ke_, mesh.ncells, "ke");
+  expect(alpha_, mesh.ncells, "alpha");
+  expect(p_, mesh.ncells, "p");
+  expect(exner_, mesh.ncells, "exner");
+  expect(pi_mid_, mesh.ncells, "pi_mid");
+  expect(div_u_, mesh.ncells, "div_u");
+  expect(thetam_tend_, mesh.ncells, "thetam_tend");
+  expect(delp_tend_, mesh.ncells, "delp_tend");
+  expect(delp0_, mesh.ncells, "delp0");
+  expect(thetam0_, mesh.ncells, "thetam0");
+  expect(flux_, mesh.nedges, "flux");
+  expect(uflux_, mesh.nedges, "uflux");
+  expect(u_tend_, mesh.nedges, "u_tend");
+  expect(u0_, mesh.nedges, "u0");
+  expect(acc_flux_, mesh.nedges, "acc_flux");
+  expect(vor_, mesh.nvertices, "vor");
+  expect(qv_, mesh.nvertices, "qv");
 }
 
 void Dycore::resetAccumulatedFlux() {
@@ -62,6 +96,12 @@ void Dycore::step(State& state, const ExchangeFn& exchange) {
   }
 }
 
+// The tendency step is organized as FIVE fused single-sweep kernels (one
+// per entity class + tendencies) instead of the former ~12 field sweeps.
+// Each fused kernel reproduces the unfused sequence's arithmetic order
+// element-for-element, so this restructuring is bit-exact (see
+// tests/dycore/test_fused_kernels.cpp); the win is memory traffic --
+// connectivity/geometry streamed once, outputs written once.
 template <typename NS>
 void Dycore::computeTendencies(const State& state) {
   const int nlev = config_.nlev;
@@ -72,56 +112,36 @@ void Dycore::computeTendencies(const State& state) {
                     state.theta.data(), state.phi.data(), alpha_.data(), p_.data(),
                     exner_.data(), pi_mid_.data());
 
-  // Mass flux and plain velocity flux on ALL local edges (both cells of a
-  // local edge are always local).
-  k::primalNormalFluxEdge<NS>(mesh_, mesh_.nedges, nlev, state.delp.data(),
-                              state.u.data(), flux_.data());
-#pragma omp parallel for schedule(static)
-  for (Index e = 0; e < mesh_.nedges; ++e) {
-    for (int kk = 0; kk < nlev; ++kk) {
-      uflux_(e, kk) = mesh_.edge_le[e] * state.u(e, kk);
-    }
-  }
+  // Fused edge sweep: mass flux + plain velocity flux from one pass over
+  // ALL local edges (both cells of a local edge are always local).
+  k::fusedEdgeFluxes<NS>(mesh_, mesh_.nedges, nlev, state.delp.data(),
+                         state.u.data(), flux_.data(), uflux_.data());
 
-  // Cell diagnostics.
-  k::divAtCell<NS>(mesh_, bounds_.cells_diag, nlev, flux_.data(), div_flux_.data());
-  k::divAtCell<NS>(mesh_, bounds_.cells_diag, nlev, uflux_.data(), div_u_.data());
-  k::kineticEnergy<NS>(mesh_, bounds_.cells_diag, nlev, state.u.data(), ke_.data());
+  // Fused cell-neighbor sweep: div(flux), div(uflux), kinetic energy.
+  k::fusedCellDiagnostics<NS>(mesh_, bounds_.cells_diag, nlev, flux_.data(),
+                              uflux_.data(), state.u.data(), div_flux_.data(),
+                              div_u_.data(), ke_.data());
 
-  // Vertex diagnostics.
-  k::vorticityAtVertex<NS>(mesh_, bounds_.vertices_diag, nlev, state.u.data(),
-                           vor_.data());
-  k::potentialVorticityAtVertex<NS>(mesh_, bounds_.vertices_diag, nlev, vor_.data(),
-                                    state.delp.data(), constants::kOmega, qv_.data());
+  // Fused vertex sweep: vorticity + mass-weighted potential vorticity.
+  k::fusedVertexDiagnostics<NS>(mesh_, bounds_.vertices_diag, nlev,
+                                state.u.data(), state.delp.data(),
+                                constants::kOmega, vor_.data(), qv_.data());
 
-  // Cell tendencies.
-#pragma omp parallel for schedule(static)
-  for (Index c = 0; c < bounds_.cells_prog; ++c) {
-    for (int kk = 0; kk < nlev; ++kk) delp_tend_(c, kk) = -div_flux_(c, kk);
-  }
-  k::scalarFluxTendency<NS>(mesh_, bounds_.cells_prog, nlev, flux_.data(),
-                            state.theta.data(), thetam_tend_.data());
-  // theta diffusion enters the mass-weighted tendency as delp * nu * del2.
-  scalar_del2_.fill(0.0);
-  k::del2Scalar<NS>(mesh_, bounds_.cells_prog, nlev, state.theta.data(),
-                    config_.diff_coef / config_.dt, scalar_del2_.data());
-#pragma omp parallel for schedule(static)
-  for (Index c = 0; c < bounds_.cells_prog; ++c) {
-    for (int kk = 0; kk < nlev; ++kk) {
-      thetam_tend_(c, kk) += state.delp(c, kk) * scalar_del2_(c, kk);
-    }
-  }
+  // Fused cell-tendency sweep: delp_tend = -div(flux) and the mass-weighted
+  // theta tendency (advection + delp * nu * del2 diffusion).
+  k::fusedScalarTendencies<NS>(mesh_, bounds_.cells_prog, nlev, flux_.data(),
+                               state.theta.data(), state.delp.data(),
+                               div_flux_.data(), config_.diff_coef / config_.dt,
+                               delp_tend_.data(), thetam_tend_.data());
 
-  // Edge (momentum) tendencies.
-  u_tend_.fill(0.0);
-  k::tendGradKeAtEdge<NS>(mesh_, bounds_.edges_prog, nlev, ke_.data(), u_tend_.data());
-  k::calcCoriolisTerm<NS>(mesh_, trsk_, bounds_.edges_prog, nlev, flux_.data(),
-                          qv_.data(), u_tend_.data());
-  k::calcPressureGradient(mesh_, bounds_.edges_prog, nlev, state.phi.data(),
-                          alpha_.data(), p_.data(), pi_mid_.data(), u_tend_.data());
-  k::del2Momentum<NS>(mesh_, bounds_.edges_prog, nlev, div_u_.data(), vor_.data(),
-                      config_.div_damp / config_.dt, config_.diff_coef / config_.dt,
-                      u_tend_.data());
+  // Fused edge-tendency sweep: -grad(ke) + Coriolis + pressure gradient
+  // (hard-double inside) + del2 damping; u_tend_ written exactly once.
+  k::fusedMomentumTendency<NS>(mesh_, trsk_, bounds_.edges_prog, nlev,
+                               ke_.data(), qv_.data(), flux_.data(),
+                               state.phi.data(), alpha_.data(), p_.data(),
+                               div_u_.data(), vor_.data(),
+                               config_.div_damp / config_.dt,
+                               config_.diff_coef / config_.dt, u_tend_.data());
 }
 
 template <typename NS>
@@ -248,17 +268,27 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
                         const double* delp, const double* theta, const double* p,
                         double* w, double* phi, double w_damp_tau) {
   using namespace constants;
+  using common::Workspace;
   const double gamma = kCp / (kCp - kRd);
   const double g = kGravity;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel
+  {
+    // All per-column temporaries come from the thread's persistent arena:
+    // after the first call has warmed it up, the parallel region performs
+    // zero heap allocations (asserted by test_fused_kernels.cpp).
+    Workspace& ws = Workspace::threadLocal();
+    ws.reserve(Workspace::bytesFor<double>(nlev) * 5 +
+               Workspace::bytesFor<double>(nlev + 1));
+#pragma omp for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
+    const Workspace::Frame frame(ws);
     const double* dp = delp + static_cast<std::size_t>(c) * nlev;
     const double* pc = p + static_cast<std::size_t>(c) * nlev;
     double* wc = w + static_cast<std::size_t>(c) * (nlev + 1);
     double* phic = phi + static_cast<std::size_t>(c) * (nlev + 1);
 
     // Layer compressibility factor: dP_j/dphi(top of j) = -gamma p_j/dphi_j.
-    std::vector<double> comp(nlev);
+    double* comp = ws.get<double>(nlev);
     for (int j = 0; j < nlev; ++j) {
       const double dphi = phic[j] - phic[j + 1];
       comp[j] = gamma * pc[j] / dphi;
@@ -266,7 +296,10 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
 
     // Tridiagonal system over interior interfaces k = 1..nlev-1.
     const int n = nlev - 1;
-    std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+    double* lower = ws.get<double>(n);
+    double* diag = ws.get<double>(n);
+    double* upper = ws.get<double>(n);
+    double* rhs = ws.get<double>(n);
     for (int k = 1; k <= n; ++k) {
       const double dpi = 0.5 * (dp[k - 1] + dp[k]);
       const double ck = dt * g / dpi;
@@ -285,7 +318,8 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
       diag[i] -= m * upper[i - 1];
       rhs[i] -= m * rhs[i - 1];
     }
-    std::vector<double> wnew(nlev + 1, 0.0);
+    double* wnew = ws.get<double>(nlev + 1);
+    for (int k = 0; k <= nlev; ++k) wnew[k] = 0.0;
     if (n > 0) {
       wnew[n] = rhs[n - 1] / diag[n - 1];
       for (int i = n - 2; i >= 0; --i) {
@@ -325,6 +359,7 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
         kRd * theta[c * nlev + 0] * std::pow(pi_top_mid / kP0, kKappa) / pi_top_mid;
     phic[0] = phic[1] + alpha_top * dp[0];
   }
+  } // omp parallel
 }
 
 } // namespace kernels

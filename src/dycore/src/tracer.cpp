@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
+
+#include "grist/common/workspace.hpp"
 
 namespace grist::dycore {
 
@@ -17,12 +18,21 @@ void tracerTransportHoriFluxLimiter(const TracerTransportArgs& a, double* q) {
   const int nlev = a.nlev;
   const double dt = a.dt;
 
-  // Work arrays (per call; tracer steps are infrequent).
-  std::vector<double> flux_low(static_cast<std::size_t>(m.nedges) * nlev);
-  std::vector<double> flux_anti(static_cast<std::size_t>(m.nedges) * nlev);
-  std::vector<double> q_td(static_cast<std::size_t>(m.ncells) * nlev);
-  std::vector<double> rp(static_cast<std::size_t>(m.ncells) * nlev);
-  std::vector<double> rm(static_cast<std::size_t>(m.ncells) * nlev);
+  // Work arrays from the calling thread's arena: first call per tracer
+  // size grows it once, every later call (one per tracer per transport
+  // step) is allocation-free.
+  using common::Workspace;
+  Workspace& ws = Workspace::threadLocal();
+  const std::size_t en = static_cast<std::size_t>(m.nedges) * nlev;
+  const std::size_t cn = static_cast<std::size_t>(m.ncells) * nlev;
+  ws.reserve(2 * Workspace::bytesFor<double>(en) +
+             3 * Workspace::bytesFor<double>(cn));
+  const Workspace::Frame frame(ws);
+  double* flux_low = ws.get<double>(en);
+  double* flux_anti = ws.get<double>(en);
+  double* q_td = ws.get<double>(cn);
+  double* rp = ws.get<double>(cn);
+  double* rm = ws.get<double>(cn);
 
   // 1) Low-order (upwind) and antidiffusive (centered - upwind) fluxes on
   //    all local edges.

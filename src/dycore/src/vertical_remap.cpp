@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "grist/common/math.hpp"
+#include "grist/common/workspace.hpp"
 
 namespace grist::dycore {
 
@@ -32,11 +32,21 @@ void remapScalar(int nlev, const double* pi_old, const double* pi_new,
 } // namespace
 
 void verticalRemap(Index ncells, int nlev, double ptop, State& state) {
+  using common::Workspace;
   const int ntracers = static_cast<int>(state.tracers.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel
+  {
+  // Per-column temporaries (3x nlev+1 interfaces, 2x nlev layers) come from
+  // the thread's arena -- no per-cell heap allocation in the hot loop.
+  Workspace& ws = Workspace::threadLocal();
+  ws.reserve(3 * Workspace::bytesFor<double>(nlev + 1) +
+             2 * Workspace::bytesFor<double>(nlev));
+#pragma omp for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
+    const Workspace::Frame frame(ws);
     // Old and new (uniform) interface mass coordinates.
-    std::vector<double> pi_old(nlev + 1), pi_new(nlev + 1);
+    double* pi_old = ws.get<double>(nlev + 1);
+    double* pi_new = ws.get<double>(nlev + 1);
     pi_old[0] = pi_new[0] = ptop;
     for (int k = 0; k < nlev; ++k) pi_old[k + 1] = pi_old[k] + state.delp(c, k);
     const double ps = pi_old[nlev];
@@ -48,17 +58,18 @@ void verticalRemap(Index ncells, int nlev, double ptop, State& state) {
     for (int k = 0; k <= nlev; ++k) drift = std::max(drift, std::abs(pi_old[k] - pi_new[k]));
     if (drift < 1e-7 * ps) continue;
 
-    std::vector<double> column(nlev), remapped(nlev);
+    double* column = ws.get<double>(nlev);
+    double* remapped = ws.get<double>(nlev);
     const auto remap_field = [&](parallel::Field& f) {
       for (int k = 0; k < nlev; ++k) column[k] = f(c, k);
-      remapScalar(nlev, pi_old.data(), pi_new.data(), column.data(), remapped.data());
+      remapScalar(nlev, pi_old, pi_new, column, remapped);
       for (int k = 0; k < nlev; ++k) f(c, k) = remapped[k];
     };
     remap_field(state.theta);
     for (int t = 0; t < ntracers; ++t) remap_field(state.tracers[t]);
 
     // w: linear interpolation of the interface profile in pi.
-    std::vector<double> w_old(nlev + 1);
+    double* w_old = ws.get<double>(nlev + 1);
     for (int k = 0; k <= nlev; ++k) w_old[k] = state.w(c, k);
     for (int k = 1; k < nlev; ++k) {
       const double target = pi_new[k];
@@ -79,6 +90,7 @@ void verticalRemap(Index ncells, int nlev, double ptop, State& state) {
       state.phi(c, k) = state.phi(c, k + 1) + alpha * dpi;
     }
   }
+  } // omp parallel
 }
 
 } // namespace grist::dycore

@@ -25,6 +25,12 @@ enum class SimKernel {
   kDivAtCell,
   kTracerHoriFluxLimiter,
   kVertImplicitSolver,
+  // Fused single-sweep variants mirroring src/dycore's fused tendency
+  // pipeline: same loads/stores per iteration as the fused production
+  // kernels, so the LDCache model sees the reduced stream count.
+  kFusedEdgeFluxes,
+  kFusedCellDiagnostics,
+  kFusedMomentumTendency,
 };
 
 const char* kernelName(SimKernel kernel);

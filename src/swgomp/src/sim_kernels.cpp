@@ -27,6 +27,7 @@ struct SimArrays {
   // model fields (ns-switchable unless marked sensitive)
   VirtualArray<double> u, delp, theta, flux, ke, div, qv, q_td, rp, rm;
   VirtualArray<double> flux_low, flux_anti, alpha, exner, pi_mid;
+  VirtualArray<double> uflux, div_u, vor;  // fused-pipeline streams
   // precision-sensitive (always 8 bytes)
   VirtualArray<double> phi, p;
 
@@ -95,6 +96,9 @@ SimArrays buildArrays(const HexMesh& mesh, const SimConfig& cfg,
   a.alpha = ns(nc * nlev);
   a.exner = ns(nc * nlev);
   a.pi_mid = ns(nc * nlev);
+  a.uflux = ns(ne * nlev);
+  a.div_u = ns(nc * nlev);
+  a.vor = ns(nc * nlev);  // vertex field aliased onto a cell-sized image
   a.phi = sens(nc * (nlev + 1));
   a.p = sens(nc * nlev);
   return a;
@@ -261,6 +265,123 @@ void bodyVertImplicit(Ctx& ctx, Index c, const SimArrays& a, int nlev,
   }
 }
 
+// ---- fused single-sweep replicas (mirroring src/dycore's fused pipeline) --
+
+template <typename Ctx>
+void bodyFusedEdgeFluxes(Ctx& ctx, Index e, const SimArrays& a, const HexMesh& m,
+                         int nlev, SimPrecision prec) {
+  // primal_normal_flux_edge + uflux = le*u from ONE pass over the edge's
+  // delp/u loads (the unfused path streams them twice).
+  const Index c1 = m.edge_cell[e][0];
+  const Index c2 = m.edge_cell[e][1];
+  a.edge_cell0.read(ctx, e);
+  a.edge_cell1.read(ctx, e);
+  a.le.read(ctx, e);
+  for (int k = 0; k < nlev; ++k) {
+    a.delp.read(ctx, c1 * nlev + k);
+    a.delp.read(ctx, c2 * nlev + k);
+    a.u.read(ctx, e * nlev + k);
+    ctx.flops(9, prec);
+    ctx.divs(2, prec);
+    a.flux.write(ctx, e * nlev + k);
+    a.uflux.write(ctx, e * nlev + k);
+  }
+}
+
+template <typename Ctx>
+void bodyFusedCellDiagnostics(Ctx& ctx, Index c, const SimArrays& a,
+                              const HexMesh& m, int nlev, SimPrecision prec) {
+  // div(flux) + div(uflux) + kinetic energy in a single pass over the
+  // cell_edges CSR lists -- connectivity and geometry read once instead of
+  // three times, outputs written once instead of zero-filled + accumulated.
+  a.cell_offset.read(ctx, c);
+  a.area.read(ctx, c);
+  ctx.divs(1, prec);
+  for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
+    const Index e = m.cell_edges[j];
+    a.cell_edges.read(ctx, j);
+    a.cell_sign.read(ctx, j);
+    a.le.read(ctx, e);
+    a.de.read(ctx, e);
+    for (int k = 0; k < nlev; ++k) {
+      a.flux.read(ctx, e * nlev + k);
+      a.uflux.read(ctx, e * nlev + k);
+      a.u.read(ctx, e * nlev + k);
+      ctx.flops(7, prec);
+    }
+  }
+  for (int k = 0; k < nlev; ++k) {
+    a.div.write(ctx, c * nlev + k);
+    a.div_u.write(ctx, c * nlev + k);
+    a.ke.write(ctx, c * nlev + k);
+  }
+}
+
+template <typename Ctx>
+void bodyFusedMomentumTendency(Ctx& ctx, Index e, const SimArrays& a,
+                               const HexMesh& m, const TrskWeights& t, int nlev,
+                               SimPrecision prec) {
+  // grad-ke + TRSK Coriolis + pressure gradient + del2 damping; the
+  // momentum tendency is written ONCE per point instead of four
+  // read-modify-write passes. PGF arithmetic stays double (sensitive).
+  const SimPrecision dp = SimPrecision::kDouble;
+  const Index c1 = m.edge_cell[e][0];
+  const Index c2 = m.edge_cell[e][1];
+  const Index v1 = m.edge_vertex[e][0];
+  const Index v2 = m.edge_vertex[e][1];
+  a.edge_cell0.read(ctx, e);
+  a.edge_cell1.read(ctx, e);
+  a.edge_v0.read(ctx, e);
+  a.edge_v1.read(ctx, e);
+  a.de.read(ctx, e);
+  a.le.read(ctx, e);
+  a.trsk_offset.read(ctx, e);
+  ctx.divs(2, prec);  // 1/de, 1/le hoisted out of the level loop
+  // Coriolis runs j-outer / k-inner like the host kernel: TRSK indices,
+  // weights and 1/le' are loaded once per stencil edge, not once per level.
+  for (int k = 0; k < nlev; ++k) {
+    a.qv.read(ctx, (v1 % a.ncells) * nlev + k);
+    a.qv.read(ctx, (v2 % a.ncells) * nlev + k);
+    ctx.flops(2, prec);  // qe row
+  }
+  for (Index j = t.offset[e]; j < t.offset[e + 1]; ++j) {
+    const Index ep = t.edge[j];
+    a.trsk_edge.read(ctx, j);
+    a.trsk_weight.read(ctx, j);
+    a.le.read(ctx, ep);
+    ctx.divs(1, SimPrecision::kDouble);  // 1/le' hoisted
+    for (int k = 0; k < nlev; ++k) {
+      a.flux.read(ctx, ep * nlev + k);
+      a.qv.read(ctx, (m.edge_vertex[ep][0] % a.ncells) * nlev + k);
+      ctx.flops(6, SimPrecision::kDouble);
+    }
+  }
+  for (int k = 0; k < nlev; ++k) {
+    // grad-ke
+    a.ke.read(ctx, c1 * nlev + k);
+    a.ke.read(ctx, c2 * nlev + k);
+    ctx.flops(3, prec);
+    // pressure gradient (sensitive: double loads of phi/p)
+    a.phi.read(ctx, c1 * (nlev + 1) + k);
+    a.phi.read(ctx, c1 * (nlev + 1) + k + 1);
+    a.phi.read(ctx, c2 * (nlev + 1) + k);
+    a.phi.read(ctx, c2 * (nlev + 1) + k + 1);
+    a.alpha.read(ctx, c1 * nlev + k);
+    a.alpha.read(ctx, c2 * nlev + k);
+    a.p.read(ctx, c1 * nlev + k);
+    a.p.read(ctx, c2 * nlev + k);
+    ctx.flops(9, dp);
+    // del2 damping
+    a.div_u.read(ctx, c1 * nlev + k);
+    a.div_u.read(ctx, c2 * nlev + k);
+    a.vor.read(ctx, (v1 % a.ncells) * nlev + k);
+    a.vor.read(ctx, (v2 % a.ncells) * nlev + k);
+    ctx.flops(7, prec);
+    // single store of the fused tendency
+    a.u.write(ctx, e * nlev + k);
+  }
+}
+
 } // namespace
 
 const char* kernelName(SimKernel kernel) {
@@ -272,6 +393,9 @@ const char* kernelName(SimKernel kernel) {
     case SimKernel::kDivAtCell: return "div_at_cell";
     case SimKernel::kTracerHoriFluxLimiter: return "tracer_transport_hori_flux_limiter";
     case SimKernel::kVertImplicitSolver: return "vert_implicit_solver";
+    case SimKernel::kFusedEdgeFluxes: return "fused_edge_fluxes";
+    case SimKernel::kFusedCellDiagnostics: return "fused_cell_diagnostics";
+    case SimKernel::kFusedMomentumTendency: return "fused_momentum_tendency";
   }
   return "?";
 }
@@ -280,7 +404,8 @@ std::vector<SimKernel> allSimKernels() {
   return {SimKernel::kPrimalNormalFluxEdge, SimKernel::kComputeRrr,
           SimKernel::kCalcCoriolisTerm,     SimKernel::kTendGradKeAtEdge,
           SimKernel::kDivAtCell,            SimKernel::kTracerHoriFluxLimiter,
-          SimKernel::kVertImplicitSolver};
+          SimKernel::kVertImplicitSolver,   SimKernel::kFusedEdgeFluxes,
+          SimKernel::kFusedCellDiagnostics, SimKernel::kFusedMomentumTendency};
 }
 
 double runSimKernel(SimKernel kernel, const HexMesh& mesh, const TrskWeights& trsk,
@@ -331,6 +456,22 @@ double runSimKernel(SimKernel kernel, const HexMesh& mesh, const TrskWeights& tr
       return dispatch(
           [&](auto& ctx, Index c) { bodyVertImplicit(ctx, c, a, nlev, prec); },
           mesh.ncells);
+    case SimKernel::kFusedEdgeFluxes:
+      return dispatch(
+          [&](auto& ctx, Index e) { bodyFusedEdgeFluxes(ctx, e, a, mesh, nlev, prec); },
+          mesh.nedges);
+    case SimKernel::kFusedCellDiagnostics:
+      return dispatch(
+          [&](auto& ctx, Index c) {
+            bodyFusedCellDiagnostics(ctx, c, a, mesh, nlev, prec);
+          },
+          mesh.ncells);
+    case SimKernel::kFusedMomentumTendency:
+      return dispatch(
+          [&](auto& ctx, Index e) {
+            bodyFusedMomentumTendency(ctx, e, a, mesh, trsk, nlev, prec);
+          },
+          mesh.nedges);
   }
   throw std::invalid_argument("runSimKernel: unknown kernel");
 }

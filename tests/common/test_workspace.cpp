@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "grist/common/workspace.hpp"
+
+namespace grist::common {
+namespace {
+
+TEST(Workspace, BumpAllocatesAlignedNonOverlappingRuns) {
+  Workspace ws;
+  ws.reserve(Workspace::bytesFor<double>(100) * 2);
+  double* a = ws.get<double>(100);
+  double* b = ws.get<double>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Disjoint, and the second run starts on a fresh cache line.
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(b),
+            reinterpret_cast<std::uintptr_t>(a + 100));
+  EXPECT_EQ((reinterpret_cast<std::uintptr_t>(b) -
+             reinterpret_cast<std::uintptr_t>(a)) %
+                Workspace::kAlign,
+            0u);
+  for (int i = 0; i < 100; ++i) a[i] = i;
+  for (int i = 0; i < 100; ++i) b[i] = -i;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], i);
+}
+
+TEST(Workspace, ReserveIsIdempotentAndGrowsOnlyWhenNeeded) {
+  Workspace ws;
+  ws.reserve(1024);
+  EXPECT_EQ(ws.growths(), 1);
+  ws.reserve(512);  // smaller: no-op
+  EXPECT_EQ(ws.growths(), 1);
+  ws.reserve(2048);
+  EXPECT_EQ(ws.growths(), 2);
+  // Warm arena: allocate/reset cycles never grow again.
+  for (int it = 0; it < 10; ++it) {
+    Workspace::Frame frame(ws);
+    ws.get<double>(64);
+    ws.get<std::int32_t>(128);
+  }
+  EXPECT_EQ(ws.growths(), 2);
+  EXPECT_EQ(ws.used(), 0u);
+}
+
+TEST(Workspace, OverflowWithLiveAllocationsThrows) {
+  Workspace ws;
+  ws.reserve(Workspace::bytesFor<double>(8));
+  Workspace::Frame frame(ws);
+  ws.get<double>(8);
+  EXPECT_THROW(ws.get<double>(1 << 20), std::logic_error);
+  EXPECT_THROW(ws.reserve(1 << 22), std::logic_error);
+}
+
+TEST(Workspace, FirstGetOnEmptyArenaGrows) {
+  Workspace ws;
+  double* p = ws.get<double>(32);  // no reserve: legal while offset == 0
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(ws.growths(), 1);
+  EXPECT_GE(ws.highWater(), 32 * sizeof(double));
+}
+
+TEST(Workspace, FramesNestAndRestore) {
+  Workspace ws;
+  ws.reserve(4096);
+  Workspace::Frame outer(ws);
+  double* a = ws.get<double>(16);
+  a[0] = 42.0;
+  const std::size_t used_outer = ws.used();
+  {
+    Workspace::Frame inner(ws);
+    ws.get<double>(16);
+    EXPECT_GT(ws.used(), used_outer);
+  }
+  EXPECT_EQ(ws.used(), used_outer);
+  EXPECT_EQ(a[0], 42.0);  // outer allocation untouched by inner frame
+}
+
+TEST(Workspace, ThreadLocalArenasAreDistinctPerThread) {
+  std::vector<Workspace*> seen(omp_get_max_threads(), nullptr);
+#pragma omp parallel
+  { seen[omp_get_thread_num()] = &Workspace::threadLocal(); }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]);
+    }
+  }
+}
+
+} // namespace
+} // namespace grist::common
