@@ -11,10 +11,16 @@
 // documented in README.md.
 #include <benchmark/benchmark.h>
 
+#include <random>
+#include <vector>
+
 #include "grist/common/math.hpp"
 #include "grist/dycore/kernels.hpp"
 #include "grist/grid/hex_mesh.hpp"
 #include "grist/grid/trsk.hpp"
+#include "grist/ml/matrix.hpp"
+#include "grist/ml/ml_suite.hpp"
+#include "grist/ml/traindata.hpp"
 #include "grist/parallel/field.hpp"
 
 namespace {
@@ -339,6 +345,83 @@ void BM_VertImplicitSolver(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.nlev);
 }
 
+// ---------------------------------------------------------------------------
+// Naive-vs-blocked SGEMM pairs and per-column-vs-batched ML-physics
+// inference: the acceptance numbers for the packed-GEMM refactor. Shapes:
+// square (classic compute-bound), and the MLP/conv shapes the ML suite
+// actually issues at the Fig. 8 configuration (nlev=20, channels=24,
+// column_block=32 -> n = 640).
+// ---------------------------------------------------------------------------
+
+struct GemmOperands {
+  int m, n, k;
+  std::vector<float> a, b, c;
+  GemmOperands(int m_, int n_, int k_) : m(m_), n(n_), k(k_) {
+    std::mt19937 rng(12345);
+    std::uniform_real_distribution<float> dist(-1.f, 1.f);
+    a.resize(static_cast<std::size_t>(m) * k);
+    b.resize(static_cast<std::size_t>(k) * n);
+    c.resize(static_cast<std::size_t>(m) * n, 0.f);
+    for (float& v : a) v = dist(rng);
+    for (float& v : b) v = dist(rng);
+  }
+};
+
+void BM_GemmNaive(benchmark::State& state) {
+  GemmOperands op(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)),
+                  static_cast<int>(state.range(2)));
+  for (auto _ : state) {
+    ml::gemmNaive(op.m, op.n, op.k, 1.f, op.a.data(), op.k, false, op.b.data(),
+                  op.n, false, 0.f, op.c.data(), op.n, {});
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(op.m) *
+                          op.n * op.k);
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  GemmOperands op(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)),
+                  static_cast<int>(state.range(2)));
+  for (auto _ : state) {
+    ml::gemmBlocked(op.m, op.n, op.k, 1.f, op.a.data(), op.k, false,
+                    op.b.data(), op.n, false, 0.f, op.c.data(), op.n, {});
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(op.m) *
+                          op.n * op.k);
+}
+
+// End-to-end ML-physics suite throughput at the bench_fig8 configuration;
+// the per-column/batched pair differs only in MlSuiteConfig::column_block.
+void benchMlSuite(benchmark::State& state, int column_block) {
+  const int nlev = 20;
+  const Index ncol = 256;
+  ml::Q1Q2NetConfig qcfg;
+  qcfg.nlev = nlev;
+  qcfg.channels = 24;
+  qcfg.res_units = 2;
+  ml::RadMlpConfig rcfg;
+  rcfg.nlev = nlev;
+  rcfg.hidden = 48;
+  ml::MlSuiteConfig cfg;
+  cfg.column_block = column_block;
+  ml::MlPhysicsSuite suite(ncol, nlev, std::make_shared<ml::Q1Q2Net>(qcfg),
+                           std::make_shared<ml::RadMlp>(rcfg), cfg);
+  physics::PhysicsInput in =
+      ml::synthesizeColumns(ml::table1Scenarios()[0], ncol, nlev);
+  physics::PhysicsOutput out(ncol, nlev);
+  for (auto _ : state) {
+    suite.run(in, 600.0, out);
+    benchmark::DoNotOptimize(out.gsw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ncol);
+}
+
+void BM_MlSuitePerColumn(benchmark::State& state) { benchMlSuite(state, 1); }
+void BM_MlSuiteBatched(benchmark::State& state) { benchMlSuite(state, 32); }
+
 } // namespace
 
 BENCHMARK_TEMPLATE(BM_PrimalNormalFlux, double)->Unit(benchmark::kMillisecond);
@@ -367,5 +450,17 @@ BENCHMARK_TEMPLATE(BM_FusedTendencyPipeline, double)->Unit(benchmark::kMilliseco
 BENCHMARK_TEMPLATE(BM_UnfusedTendencyPipeline, float)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_FusedTendencyPipeline, float)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VertImplicitSolver)->Unit(benchmark::kMillisecond);
+
+// Square, conv-shaped (Fig. 8 res-unit conv at column_block=32), and
+// MLP-shaped (hidden x hidden over a column block).
+BENCHMARK(BM_GemmNaive)->Args({256, 256, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmBlocked)->Args({256, 256, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmNaive)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmBlocked)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmNaive)->Args({48, 32, 48})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GemmBlocked)->Args({48, 32, 48})->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_MlSuitePerColumn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MlSuiteBatched)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass over the allocation-sensitive subsystems.
+#
+#   scripts/check.sh            # configure + build + ctest, then ASan/UBSan
+#   GRIST_SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+#
+# The sanitizer stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/ and
+# runs the ml and common test binaries -- the two subsystems that hand out
+# raw Workspace pointers (the packed GEMM and the batched inference path),
+# where an out-of-bounds pack or a dangling arena pointer would otherwise
+# only show up as silent corruption.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${GRIST_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== skipping sanitizer pass (GRIST_SKIP_ASAN=1) =="
+  exit 0
+fi
+
+echo "== sanitizer pass: ASan+UBSan on ml + common test binaries =="
+cmake -B build-asan -S . -DGRIST_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$(nproc)" --target test_ml test_ml_alloc test_common
+for bin in test_ml test_ml_alloc test_common; do
+  echo "-- $bin (sanitized)"
+  ./build-asan/tests/"$bin"
+done
+echo "== all checks passed =="

@@ -17,8 +17,19 @@ class Q1Q2Ensemble {
   explicit Q1Q2Ensemble(std::vector<std::shared_ptr<const Q1Q2Net>> members);
 
   /// Mean prediction across members; same contract as Q1Q2Net::predict.
+  /// Routes through predictBatch with a batch of one.
   void predict(const double* u, const double* v, const double* t,
                const double* q, const double* p, double* q1, double* q2) const;
+
+  /// Mean prediction over a block of columns; same layout contract as
+  /// Q1Q2Net::predictBatch. Members run sequentially in order, so the
+  /// accumulation order matches the per-column path exactly.
+  void predictBatch(int batch, const double* u, const double* v,
+                    const double* t, const double* q, const double* p,
+                    double* q1, double* q2, common::Workspace& ws) const;
+
+  /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
+  std::size_t predictScratchBytes(int batch) const;
 
   int nlev() const { return members_.front()->config().nlev; }
   std::size_t size() const { return members_.size(); }

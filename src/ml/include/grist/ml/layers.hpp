@@ -2,6 +2,14 @@
 // structs, forward/backward are pure functions. This keeps inference
 // re-entrant (the coupler runs columns in parallel) and training explicit
 // (no hidden autograd state).
+//
+// Two forward flavors exist:
+//  - Matrix/vector forms for training, writing into caller-provided scratch
+//    (no freshly allocated temporaries per call);
+//  - raw-pointer *Batched forms for inference over a block of columns laid
+//    out side by side ([channels, batch*len] / [features, batch]), where
+//    the per-column matvecs become one GEMM with the bias (+ optional ReLU)
+//    fused into the GEMM store epilogue.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +33,22 @@ struct Conv1dParams {
 /// He-uniform initialization with a deterministic seed.
 void initConv(Conv1dParams& p, std::uint64_t seed);
 
-/// x: [cin, L] -> out [cout, L]. `col` is a scratch im2col buffer reused
-/// across calls ([cin*ksize, L], resized as needed).
-Matrix conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col);
+/// x: [cin, L] -> out [cout, L]. `col` is a scratch im2col buffer and `out`
+/// the destination, both reused across calls (resized as needed). The bias
+/// (and ReLU when `relu`) is fused into the GEMM epilogue.
+void conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col,
+                   Matrix& out, bool relu = false);
+
+/// Batched im2col over `batch` independent same-padded sequences laid side
+/// by side: x is [cin, batch*len], col is [cin*ksize, batch*len]; padding
+/// never crosses a column boundary.
+void im2colBatched(const float* x, int cin, int ksize, int batch, int len,
+                   float* col);
+
+/// Batched convolution forward on raw buffers: x [cin, batch*len] ->
+/// out [cout, batch*len]; `col` must hold cin*ksize*batch*len floats.
+void conv1dForwardBatched(const Conv1dParams& p, const float* x, int batch,
+                          int len, float* col, float* out, bool relu);
 
 /// Backward: given x and dout, accumulates into grad (same shape as p) and
 /// returns dx. `col` must hold the forward's im2col of x.
@@ -47,7 +68,17 @@ struct DenseParams {
 
 void initDense(DenseParams& p, std::uint64_t seed);
 
-std::vector<float> denseForward(const DenseParams& p, const std::vector<float>& x);
+/// out = W x + b, written into caller-provided scratch (resized as needed).
+/// Accumulation order is the canonical GEMM order: k-ascending dot product,
+/// bias added last -- identical to the batched path.
+void denseForward(const DenseParams& p, const std::vector<float>& x,
+                  std::vector<float>& out);
+
+/// Batched dense forward on raw buffers: x [nin, batch] (feature-major, one
+/// sample per column) -> out [nout, batch], bias/ReLU fused.
+void denseForwardBatched(const DenseParams& p, const float* x, int batch,
+                         float* out, bool relu);
+
 std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,
                                  const std::vector<float>& dout, DenseParams& grad);
 

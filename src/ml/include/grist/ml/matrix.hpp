@@ -1,6 +1,14 @@
 // Minimal dense float matrix + GEMM: the arithmetic substrate of the ML
 // physics suite. Single precision throughout -- the paper notes the ML
 // suite is trivially mixed-precision at the operator level (section 3.4).
+//
+// The production kernel is a cache-blocked, packed SGEMM with a register-
+// tiled microkernel (see DESIGN.md "ML dense-math layer"): op(A)/op(B)
+// panels are packed into a gemm-private per-thread Workspace arena so the
+// microkernel streams unit-stride data regardless of the transpose flags,
+// and the alpha/beta scaling plus an optional per-row bias and ReLU are
+// fused into the store epilogue (dense/conv layers need no separate
+// bias-and-activation pass).
 #pragma once
 
 #include <cstddef>
@@ -22,12 +30,53 @@ struct Matrix {
   void zero() { a.assign(a.size(), 0.f); }
 };
 
+// Microkernel / blocking geometry (exposed so tests can probe fringe cases
+// deliberately). MRxNR register tile; MC/KC/NC cache-block the M/K/N loops.
+inline constexpr int kGemmMR = 4;
+inline constexpr int kGemmNR = 8;
+inline constexpr int kGemmMC = 128;
+inline constexpr int kGemmKC = 256;
+inline constexpr int kGemmNC = 512;
+
+/// Optional fused store epilogue: after C = alpha*op(A)*op(B) + beta*C,
+/// add bias[i] to every element of row i (when bias != nullptr), then apply
+/// ReLU (when relu). Applied once, after the final K block.
+struct GemmEpilogue {
+  const float* bias = nullptr;  ///< length m, or nullptr
+  bool relu = false;
+};
+
+/// Blocked packed SGEMM on raw row-major buffers:
+///   C[m x n] = alpha * op(A) * op(B) + beta * C, then the epilogue.
+/// op(A) is m x k read from `a` with leading dimension lda (trans_a reads
+/// a[k_idx*lda + i]); likewise op(B) is k x n. beta == 0 never reads C.
+///
+/// Determinism / accumulation-order contract: every output element is a
+/// k-ascending scalar sum chain; the K loop is split into kGemmKC blocks
+/// with alpha applied per block, and the small-matrix serial path mirrors
+/// that split exactly, so results are identical regardless of which path
+/// (or how many threads) ran -- this is what makes batched inference
+/// bit-exact against the per-column path.
+void gemmBlocked(int m, int n, int k, float alpha, const float* a, int lda,
+                 bool trans_a, const float* b, int ldb, bool trans_b,
+                 float beta, float* c, int ldc, const GemmEpilogue& ep = {});
+
+/// Naive triple-loop reference (the pre-blocking production kernel): one
+/// accumulator per output element over the full K range, alpha applied
+/// once. Used to validate gemmBlocked (<= 1e-5 relative) and as the bench
+/// baseline.
+void gemmNaive(int m, int n, int k, float alpha, const float* a, int lda,
+               bool trans_a, const float* b, int ldb, bool trans_b, float beta,
+               float* c, int ldc, const GemmEpilogue& ep = {});
+
 /// C = alpha * op(A) * op(B) + beta * C. Shapes are validated; throws
-/// std::invalid_argument on mismatch. Parallelized over rows of C.
+/// std::invalid_argument on mismatch. Dispatches to the blocked packed
+/// kernel (parallel over row panels above a flop threshold; tiny
+/// matvec-shaped calls stay serial to skip the OpenMP fork).
 void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c);
 
-/// y += x (shape-checked).
+/// y += alpha * x (shape-checked).
 void axpy(float alpha, const Matrix& x, Matrix& y);
 
 } // namespace grist::ml

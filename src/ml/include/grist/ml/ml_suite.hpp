@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "grist/common/workspace.hpp"
 #include "grist/ml/ensemble.hpp"
 #include "grist/ml/q1q2_net.hpp"
 #include "grist/ml/rad_mlp.hpp"
@@ -27,6 +28,12 @@ struct MlSuiteConfig {
   /// at |dq/dt| <= dq_limit (1/s). Generous relative to physical values.
   double q1_limit = 150.0 / 86400.0;
   double dq_limit = 3.0e-6;
+  /// Columns per inference block: the networks predict over `column_block`
+  /// columns at once so the per-column matvecs become GEMMs. 1 recovers the
+  /// per-column path (same results either way -- the batched kernels keep
+  /// the per-output accumulation order); results are also independent of
+  /// the block size itself.
+  int column_block = 32;
 };
 
 class MlPhysicsSuite final : public physics::PhysicsSuite {
@@ -49,14 +56,19 @@ class MlPhysicsSuite final : public physics::PhysicsSuite {
   double flopsPerColumn() const;
 
  private:
-  using PredictFn =
-      std::function<void(const double*, const double*, const double*,
-                         const double*, const double*, double*, double*)>;
-  MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict,
+  /// Batched tendency inference: (batch, u, v, t, q, p, q1, q2, ws) with the
+  /// [batch][nlev] layout of Q1Q2Net::predictBatch.
+  using PredictFn = std::function<void(
+      int, const double*, const double*, const double*, const double*,
+      const double*, double*, double*, common::Workspace&)>;
+  /// Workspace bytes the tendency module needs for a given batch.
+  using ScratchFn = std::function<std::size_t(int)>;
+  MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict, ScratchFn scratch,
                  std::size_t q1q2_params, std::shared_ptr<const RadMlp> rad,
                  MlSuiteConfig config);
 
   PredictFn predict_q1q2_;
+  ScratchFn q1q2_scratch_;
   std::size_t q1q2_params_ = 0;
   std::shared_ptr<const RadMlp> rad_;
   physics::SurfaceLayer surface_;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "grist/common/workspace.hpp"
 #include "grist/ml/adam.hpp"
 #include "grist/ml/layers.hpp"
 
@@ -43,9 +44,23 @@ class Q1Q2Net {
   static constexpr int kOutputChannels = 2;
 
   /// Raw-unit inference for one column; thread-safe (const, no shared
-  /// scratch). Arrays are length nlev.
+  /// scratch). Arrays are length nlev. Routes through predictBatch with a
+  /// batch of one, so per-column and batched results are bit-identical.
   void predict(const double* u, const double* v, const double* t,
                const double* q, const double* p, double* q1, double* q2) const;
+
+  /// Raw-unit inference over a block of columns: each input/output array is
+  /// [batch][nlev] contiguous (column-major over the block, level fastest --
+  /// the physics Field layout, so the suite passes field slices directly).
+  /// All scratch comes from `ws`; callers that pre-reserve
+  /// predictScratchBytes(batch) make the call allocation-free. Thread-safe
+  /// for distinct workspaces.
+  void predictBatch(int batch, const double* u, const double* v,
+                    const double* t, const double* q, const double* p,
+                    double* q1, double* q2, common::Workspace& ws) const;
+
+  /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
+  std::size_t predictScratchBytes(int batch) const;
 
   /// Fit the normalization constants to a sample set (call before training).
   void fitNormalization(const std::vector<ColumnSample>& samples);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "grist/common/workspace.hpp"
 #include "grist/ml/adam.hpp"
 #include "grist/ml/layers.hpp"
 
@@ -35,9 +36,21 @@ class RadMlp {
   /// 7 dense layers (in + 3 residual pairs) plus the linear head.
   int denseLayerCount() const { return 7; }
 
-  /// Raw-unit inference; thread-safe.
+  /// Raw-unit inference; thread-safe. Routes through predictBatch with a
+  /// batch of one, so per-column and batched results are bit-identical.
   void predict(const double* t, const double* qv, double tskin, double coszr,
                double* gsw, double* glw) const;
+
+  /// Raw-unit inference over a block of columns: t/qv are [batch][nlev]
+  /// contiguous, tskin/coszr/gsw/glw are length-batch arrays. All scratch
+  /// comes from `ws`; callers that pre-reserve predictScratchBytes(batch)
+  /// make the call allocation-free. Thread-safe for distinct workspaces.
+  void predictBatch(int batch, const double* t, const double* qv,
+                    const double* tskin, const double* coszr, double* gsw,
+                    double* glw, common::Workspace& ws) const;
+
+  /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
+  std::size_t predictScratchBytes(int batch) const;
 
   void fitNormalization(const std::vector<RadSample>& samples);
   double trainBatch(const std::vector<RadSample>& batch, Adam& adam);

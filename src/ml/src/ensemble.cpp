@@ -1,5 +1,6 @@
 #include "grist/ml/ensemble.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,24 +20,45 @@ Q1Q2Ensemble::Q1Q2Ensemble(std::vector<std::shared_ptr<const Q1Q2Net>> members)
 void Q1Q2Ensemble::predict(const double* u, const double* v, const double* t,
                            const double* q, const double* p, double* q1,
                            double* q2) const {
-  const int n = nlev();
-  std::vector<double> q1_m(n), q2_m(n);
-  for (int k = 0; k < n; ++k) {
+  auto& ws = common::Workspace::threadLocal();
+  if (ws.used() == 0) ws.reserve(predictScratchBytes(1));
+  predictBatch(1, u, v, t, q, p, q1, q2, ws);
+}
+
+void Q1Q2Ensemble::predictBatch(int batch, const double* u, const double* v,
+                                const double* t, const double* q,
+                                const double* p, double* q1, double* q2,
+                                common::Workspace& ws) const {
+  const std::size_t bl = static_cast<std::size_t>(batch) * nlev();
+  common::Workspace::Frame frame(ws);
+  double* q1_m = ws.get<double>(bl);
+  double* q2_m = ws.get<double>(bl);
+  for (std::size_t k = 0; k < bl; ++k) {
     q1[k] = 0;
     q2[k] = 0;
   }
   for (const auto& member : members_) {
-    member->predict(u, v, t, q, p, q1_m.data(), q2_m.data());
-    for (int k = 0; k < n; ++k) {
+    member->predictBatch(batch, u, v, t, q, p, q1_m, q2_m, ws);
+    for (std::size_t k = 0; k < bl; ++k) {
       q1[k] += q1_m[k];
       q2[k] += q2_m[k];
     }
   }
   const double inv = 1.0 / static_cast<double>(members_.size());
-  for (int k = 0; k < n; ++k) {
+  for (std::size_t k = 0; k < bl; ++k) {
     q1[k] *= inv;
     q2[k] *= inv;
   }
+}
+
+std::size_t Q1Q2Ensemble::predictScratchBytes(int batch) const {
+  using W = common::Workspace;
+  const std::size_t bl = static_cast<std::size_t>(batch) * nlev();
+  std::size_t member_max = 0;
+  for (const auto& member : members_) {
+    member_max = std::max(member_max, member->predictScratchBytes(batch));
+  }
+  return 2 * W::bytesFor<double>(bl) + member_max;
 }
 
 void Q1Q2Ensemble::spread(const double* u, const double* v, const double* t,

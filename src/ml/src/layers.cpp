@@ -1,5 +1,6 @@
 #include "grist/ml/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -10,19 +11,10 @@ namespace {
 // im2col for same-padded 1D convolution: col[(ci*K + t), l] = x[ci, l+t-K/2].
 void im2col(const Matrix& x, int ksize, Matrix& col) {
   const int cin = x.rows, len = x.cols;
-  const int half = ksize / 2;
   if (col.rows != cin * ksize || col.cols != len) {
     col = Matrix(cin * ksize, len);
   }
-  for (int ci = 0; ci < cin; ++ci) {
-    for (int t = 0; t < ksize; ++t) {
-      for (int l = 0; l < len; ++l) {
-        const int src = l + t - half;
-        col.at(ci * ksize + t, l) =
-            (src >= 0 && src < len) ? x.at(ci, src) : 0.f;
-      }
-    }
-  }
+  im2colBatched(x.a.data(), cin, ksize, 1, len, col.a.data());
 }
 
 void col2imAdd(const Matrix& dcol, int cin, int ksize, Matrix& dx) {
@@ -55,15 +47,50 @@ void initConv(Conv1dParams& p, std::uint64_t seed) {
   for (float& v : p.b) v = 0.f;
 }
 
-Matrix conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col) {
+void im2colBatched(const float* x, int cin, int ksize, int batch, int len,
+                   float* col) {
+  const int half = ksize / 2;
+  const std::size_t bl = static_cast<std::size_t>(batch) * len;
+  for (int ci = 0; ci < cin; ++ci) {
+    const float* xrow = x + static_cast<std::size_t>(ci) * bl;
+    for (int t = 0; t < ksize; ++t) {
+      float* crow = col + (static_cast<std::size_t>(ci) * ksize + t) * bl;
+      const int shift = t - half;  // col[., b*len + l] = x[., b*len + l+shift]
+      for (int b = 0; b < batch; ++b) {
+        const float* xs = xrow + static_cast<std::size_t>(b) * len;
+        float* cs = crow + static_cast<std::size_t>(b) * len;
+        const int lo = std::max(0, -shift);
+        const int hi = std::min(len, len - shift);
+        for (int l = 0; l < lo; ++l) cs[l] = 0.f;
+        for (int l = lo; l < hi; ++l) cs[l] = xs[l + shift];
+        for (int l = std::max(hi, lo); l < len; ++l) cs[l] = 0.f;
+      }
+    }
+  }
+}
+
+void conv1dForwardBatched(const Conv1dParams& p, const float* x, int batch,
+                          int len, float* col, float* out, bool relu) {
+  const int bl = batch * len;
+  if (p.ksize == 1) {
+    // 1x1 convolution: the im2col is the input itself.
+    gemmBlocked(p.cout, bl, p.cin, 1.f, p.w.a.data(), p.cin, false, x, bl, false,
+                0.f, out, bl, GemmEpilogue{p.b.data(), relu});
+    return;
+  }
+  im2colBatched(x, p.cin, p.ksize, batch, len, col);
+  gemmBlocked(p.cout, bl, p.cin * p.ksize, 1.f, p.w.a.data(), p.cin * p.ksize,
+              false, col, bl, false, 0.f, out, bl, GemmEpilogue{p.b.data(), relu});
+}
+
+void conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col,
+                   Matrix& out, bool relu) {
   if (x.rows != p.cin) throw std::invalid_argument("conv1dForward: channel mismatch");
   im2col(x, p.ksize, col);
-  Matrix out(p.cout, x.cols);
-  gemm(false, false, 1.f, p.w, col, 0.f, out);
-  for (int co = 0; co < p.cout; ++co) {
-    for (int l = 0; l < x.cols; ++l) out.at(co, l) += p.b[co];
-  }
-  return out;
+  if (out.rows != p.cout || out.cols != x.cols) out = Matrix(p.cout, x.cols);
+  gemmBlocked(p.cout, x.cols, p.cin * p.ksize, 1.f, p.w.a.data(),
+              p.cin * p.ksize, false, col.a.data(), x.cols, false, 0.f,
+              out.a.data(), x.cols, GemmEpilogue{p.b.data(), relu});
 }
 
 Matrix conv1dBackward(const Conv1dParams& p, const Matrix& x, const Matrix& col,
@@ -91,17 +118,20 @@ void initDense(DenseParams& p, std::uint64_t seed) {
   for (float& v : p.b) v = 0.f;
 }
 
-std::vector<float> denseForward(const DenseParams& p, const std::vector<float>& x) {
+void denseForward(const DenseParams& p, const std::vector<float>& x,
+                  std::vector<float>& out) {
   if (static_cast<int>(x.size()) != p.nin) {
     throw std::invalid_argument("denseForward: input size mismatch");
   }
-  std::vector<float> out(p.nout);
-  for (int o = 0; o < p.nout; ++o) {
-    float acc = p.b[o];
-    for (int i = 0; i < p.nin; ++i) acc += p.w.at(o, i) * x[i];
-    out[o] = acc;
-  }
-  return out;
+  out.resize(p.nout);
+  gemmBlocked(p.nout, 1, p.nin, 1.f, p.w.a.data(), p.nin, false, x.data(), 1,
+              false, 0.f, out.data(), 1, GemmEpilogue{p.b.data(), false});
+}
+
+void denseForwardBatched(const DenseParams& p, const float* x, int batch,
+                         float* out, bool relu) {
+  gemmBlocked(p.nout, batch, p.nin, 1.f, p.w.a.data(), p.nin, false, x, batch,
+              false, 0.f, out, batch, GemmEpilogue{p.b.data(), relu});
 }
 
 std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,

@@ -1,8 +1,233 @@
 #include "grist/ml/matrix.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <stdexcept>
 
+#include "grist/common/workspace.hpp"
+
 namespace grist::ml {
+namespace {
+
+using common::Workspace;
+
+// Below this many flops (2*m*n*k) the packed path cannot amortize its panel
+// copies and a tiny call must not pay the OpenMP fork either: go serial and
+// unpacked. Matvec-shaped calls (n < NR) also skip packing -- the A panel
+// copy would cost as much as the product itself.
+constexpr double kSmallGemmFlops = 16384.0;
+// Above this many flops the row-panel loop is worth forking for.
+constexpr double kParallelGemmFlops = 2.0e6;
+
+// gemm-private per-thread arena for the packed panels. Deliberately NOT
+// Workspace::threadLocal(): callers (the batched ML suite) hold live frames
+// on that arena while calling gemm, and reserve() is only legal on an arena
+// with no live allocations. This one is empty between gemm calls by
+// construction.
+Workspace& gemmArena() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+inline float opAt(const float* m, int ld, bool trans, int i, int j) {
+  return trans ? m[static_cast<std::size_t>(j) * ld + i]
+               : m[static_cast<std::size_t>(i) * ld + j];
+}
+
+// Pack an mr x kc tile of op(A) into a k-major micro-panel: ap[k*MR + i].
+// Rows beyond mr are zero-filled; the padded lanes produce tile outputs
+// that storeTile never reads, so fringe handling costs no branches in the
+// microkernel.
+void packA(const float* a, int lda, bool ta, int i0, int k0, int mr, int kc,
+           float* ap) {
+  for (int k = 0; k < kc; ++k) {
+    float* dst = ap + static_cast<std::size_t>(k) * kGemmMR;
+    for (int i = 0; i < mr; ++i) dst[i] = opAt(a, lda, ta, i0 + i, k0 + k);
+    for (int i = mr; i < kGemmMR; ++i) dst[i] = 0.f;
+  }
+}
+
+// Pack a kc x nr tile of op(B) into a k-major micro-panel: bp[k*NR + j].
+void packB(const float* b, int ldb, bool tb, int k0, int j0, int kc, int nr,
+           float* bp) {
+  for (int k = 0; k < kc; ++k) {
+    float* dst = bp + static_cast<std::size_t>(k) * kGemmNR;
+    for (int j = 0; j < nr; ++j) dst[j] = opAt(b, ldb, tb, k0 + k, j0 + j);
+    for (int j = nr; j < kGemmNR; ++j) dst[j] = 0.f;
+  }
+}
+
+// Register-tiled MR x NR microkernel: acc[i][j] is a k-ascending scalar sum
+// chain (vectorized across j, never reassociated across k), which is the
+// accumulation-order contract the bit-exactness guarantees rest on.
+inline void microKernel(int kc, const float* ap, const float* bp, float* acc) {
+  for (int x = 0; x < kGemmMR * kGemmNR; ++x) acc[x] = 0.f;
+  for (int k = 0; k < kc; ++k) {
+    const float* ak = ap + static_cast<std::size_t>(k) * kGemmMR;
+    const float* bk = bp + static_cast<std::size_t>(k) * kGemmNR;
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float av = ak[i];
+      float* row = acc + i * kGemmNR;
+      for (int j = 0; j < kGemmNR; ++j) row[j] += av * bk[j];
+    }
+  }
+}
+
+// Tile store with the fused epilogue. `first` = first K block (apply beta;
+// beta == 0 never reads C), `last` = final K block (apply bias/ReLU).
+void storeTile(const float* acc, float alpha, float beta, bool first, bool last,
+               const GemmEpilogue& ep, float* c, int ldc, int i0, int j0, int mr,
+               int nr) {
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + static_cast<std::size_t>(i0 + i) * ldc + j0;
+    const float* arow = acc + i * kGemmNR;
+    const float bias = ep.bias ? ep.bias[i0 + i] : 0.f;
+    for (int j = 0; j < nr; ++j) {
+      float v = alpha * arow[j];
+      if (first) {
+        if (beta != 0.f) v += beta * crow[j];
+      } else {
+        v += crow[j];
+      }
+      if (last) {
+        if (ep.bias) v += bias;
+        if (ep.relu) v = v > 0.f ? v : 0.f;
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+// Serial unpacked path for tiny / matvec-shaped calls. Mirrors the packed
+// path's KC split and per-element operation order exactly (partial sum per
+// K block, alpha per block, beta on the first, epilogue on the last), so a
+// size-based dispatch change can never change results.
+void gemmDirect(int m, int n, int k, float alpha, const float* a, int lda,
+                bool ta, const float* b, int ldb, bool tb, float beta, float* c,
+                int ldc, const GemmEpilogue& ep) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      float out = 0.f;
+      if (k <= 0) {
+        if (beta != 0.f) out = beta * crow[j];
+      } else {
+        for (int k0 = 0; k0 < k; k0 += kGemmKC) {
+          const int kc = std::min(kGemmKC, k - k0);
+          float acc = 0.f;
+          for (int kk = 0; kk < kc; ++kk) {
+            acc += opAt(a, lda, ta, i, k0 + kk) * opAt(b, ldb, tb, k0 + kk, j);
+          }
+          float v = alpha * acc;
+          if (k0 == 0) {
+            if (beta != 0.f) v += beta * crow[j];
+          } else {
+            v += out;
+          }
+          out = v;
+        }
+      }
+      if (ep.bias) out += ep.bias[i];
+      if (ep.relu) out = out > 0.f ? out : 0.f;
+      crow[j] = out;
+    }
+  }
+}
+
+void gemmPacked(int m, int n, int k, float alpha, const float* a, int lda,
+                bool ta, const float* b, int ldb, bool tb, float beta, float* c,
+                int ldc, const GemmEpilogue& ep, bool threaded) {
+  const int kc_max = std::min(k, kGemmKC);
+  const int nc_max = std::min(n, kGemmNC);
+  const int npad = (nc_max + kGemmNR - 1) / kGemmNR * kGemmNR;
+  const std::size_t bpack_n = static_cast<std::size_t>(kc_max) * npad;
+  const std::size_t apack_n = static_cast<std::size_t>(kc_max) * kGemmMC;
+  Workspace& ws = gemmArena();
+  // Empty between gemm calls, so this reserve is always legal; it covers
+  // the B panel plus this thread's own A panel (worker threads grow their
+  // own arenas once, on first use).
+  ws.reserve(Workspace::bytesFor<float>(bpack_n) +
+             Workspace::bytesFor<float>(apack_n));
+  Workspace::Frame outer(ws);
+  float* bpack = ws.get<float>(bpack_n);
+
+  for (int jc = 0; jc < n; jc += kGemmNC) {
+    const int nc = std::min(kGemmNC, n - jc);
+    const int npanels = (nc + kGemmNR - 1) / kGemmNR;
+    for (int k0 = 0; k0 < k; k0 += kGemmKC) {
+      const int kc = std::min(kGemmKC, k - k0);
+      const bool first = k0 == 0;
+      const bool last = k0 + kc >= k;
+      for (int jp = 0; jp < npanels; ++jp) {
+        packB(b, ldb, tb, k0, jc + jp * kGemmNR, kc,
+              std::min(kGemmNR, nc - jp * kGemmNR),
+              bpack + static_cast<std::size_t>(jp) * kc * kGemmNR);
+      }
+#pragma omp parallel for schedule(static) if (threaded)
+      for (int ic = 0; ic < m; ic += kGemmMC) {
+        Workspace& tws = gemmArena();
+        Workspace::Frame frame(tws);
+        const int mc = std::min(kGemmMC, m - ic);
+        const int mpanels = (mc + kGemmMR - 1) / kGemmMR;
+        float* apack = tws.get<float>(static_cast<std::size_t>(kc) * kGemmMC);
+        for (int ip = 0; ip < mpanels; ++ip) {
+          packA(a, lda, ta, ic + ip * kGemmMR, k0,
+                std::min(kGemmMR, mc - ip * kGemmMR), kc,
+                apack + static_cast<std::size_t>(ip) * kc * kGemmMR);
+        }
+        for (int jp = 0; jp < npanels; ++jp) {
+          const int nr = std::min(kGemmNR, nc - jp * kGemmNR);
+          const float* bp = bpack + static_cast<std::size_t>(jp) * kc * kGemmNR;
+          for (int ip = 0; ip < mpanels; ++ip) {
+            const int mr = std::min(kGemmMR, mc - ip * kGemmMR);
+            float acc[kGemmMR * kGemmNR];
+            microKernel(kc, apack + static_cast<std::size_t>(ip) * kc * kGemmMR,
+                        bp, acc);
+            storeTile(acc, alpha, beta, first, last, ep, c, ldc,
+                      ic + ip * kGemmMR, jc + jp * kGemmNR, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void gemmBlocked(int m, int n, int k, float alpha, const float* a, int lda,
+                 bool trans_a, const float* b, int ldb, bool trans_b, float beta,
+                 float* c, int ldc, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  const double flops = 2.0 * m * n * std::max(k, 1);
+  if (k <= 0 || n < kGemmNR || flops < kSmallGemmFlops) {
+    gemmDirect(m, n, k, alpha, a, lda, trans_a, b, ldb, trans_b, beta, c, ldc, ep);
+    return;
+  }
+  const bool threaded = flops >= kParallelGemmFlops && !omp_in_parallel() &&
+                        omp_get_max_threads() > 1;
+  gemmPacked(m, n, k, alpha, a, lda, trans_a, b, ldb, trans_b, beta, c, ldc, ep,
+             threaded);
+}
+
+void gemmNaive(int m, int n, int k, float alpha, const float* a, int lda,
+               bool trans_a, const float* b, int ldb, bool trans_b, float beta,
+               float* c, int ldc, const GemmEpilogue& ep) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (int l = 0; l < k; ++l) {
+        acc += opAt(a, lda, trans_a, i, l) * opAt(b, ldb, trans_b, l, j);
+      }
+      float v = alpha * acc;
+      if (beta != 0.f) v += beta * c[static_cast<std::size_t>(i) * ldc + j];
+      if (ep.bias) v += ep.bias[i];
+      if (ep.relu) v = v > 0.f ? v : 0.f;
+      c[static_cast<std::size_t>(i) * ldc + j] = v;
+    }
+  }
+}
 
 void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c) {
@@ -13,16 +238,8 @@ void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
   if (k != kb || c.rows != m || c.cols != n) {
     throw std::invalid_argument("gemm: shape mismatch");
   }
-  const auto aa = [&](int i, int j) { return trans_a ? a.at(j, i) : a.at(i, j); };
-  const auto bb = [&](int i, int j) { return trans_b ? b.at(j, i) : b.at(i, j); };
-#pragma omp parallel for schedule(static)
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.f;
-      for (int l = 0; l < k; ++l) acc += aa(i, l) * bb(l, j);
-      c.at(i, j) = alpha * acc + beta * c.at(i, j);
-    }
-  }
+  gemmBlocked(m, n, k, alpha, a.a.data(), a.cols, trans_a, b.a.data(), b.cols,
+              trans_b, beta, c.a.data(), c.cols);
 }
 
 void axpy(float alpha, const Matrix& x, Matrix& y) {

@@ -1,10 +1,11 @@
 #include "grist/ml/ml_suite.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 #include "grist/common/math.hpp"
 #include "grist/common/timer.hpp"
+#include "grist/common/workspace.hpp"
 
 namespace grist::ml {
 
@@ -35,17 +36,18 @@ std::shared_ptr<const Q1Q2Ensemble> requireEnsemble(
 } // namespace
 
 MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict,
-                               std::size_t q1q2_params,
+                               ScratchFn scratch, std::size_t q1q2_params,
                                std::shared_ptr<const RadMlp> rad,
                                MlSuiteConfig config)
     : predict_q1q2_(std::move(predict)),
+      q1q2_scratch_(std::move(scratch)),
       q1q2_params_(q1q2_params),
       rad_(std::move(rad)),
       surface_(config.surface),
       land_(ncolumns, config.land),
       config_(config),
       nlev_(nlev) {
-  if (!predict_q1q2_ || !rad_) {
+  if (!predict_q1q2_ || !q1q2_scratch_ || !rad_) {
     throw std::invalid_argument("MlPhysicsSuite: null network");
   }
 }
@@ -56,11 +58,14 @@ MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev,
                                MlSuiteConfig config)
     : MlPhysicsSuite(
           ncolumns, nlev,
-          [q1q2 = requireNet(q1q2, nlev)](const double* u, const double* v,
-                                          const double* t, const double* q,
-                                          const double* p, double* q1, double* q2) {
-            q1q2->predict(u, v, t, q, p, q1, q2);
+          [net = requireNet(q1q2, nlev)](int batch, const double* u,
+                                         const double* v, const double* t,
+                                         const double* q, const double* p,
+                                         double* q1, double* q2,
+                                         common::Workspace& ws) {
+            net->predictBatch(batch, u, v, t, q, p, q1, q2, ws);
           },
+          [net = q1q2](int batch) { return net->predictScratchBytes(batch); },
           q1q2 ? q1q2->parameterCount() : 0, std::move(rad), config) {}
 
 MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev,
@@ -69,10 +74,14 @@ MlPhysicsSuite::MlPhysicsSuite(Index ncolumns, int nlev,
                                MlSuiteConfig config)
     : MlPhysicsSuite(
           ncolumns, nlev,
-          [ensemble = requireEnsemble(ensemble, nlev)](
-              const double* u, const double* v, const double* t, const double* q,
-              const double* p, double* q1, double* q2) {
-            ensemble->predict(u, v, t, q, p, q1, q2);
+          [ens = requireEnsemble(ensemble, nlev)](
+              int batch, const double* u, const double* v, const double* t,
+              const double* q, const double* p, double* q1, double* q2,
+              common::Workspace& ws) {
+            ens->predictBatch(batch, u, v, t, q, p, q1, q2, ws);
+          },
+          [ens = ensemble](int batch) {
+            return ens->predictScratchBytes(batch);
           },
           ensemble ? ensemble->parameterCount() : 0, std::move(rad), config) {}
 
@@ -81,36 +90,60 @@ void MlPhysicsSuite::run(const physics::PhysicsInput& in, double dt,
   const ScopedTimer timer("physics.ml");
   out.zero();
   const int nlev = in.nlev;
+  using common::Workspace;
 
-  // ---- ML physical tendency + ML radiation diagnostic, per column ----
-#pragma omp parallel for schedule(static)
-  for (Index c = 0; c < in.ncolumns; ++c) {
-    std::vector<double> u(nlev), v(nlev), t(nlev), q(nlev), p(nlev);
-    std::vector<double> q1(nlev), q2(nlev);
-    for (int k = 0; k < nlev; ++k) {
-      u[k] = in.u(c, k);
-      v[k] = in.v(c, k);
-      t[k] = in.t(c, k);
-      q[k] = in.qv(c, k);
-      p[k] = in.pmid(c, k);
-    }
-    predict_q1q2_(u.data(), v.data(), t.data(), q.data(), p.data(), q1.data(),
-                  q2.data());
-    double moisture_sink = 0.0;  // kg/m^2/s
-    for (int k = 0; k < nlev; ++k) {
-      out.dtdt(c, k) += clamp(q1[k], -config_.q1_limit, config_.q1_limit);
-      // Q2 = -(Lv/cp) dq/dt  =>  dq/dt = -(cp/Lv) Q2.
-      const double dqdt =
-          clamp(-(kCp / kLv) * q2[k], -config_.dq_limit, config_.dq_limit);
-      out.dqvdt(c, k) += dqdt;
-      moisture_sink -= dqdt * in.delp(c, k) / kGravity;
-    }
-    if (moisture_sink > 0) out.precip[c] += moisture_sink * 86400.0;
+  // ---- ML physical tendency + ML radiation diagnostic, batched ----
+  // Columns are processed in blocks so the per-column matvecs become GEMMs;
+  // field slices are passed straight to the networks (the [column][level]
+  // field layout is exactly the [batch][nlev] layout predictBatch expects).
+  const Index bs = std::min<Index>(
+      std::max(1, config_.column_block), std::max<Index>(in.ncolumns, 1));
+  const Index nblocks = (in.ncolumns + bs - 1) / bs;
+  const int bsi = static_cast<int>(bs);
+  const std::size_t need =
+      2 * Workspace::bytesFor<double>(static_cast<std::size_t>(bs) * nlev) +
+      2 * Workspace::bytesFor<double>(static_cast<std::size_t>(bs)) +
+      q1q2_scratch_(bsi) + rad_->predictScratchBytes(bsi);
 
-    double gsw = 0, glw = 0;
-    rad_->predict(t.data(), q.data(), in.tskin[c], in.coszr[c], &gsw, &glw);
-    out.gsw[c] = gsw;
-    out.glw[c] = glw;
+#pragma omp parallel
+  {
+    Workspace& ws = Workspace::threadLocal();
+    // Grow each worker's arena once, before any frames are live (reserve is
+    // only legal on an empty arena); afterwards run() is allocation-free.
+    if (ws.used() == 0) ws.reserve(need);
+#pragma omp for schedule(static)
+    for (Index blk = 0; blk < nblocks; ++blk) {
+      const Index c0 = blk * bs;
+      const int bc = static_cast<int>(std::min<Index>(bs, in.ncolumns - c0));
+      Workspace::Frame frame(ws);
+      double* q1 = ws.get<double>(static_cast<std::size_t>(bc) * nlev);
+      double* q2 = ws.get<double>(static_cast<std::size_t>(bc) * nlev);
+      predict_q1q2_(bc, &in.u(c0, 0), &in.v(c0, 0), &in.t(c0, 0),
+                    &in.qv(c0, 0), &in.pmid(c0, 0), q1, q2, ws);
+      for (int b = 0; b < bc; ++b) {
+        const Index c = c0 + b;
+        double moisture_sink = 0.0;  // kg/m^2/s
+        for (int k = 0; k < nlev; ++k) {
+          const std::size_t bk = static_cast<std::size_t>(b) * nlev + k;
+          out.dtdt(c, k) += clamp(q1[bk], -config_.q1_limit, config_.q1_limit);
+          // Q2 = -(Lv/cp) dq/dt  =>  dq/dt = -(cp/Lv) Q2.
+          const double dqdt =
+              clamp(-(kCp / kLv) * q2[bk], -config_.dq_limit, config_.dq_limit);
+          out.dqvdt(c, k) += dqdt;
+          moisture_sink -= dqdt * in.delp(c, k) / kGravity;
+        }
+        if (moisture_sink > 0) out.precip[c] += moisture_sink * 86400.0;
+      }
+
+      double* gsw = ws.get<double>(bc);
+      double* glw = ws.get<double>(bc);
+      rad_->predictBatch(bc, &in.t(c0, 0), &in.qv(c0, 0), &in.tskin[c0],
+                         &in.coszr[c0], gsw, glw, ws);
+      for (int b = 0; b < bc; ++b) {
+        out.gsw[c0 + b] = gsw[b];
+        out.glw[c0 + b] = glw[b];
+      }
+    }
   }
 
   // ---- conventional diagnostic modules (surface layer, land) ----

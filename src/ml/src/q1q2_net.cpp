@@ -50,9 +50,8 @@ Matrix Q1Q2Net::normalizeInput(const Matrix& x) const {
 }
 
 Matrix Q1Q2Net::forwardNormalized(const Matrix& xn, Cache* cache) const {
-  Matrix col;  // local scratch keeps the method re-entrant
-  Matrix h = conv1dForward(conv_in_, xn, col);
-  reluInPlace(h);
+  Matrix col, h;  // local scratch keeps the method re-entrant
+  conv1dForward(conv_in_, xn, col, h, /*relu=*/true);
   if (cache) {
     cache->x_in = xn;
     cache->col_in = col;
@@ -62,13 +61,14 @@ Matrix Q1Q2Net::forwardNormalized(const Matrix& xn, Cache* cache) const {
     const Matrix skip = h;
     Matrix col_a;
     if (cache) cache->res_x.push_back(h);
-    Matrix mid = conv1dForward(res_convs_[2 * r], h, col_a);
+    Matrix mid;
+    conv1dForward(res_convs_[2 * r], h, col_a, mid, /*relu=*/true);
     if (cache) cache->res_col.push_back(col_a);
-    reluInPlace(mid);
     if (cache) cache->res_act.push_back(mid);
     Matrix col_b;
     if (cache) cache->res_x.push_back(mid);
-    Matrix out = conv1dForward(res_convs_[2 * r + 1], mid, col_b);
+    Matrix out;
+    conv1dForward(res_convs_[2 * r + 1], mid, col_b, out);
     if (cache) cache->res_col.push_back(col_b);
     axpy(1.f, skip, out);  // residual connection
     reluInPlace(out);
@@ -77,7 +77,8 @@ Matrix Q1Q2Net::forwardNormalized(const Matrix& xn, Cache* cache) const {
   }
   Matrix head_col;
   if (cache) cache->head_in = h;
-  Matrix y = conv1dForward(head_, h, head_col);
+  Matrix y;
+  conv1dForward(head_, h, head_col, y);
   if (cache) cache->head_col = head_col;
   return y;
 }
@@ -103,20 +104,70 @@ void Q1Q2Net::backward(const Cache& cache, const Matrix& dout) {
 void Q1Q2Net::predict(const double* u, const double* v, const double* t,
                       const double* q, const double* p, double* q1,
                       double* q2) const {
+  auto& ws = common::Workspace::threadLocal();
+  if (ws.used() == 0) ws.reserve(predictScratchBytes(1));
+  predictBatch(1, u, v, t, q, p, q1, q2, ws);
+}
+
+void Q1Q2Net::predictBatch(int batch, const double* u, const double* v,
+                           const double* t, const double* q, const double* p,
+                           double* q1, double* q2,
+                           common::Workspace& ws) const {
   const int nlev = config_.nlev;
-  Matrix x(kInputChannels, nlev);
-  for (int l = 0; l < nlev; ++l) {
-    x.at(0, l) = static_cast<float>(u[l]);
-    x.at(1, l) = static_cast<float>(v[l]);
-    x.at(2, l) = static_cast<float>(t[l]);
-    x.at(3, l) = static_cast<float>(q[l]);
-    x.at(4, l) = static_cast<float>(p[l]);
+  const int chan = config_.channels;
+  const std::size_t bl = static_cast<std::size_t>(batch) * nlev;
+  common::Workspace::Frame frame(ws);
+
+  // Gather + normalize the five coupling variables into [5, batch*nlev].
+  float* xn = ws.get<float>(kInputChannels * bl);
+  const double* src[kInputChannels] = {u, v, t, q, p};
+  for (int ci = 0; ci < kInputChannels; ++ci) {
+    const float mean = in_norm_.mean[ci];
+    const float stdev = in_norm_.stdev[ci];
+    float* dst = xn + ci * bl;
+    for (std::size_t i = 0; i < bl; ++i) {
+      dst[i] = (static_cast<float>(src[ci][i]) - mean) / stdev;
+    }
   }
-  const Matrix y = forwardNormalized(normalizeInput(x), nullptr);
-  for (int l = 0; l < nlev; ++l) {
-    q1[l] = y.at(0, l) * out_norm_.stdev[0] + out_norm_.mean[0];
-    q2[l] = y.at(1, l) * out_norm_.stdev[1] + out_norm_.mean[1];
+
+  const int colrows = 3 * (chan > kInputChannels ? chan : kInputChannels);
+  float* col = ws.get<float>(static_cast<std::size_t>(colrows) * bl);
+  float* h = ws.get<float>(static_cast<std::size_t>(chan) * bl);
+  float* mid = ws.get<float>(static_cast<std::size_t>(chan) * bl);
+  float* tmp = ws.get<float>(static_cast<std::size_t>(chan) * bl);
+  float* y = ws.get<float>(kOutputChannels * bl);
+
+  conv1dForwardBatched(conv_in_, xn, batch, nlev, col, h, /*relu=*/true);
+  for (int r = 0; r < config_.res_units; ++r) {
+    conv1dForwardBatched(res_convs_[2 * r], h, batch, nlev, col, mid, true);
+    conv1dForwardBatched(res_convs_[2 * r + 1], mid, batch, nlev, col, tmp,
+                         false);
+    const std::size_t cbl = static_cast<std::size_t>(chan) * bl;
+    for (std::size_t i = 0; i < cbl; ++i) {
+      const float s = tmp[i] + h[i];  // conv output + identity skip
+      h[i] = s > 0.f ? s : 0.f;
+    }
   }
+  conv1dForwardBatched(head_, h, batch, nlev, col, y, false);
+
+  for (std::size_t i = 0; i < bl; ++i) {
+    q1[i] = y[i] * out_norm_.stdev[0] + out_norm_.mean[0];
+    q2[i] = y[bl + i] * out_norm_.stdev[1] + out_norm_.mean[1];
+  }
+}
+
+std::size_t Q1Q2Net::predictScratchBytes(int batch) const {
+  using W = common::Workspace;
+  const std::size_t bl =
+      static_cast<std::size_t>(batch) * config_.nlev;
+  const int chan = config_.channels;
+  const std::size_t colrows =
+      3 * static_cast<std::size_t>(chan > kInputChannels ? chan
+                                                         : kInputChannels);
+  return W::bytesFor<float>(kInputChannels * bl) +
+         W::bytesFor<float>(colrows * bl) +
+         3 * W::bytesFor<float>(static_cast<std::size_t>(chan) * bl) +
+         W::bytesFor<float>(kOutputChannels * bl);
 }
 
 void Q1Q2Net::fitNormalization(const std::vector<ColumnSample>& samples) {

@@ -1,5 +1,6 @@
 #include "grist/ml/rad_mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <stdexcept>
@@ -36,7 +37,8 @@ std::vector<float> RadMlp::normalize(const std::vector<float>& x) const {
 // the head input is the last activated entry.
 std::vector<float> RadMlp::forward(const std::vector<float>& xn,
                                    std::vector<std::vector<float>>* acts) const {
-  std::vector<float> h = denseForward(in_, xn);
+  std::vector<float> h;
+  denseForward(in_, xn, h);
   reluInPlace(h);
   if (acts) {
     acts->push_back(xn);
@@ -44,16 +46,20 @@ std::vector<float> RadMlp::forward(const std::vector<float>& xn,
   }
   for (int j = 0; j < 3; ++j) {
     const std::vector<float> skip = h;
-    std::vector<float> mid = denseForward(mid_[2 * j], h);
+    std::vector<float> mid;
+    denseForward(mid_[2 * j], h, mid);
     reluInPlace(mid);
     if (acts) acts->push_back(mid);
-    std::vector<float> out = denseForward(mid_[2 * j + 1], mid);
+    std::vector<float> out;
+    denseForward(mid_[2 * j + 1], mid, out);
     for (std::size_t i = 0; i < out.size(); ++i) out[i] += skip[i];
     reluInPlace(out);
     if (acts) acts->push_back(out);
     h = out;
   }
-  return denseForward(head_, h);
+  std::vector<float> y;
+  denseForward(head_, h, y);
+  return y;
 }
 
 void RadMlp::backward(const std::vector<std::vector<float>>& acts,
@@ -77,17 +83,72 @@ void RadMlp::backward(const std::vector<std::vector<float>>& acts,
 
 void RadMlp::predict(const double* t, const double* qv, double tskin, double coszr,
                      double* gsw, double* glw) const {
-  std::vector<float> x(inputSize());
+  auto& ws = common::Workspace::threadLocal();
+  if (ws.used() == 0) ws.reserve(predictScratchBytes(1));
+  predictBatch(1, t, qv, &tskin, &coszr, gsw, glw, ws);
+}
+
+void RadMlp::predictBatch(int batch, const double* t, const double* qv,
+                          const double* tskin, const double* coszr, double* gsw,
+                          double* glw, common::Workspace& ws) const {
   const int nlev = config_.nlev;
+  const int nin = inputSize();
+  const int hidden = config_.hidden;
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  common::Workspace::Frame frame(ws);
+
+  // Gather + normalize into feature-major [nin, batch]: xn[i*batch + b].
+  float* xn = ws.get<float>(static_cast<std::size_t>(nin) * nb);
   for (int k = 0; k < nlev; ++k) {
-    x[k] = static_cast<float>(t[k]);
-    x[nlev + k] = static_cast<float>(qv[k]);
+    float* trow = xn + static_cast<std::size_t>(k) * nb;
+    float* qrow = xn + static_cast<std::size_t>(nlev + k) * nb;
+    for (int b = 0; b < batch; ++b) {
+      trow[b] = (static_cast<float>(t[static_cast<std::size_t>(b) * nlev + k]) -
+                 x_mean_[k]) /
+                x_std_[k];
+      qrow[b] = (static_cast<float>(qv[static_cast<std::size_t>(b) * nlev + k]) -
+                 x_mean_[nlev + k]) /
+                x_std_[nlev + k];
+    }
   }
-  x[2 * nlev] = static_cast<float>(tskin);
-  x[2 * nlev + 1] = static_cast<float>(coszr);
-  const std::vector<float> y = forward(normalize(x), nullptr);
-  *gsw = std::max(0.0, static_cast<double>(y[0] * y_std_[0] + y_mean_[0]));
-  *glw = std::max(0.0, static_cast<double>(y[1] * y_std_[1] + y_mean_[1]));
+  float* srow = xn + static_cast<std::size_t>(2 * nlev) * nb;
+  float* crow = xn + static_cast<std::size_t>(2 * nlev + 1) * nb;
+  for (int b = 0; b < batch; ++b) {
+    srow[b] = (static_cast<float>(tskin[b]) - x_mean_[2 * nlev]) /
+              x_std_[2 * nlev];
+    crow[b] = (static_cast<float>(coszr[b]) - x_mean_[2 * nlev + 1]) /
+              x_std_[2 * nlev + 1];
+  }
+
+  float* h = ws.get<float>(static_cast<std::size_t>(hidden) * nb);
+  float* mid = ws.get<float>(static_cast<std::size_t>(hidden) * nb);
+  float* tmp = ws.get<float>(static_cast<std::size_t>(hidden) * nb);
+  float* y = ws.get<float>(kOutputs * nb);
+
+  denseForwardBatched(in_, xn, batch, h, /*relu=*/true);
+  for (int j = 0; j < 3; ++j) {
+    denseForwardBatched(mid_[2 * j], h, batch, mid, true);
+    denseForwardBatched(mid_[2 * j + 1], mid, batch, tmp, false);
+    const std::size_t hb = static_cast<std::size_t>(hidden) * nb;
+    for (std::size_t i = 0; i < hb; ++i) {
+      const float s = tmp[i] + h[i];  // dense output + identity skip
+      h[i] = s > 0.f ? s : 0.f;
+    }
+  }
+  denseForwardBatched(head_, h, batch, y, false);
+
+  for (int b = 0; b < batch; ++b) {
+    gsw[b] = std::max(0.0, static_cast<double>(y[b] * y_std_[0] + y_mean_[0]));
+    glw[b] = std::max(0.0, static_cast<double>(y[nb + b] * y_std_[1] + y_mean_[1]));
+  }
+}
+
+std::size_t RadMlp::predictScratchBytes(int batch) const {
+  using W = common::Workspace;
+  const std::size_t nb = static_cast<std::size_t>(batch);
+  return W::bytesFor<float>(static_cast<std::size_t>(inputSize()) * nb) +
+         3 * W::bytesFor<float>(static_cast<std::size_t>(config_.hidden) * nb) +
+         W::bytesFor<float>(kOutputs * nb);
 }
 
 void RadMlp::fitNormalization(const std::vector<RadSample>& samples) {

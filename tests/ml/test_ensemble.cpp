@@ -79,6 +79,34 @@ TEST(Ensemble, MeanOfMembersAndBoundedByExtremes) {
   }
 }
 
+TEST(Ensemble, BatchedPredictionBitExactVsPerColumn) {
+  const int nlev = 8, batch = 3;
+  Q1Q2Ensemble ensemble({makeNet(nlev, 11), makeNet(nlev, 22)});
+  std::vector<double> u(batch * nlev), v(batch * nlev), t(batch * nlev),
+      q(batch * nlev), p(batch * nlev);
+  for (int i = 0; i < batch * nlev; ++i) {
+    u[i] = 5.0 + 0.1 * i;
+    v[i] = -2.0 + 0.05 * i;
+    t[i] = 280.0 - 0.2 * i;
+    q[i] = 0.008;
+    p[i] = 6e4 + 100.0 * i;
+  }
+  std::vector<double> q1b(batch * nlev), q2b(batch * nlev);
+  common::Workspace ws;
+  ws.reserve(ensemble.predictScratchBytes(batch));
+  ensemble.predictBatch(batch, u.data(), v.data(), t.data(), q.data(), p.data(),
+                        q1b.data(), q2b.data(), ws);
+  std::vector<double> q1s(nlev), q2s(nlev);
+  for (int b = 0; b < batch; ++b) {
+    ensemble.predict(&u[b * nlev], &v[b * nlev], &t[b * nlev], &q[b * nlev],
+                     &p[b * nlev], q1s.data(), q2s.data());
+    for (int k = 0; k < nlev; ++k) {
+      EXPECT_DOUBLE_EQ(q1s[k], q1b[b * nlev + k]);
+      EXPECT_DOUBLE_EQ(q2s[k], q2b[b * nlev + k]);
+    }
+  }
+}
+
 TEST(Ensemble, SpreadPositiveForDistinctMembersZeroForClones) {
   const int nlev = 8;
   auto a = makeNet(nlev, 11);

@@ -1,0 +1,107 @@
+// Zero-allocation guard for the batched ML-physics inference path: once the
+// per-thread Workspace arenas (including gemm's private packing arena) are
+// warm, MlPhysicsSuite::run must not touch the heap at all.
+//
+// This binary overrides the global allocation operators to count heap
+// traffic, so it is its own test executable (see tests/CMakeLists.txt) --
+// the same pattern as tests/dycore/test_fused_kernels.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+
+#include "grist/ml/ml_suite.hpp"
+#include "grist/ml/traindata.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. malloc-backed so the override itself is free of
+// recursion; every flavor of operator new/delete funnels through here.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long> g_heap_allocs{0};
+} // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  ++g_heap_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace grist::ml {
+namespace {
+
+long allocsDuring(const std::function<void()>& fn) {
+  const long before = g_heap_allocs.load();
+  fn();
+  return g_heap_allocs.load() - before;
+}
+
+std::shared_ptr<Q1Q2Net> smallQ1Q2(int nlev) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = nlev;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  return std::make_shared<Q1Q2Net>(cfg);
+}
+
+std::shared_ptr<RadMlp> smallRad(int nlev) {
+  RadMlpConfig cfg;
+  cfg.nlev = nlev;
+  cfg.hidden = 32;
+  return std::make_shared<RadMlp>(cfg);
+}
+
+TEST(MlAllocationGuard, SuiteRunIsHeapFreeWhenWarm) {
+  const int nlev = 20;
+  const Index ncol = 37;  // fringe block at the end
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], ncol, nlev);
+  MlPhysicsSuite suite(ncol, nlev, smallQ1Q2(nlev), smallRad(nlev));
+  physics::PhysicsOutput out(ncol, nlev);
+  const auto run = [&] { suite.run(in, 600.0, out); };
+  run();  // warm-up: arenas (suite + gemm packing) grow here
+  EXPECT_EQ(allocsDuring(run), 0);
+}
+
+TEST(MlAllocationGuard, EnsembleSuiteRunIsHeapFreeWhenWarm) {
+  const int nlev = 20;
+  const Index ncol = 24;
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], ncol, nlev);
+  auto ensemble = std::make_shared<Q1Q2Ensemble>(
+      std::vector<std::shared_ptr<const Q1Q2Net>>{smallQ1Q2(nlev),
+                                                  smallQ1Q2(nlev)});
+  MlPhysicsSuite suite(ncol, nlev, ensemble, smallRad(nlev));
+  physics::PhysicsOutput out(ncol, nlev);
+  const auto run = [&] { suite.run(in, 600.0, out); };
+  run();
+  EXPECT_EQ(allocsDuring(run), 0);
+}
+
+} // namespace
+} // namespace grist::ml

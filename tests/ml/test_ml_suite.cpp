@@ -82,6 +82,40 @@ TEST(MlSuite, TrainedEmulatorTracksConventionalTendencies) {
   EXPECT_LT(loss_after, 0.5 * loss_before);
 }
 
+TEST(MlSuite, ResultsIndependentOfColumnBlockSize) {
+  // The batched inference path keeps the per-output accumulation order, so
+  // the block size must not change a single bit of the output.
+  const int nlev = 20;
+  const Index ncol = 13;  // deliberately not a multiple of any block size
+  const auto sc = table1Scenarios()[0];
+  physics::PhysicsInput in = synthesizeColumns(sc, ncol, nlev);
+  auto net = smallQ1Q2(nlev);
+  auto rad = smallRad(nlev);
+
+  const auto runWithBlock = [&](int block, physics::PhysicsOutput& out) {
+    MlSuiteConfig cfg;
+    cfg.column_block = block;
+    MlPhysicsSuite suite(ncol, nlev, net, rad, cfg);
+    suite.run(in, 600.0, out);
+  };
+  physics::PhysicsOutput per_column(ncol, nlev), blocked(ncol, nlev),
+      oversized(ncol, nlev);
+  runWithBlock(1, per_column);
+  runWithBlock(5, blocked);
+  runWithBlock(64, oversized);  // block larger than the column count
+  for (Index c = 0; c < ncol; ++c) {
+    EXPECT_DOUBLE_EQ(per_column.precip[c], blocked.precip[c]);
+    EXPECT_DOUBLE_EQ(per_column.gsw[c], blocked.gsw[c]);
+    EXPECT_DOUBLE_EQ(per_column.glw[c], blocked.glw[c]);
+    EXPECT_DOUBLE_EQ(per_column.gsw[c], oversized.gsw[c]);
+    for (int k = 0; k < nlev; ++k) {
+      EXPECT_DOUBLE_EQ(per_column.dtdt(c, k), blocked.dtdt(c, k));
+      EXPECT_DOUBLE_EQ(per_column.dqvdt(c, k), blocked.dqvdt(c, k));
+      EXPECT_DOUBLE_EQ(per_column.dtdt(c, k), oversized.dtdt(c, k));
+    }
+  }
+}
+
 TEST(MlSuite, FlopAccountingIsDenseArithmetic) {
   const int nlev = 20;
   MlPhysicsSuite suite(4, nlev, smallQ1Q2(nlev), smallRad(nlev));

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <random>
 
+#include "grist/common/workspace.hpp"
 #include "grist/ml/adam.hpp"
 #include "grist/ml/q1q2_net.hpp"
 #include "grist/ml/rad_mlp.hpp"
@@ -113,6 +114,79 @@ TEST(Q1Q2Net, LoadShapeMismatchThrows) {
   Q1Q2Net b(big);
   EXPECT_THROW(b.load(path.string()), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+TEST(Q1Q2Net, BatchedPredictionBitExactVsPerColumn) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = 8;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  Q1Q2Net net(cfg);
+  auto samples = toyColumnSamples(32, cfg.nlev, 13);
+  net.fitNormalization(samples);
+
+  const int batch = 5, nlev = cfg.nlev;
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> u(batch * nlev), v(batch * nlev), t(batch * nlev),
+      q(batch * nlev), p(batch * nlev);
+  for (int i = 0; i < batch * nlev; ++i) {
+    u[i] = 10.0 * dist(rng);
+    v[i] = 10.0 * dist(rng);
+    t[i] = 280.0 + 30.0 * dist(rng);
+    q[i] = 0.01 * (1.0 + dist(rng));
+    p[i] = 5e4 * (1.2 + dist(rng));
+  }
+  std::vector<double> q1b(batch * nlev), q2b(batch * nlev);
+  common::Workspace ws;
+  ws.reserve(net.predictScratchBytes(batch));
+  net.predictBatch(batch, u.data(), v.data(), t.data(), q.data(), p.data(),
+                   q1b.data(), q2b.data(), ws);
+  EXPECT_EQ(ws.used(), 0u);  // the frame released everything
+
+  std::vector<double> q1s(nlev), q2s(nlev);
+  for (int b = 0; b < batch; ++b) {
+    net.predict(&u[b * nlev], &v[b * nlev], &t[b * nlev], &q[b * nlev],
+                &p[b * nlev], q1s.data(), q2s.data());
+    for (int k = 0; k < nlev; ++k) {
+      EXPECT_DOUBLE_EQ(q1s[k], q1b[b * nlev + k]) << "b=" << b << " k=" << k;
+      EXPECT_DOUBLE_EQ(q2s[k], q2b[b * nlev + k]) << "b=" << b << " k=" << k;
+    }
+  }
+}
+
+TEST(RadMlp, BatchedPredictionBitExactVsPerColumn) {
+  RadMlpConfig cfg;
+  cfg.nlev = 10;
+  cfg.hidden = 32;
+  RadMlp net(cfg);
+
+  const int batch = 7, nlev = cfg.nlev;
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> t(batch * nlev), qv(batch * nlev), tskin(batch),
+      coszr(batch);
+  for (int i = 0; i < batch * nlev; ++i) {
+    t[i] = 250.0 + 50.0 * unit(rng);
+    qv[i] = 0.02 * unit(rng);
+  }
+  for (int b = 0; b < batch; ++b) {
+    tskin[b] = 280.0 + 25.0 * unit(rng);
+    coszr[b] = unit(rng);
+  }
+  std::vector<double> gswb(batch), glwb(batch);
+  common::Workspace ws;
+  ws.reserve(net.predictScratchBytes(batch));
+  net.predictBatch(batch, t.data(), qv.data(), tskin.data(), coszr.data(),
+                   gswb.data(), glwb.data(), ws);
+  EXPECT_EQ(ws.used(), 0u);
+
+  for (int b = 0; b < batch; ++b) {
+    double gsw = 0, glw = 0;
+    net.predict(&t[b * nlev], &qv[b * nlev], tskin[b], coszr[b], &gsw, &glw);
+    EXPECT_DOUBLE_EQ(gsw, gswb[b]) << "b=" << b;
+    EXPECT_DOUBLE_EQ(glw, glwb[b]) << "b=" << b;
+  }
 }
 
 TEST(RadMlp, SevenLayersAndLearnsToyRadiation) {
