@@ -84,10 +84,38 @@ int main() {
     std::printf("\n");
   }
 
+  // Overlap-aware projection: the boundary-first post/wait schedule hides
+  // halo latency behind the interior sweep, bounded by the interior share
+  // of the dynamics time (at ~16 cells/CG the boundary IS the domain and
+  // nothing can hide -- the Fig. 11 strong-scaling plateau).
+  {
+    network::SchemeCost scheme{.mixed_precision = true, .ml_physics = false};
+    network::ProjectorConfig overlap_cfg = cal.config;
+    overlap_cfg.overlap_efficiency = 1.0;
+    network::SdpdProjector overlap_proj(overlap_cfg);
+    std::printf("-- projected series: MIX-PHY, overlapped schedule --\n");
+    const auto lock = proj.weakScaling(ladder, 30, 4.0, scheme);
+    const auto over = overlap_proj.weakScaling(ladder, 30, 4.0, scheme);
+    io::Table table({"Processes", "SDPD lockstep", "SDPD overlap",
+                     "Comm share lockstep", "Comm share overlap"});
+    for (std::size_t i = 0; i < lock.size(); ++i) {
+      table.addRow({std::to_string(lock[i].ncgs),
+                    io::Table::num(lock[i].sdpd, 1),
+                    io::Table::num(over[i].sdpd, 1),
+                    io::Table::num(lock[i].comm_share, 3),
+                    io::Table::num(over[i].comm_share, 3)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
   std::printf(
       "Paper anchors (section 4.7): comm share rises 19%% -> 37%% across the\n"
       "series; a clear scalability drop appears at 32,768 CGs (fat-tree\n"
       "bandwidth oversubscription); MIX-ML outperforms MIX-PHY throughout\n"
-      "(ML physics runs dense arithmetic at 74-84%% of peak vs 6%% for RRTMG).\n");
+      "(ML physics runs dense arithmetic at 74-84%% of peak vs 6%% for RRTMG).\n"
+      "The overlapped schedule hides the per-round halo latency behind the\n"
+      "interior sweep; the residual comm share is load imbalance plus the\n"
+      "unhidable part, which grows as the interior band shrinks.\n");
   return 0;
 }

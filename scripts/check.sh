@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass over the allocation-sensitive subsystems.
+# Tier-1 gate plus sanitizer passes over the failure-prone subsystems.
 #
-#   scripts/check.sh            # configure + build + ctest, then ASan/UBSan
-#   GRIST_SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh            # configure + build + ctest, then ASan, then TSan
+#   GRIST_SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan stage
+#   GRIST_SKIP_TSAN=1 scripts/check.sh   # skip the TSan stage
 #
-# The sanitizer stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/ and
-# runs the ml and common test binaries -- the two subsystems that hand out
-# raw Workspace pointers (the packed GEMM and the batched inference path),
-# where an out-of-bounds pack or a dangling arena pointer would otherwise
-# only show up as silent corruption.
+# The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
+# and runs the ml and common test binaries -- the two subsystems that hand
+# out raw Workspace pointers (the packed GEMM and the batched inference
+# path), where an out-of-bounds pack or a dangling arena pointer would
+# otherwise only show up as silent corruption.
+#
+# The TSan stage rebuilds with -DGRIST_SANITIZE=thread into build-tsan/ and
+# runs the parallel and core test binaries: the persistent rank pool and
+# the post/wait packed exchange are exactly where data races would hide.
+# OMP_NUM_THREADS=1 because libgomp is not TSan-instrumented (its barriers
+# would be reported as false positives); the concurrency under test -- rank
+# worker threads, the pool barriers, the post/wait atomics -- is pure
+# C++ threads and unaffected.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,15 +28,27 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "${GRIST_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "== skipping sanitizer pass (GRIST_SKIP_ASAN=1) =="
+  echo "== skipping ASan/UBSan pass (GRIST_SKIP_ASAN=1) =="
+else
+  echo "== sanitizer pass: ASan+UBSan on ml + common test binaries =="
+  cmake -B build-asan -S . -DGRIST_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$(nproc)" --target test_ml test_ml_alloc test_common
+  for bin in test_ml test_ml_alloc test_common; do
+    echo "-- $bin (sanitized)"
+    ./build-asan/tests/"$bin"
+  done
+fi
+
+if [[ "${GRIST_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== skipping TSan pass (GRIST_SKIP_TSAN=1) =="
   exit 0
 fi
 
-echo "== sanitizer pass: ASan+UBSan on ml + common test binaries =="
-cmake -B build-asan -S . -DGRIST_SANITIZE=ON >/dev/null
-cmake --build build-asan -j"$(nproc)" --target test_ml test_ml_alloc test_common
-for bin in test_ml test_ml_alloc test_common; do
-  echo "-- $bin (sanitized)"
-  ./build-asan/tests/"$bin"
+echo "== sanitizer pass: TSan on parallel + core test binaries =="
+cmake -B build-tsan -S . -DGRIST_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_parallel test_core test_parallel_model_alloc
+for bin in test_parallel test_core test_parallel_model_alloc; do
+  echo "-- $bin (TSan)"
+  OMP_NUM_THREADS=1 ./build-tsan/tests/"$bin"
 done
 echo "== all checks passed =="

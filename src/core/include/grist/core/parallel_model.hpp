@@ -4,9 +4,25 @@
 // decomposition correctness gate (rank runs must match the single-domain
 // run bitwise in double precision) and for the measured end of the scaling
 // benchmarks (Figs. 10-11).
+//
+// Ranks run on a PERSISTENT worker pool (one thread per rank, created once)
+// released per step through reusable barriers -- a warm step() performs no
+// thread creation and no heap allocation (tests/core/test_parallel_model_
+// alloc.cpp). Three schedules share the pool:
+//   kOverlap (default)  boundary-band compute -> post() -> interior-band
+//                       compute -> wait(); communication is hidden behind
+//                       the interior sweep. Bitwise identical to lockstep.
+//   kLockstep           every exchange round is a full-stop stage barrier
+//                       whose completion step runs the packed collective
+//                       exchange.
+//   kSpawnUnpacked      the seed schedule (per-step std::thread spawn +
+//                       element-wise unpacked exchange), kept as the
+//                       baseline for bench_ablation_exchange.
 #pragma once
 
+#include <barrier>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "grist/dycore/dycore.hpp"
@@ -18,24 +34,55 @@ namespace grist::core {
 
 class ParallelModel {
  public:
+  enum class Schedule {
+    kOverlap,        ///< split post/wait exchange overlapped with interior compute
+    kLockstep,       ///< packed collective exchange at stage barriers
+    kSpawnUnpacked,  ///< seed reference: per-step threads, element-wise exchange
+  };
+
   /// Decomposes `mesh` into `nranks` domains and scatters `global_initial`.
   /// The mesh and TRSK weights must outlive the model.
   ParallelModel(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
                 dycore::DycoreConfig config, Index nranks,
                 const dycore::State& global_initial);
+  ~ParallelModel();
 
-  /// One lockstep dynamics step across all ranks (threads + stage barriers).
+  ParallelModel(const ParallelModel&) = delete;
+  ParallelModel& operator=(const ParallelModel&) = delete;
+
+  /// One dynamics step across all ranks under the current schedule. All
+  /// schedules produce bitwise-identical states (exchanged values are exact
+  /// copies and band splitting only permutes independent per-entity loops).
   void step();
   void run(int nsteps);
+
+  /// Select the step schedule (between steps only; not thread-safe against
+  /// a concurrent step()).
+  void setSchedule(Schedule s) { schedule_ = s; }
+  Schedule schedule() const { return schedule_; }
 
   /// Reassemble the global prognostic state from rank-owned entities.
   dycore::State gatherState() const;
 
   Index nranks() const { return decomp_.nranks; }
-  const parallel::CommStats& commStats() const { return comm_.stats(); }
+  parallel::CommStats commStats() const { return comm_.stats(); }
   const parallel::Decomposition& decomposition() const { return decomp_; }
 
+  /// Emulate an interconnect with `seconds` of delivery latency per
+  /// exchange round (see Communicator::setWireLatency). Set between steps
+  /// only. Default 0 -- instant in-process delivery.
+  void setWireLatency(double seconds) { comm_.setWireLatency(seconds); }
+
  private:
+  // Completion step of the lockstep stage barrier: the last rank to arrive
+  // runs the packed collective exchange for everyone.
+  struct StageExchange {
+    ParallelModel* model;
+    void operator()() const noexcept;
+  };
+
+  void workerLoop(Index rank);
+
   const grid::HexMesh& mesh_;
   dycore::DycoreConfig config_;
   parallel::Decomposition decomp_;
@@ -44,6 +91,23 @@ class ParallelModel {
   std::vector<std::unique_ptr<dycore::Dycore>> dycores_;
   std::vector<dycore::State> states_;
   std::vector<parallel::ExchangeList> lists_;
+
+  // Per-rank exchange callbacks, built once in the constructor so the warm
+  // step path never constructs a std::function.
+  std::vector<dycore::Dycore::ExchangeFn> lockstep_fns_;
+  std::vector<dycore::Dycore::OverlapHooks> overlap_hooks_;
+
+  // Persistent pool: workers park at start_barrier_, run one step under
+  // schedule_, then park at done_barrier_. Both barriers count the nranks
+  // workers plus the caller of step(). schedule_/stopping_ are written by
+  // the main thread before it arrives at start_barrier_ and read by the
+  // workers after -- the barrier provides the happens-before edge.
+  Schedule schedule_ = Schedule::kOverlap;
+  bool stopping_ = false;
+  std::barrier<> start_barrier_;
+  std::barrier<> done_barrier_;
+  std::barrier<StageExchange> stage_barrier_;
+  std::vector<std::thread> workers_;
 };
 
 } // namespace grist::core

@@ -1,9 +1,8 @@
 #include "grist/core/parallel_model.hpp"
 
-#include <barrier>
 #include <stdexcept>
-#include <thread>
 #include <unordered_map>
+#include <utility>
 
 namespace grist::core {
 
@@ -69,13 +68,20 @@ State scatterState(const State& global, const LocalDomain& dom, int nlev,
 
 } // namespace
 
+void ParallelModel::StageExchange::operator()() const noexcept {
+  model->comm_.exchange(model->lists_);
+}
+
 ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
                              dycore::DycoreConfig config, Index nranks,
                              const State& global_initial)
     : mesh_(mesh),
       config_(config),
       decomp_(parallel::decompose(mesh, nranks, /*halo_depth=*/2)),
-      comm_(decomp_) {
+      comm_(decomp_),
+      start_barrier_(static_cast<std::ptrdiff_t>(nranks) + 1),
+      done_barrier_(static_cast<std::ptrdiff_t>(nranks) + 1),
+      stage_barrier_(static_cast<std::ptrdiff_t>(nranks), StageExchange{this}) {
   const int ntracers = static_cast<int>(global_initial.tracers.size());
   // Dycores hold references into local_trsk_; reserve so push_back never
   // reallocates under them.
@@ -92,6 +98,14 @@ ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
     bounds.vertices_diag = dom.nvtx_complete;
     dycores_.push_back(std::make_unique<dycore::Dycore>(dom.mesh, local_trsk_[r],
                                                         config_, bounds));
+    // Boundary/interior bands from the decomposition's exchange patterns
+    // drive the overlapped schedule.
+    dycore::Bands bands;
+    bands.boundary_cells = dom.boundary_cells;
+    bands.interior_cells = dom.interior_cells;
+    bands.boundary_edges = dom.boundary_edges;
+    bands.interior_edges = dom.interior_edges;
+    dycores_.back()->setBands(std::move(bands));
     states_.push_back(scatterState(global_initial, dom, config_.nlev, ntracers));
   }
   // Exchange lists reference stable field storage inside states_.
@@ -104,27 +118,70 @@ ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
     lists_[r].addCellField(s.phi);
     lists_[r].addEdgeField(s.u);
   }
+  // Plan the packed buffers once; the step loop never reallocates them.
+  comm_.plan(lists_);
+  // Per-rank exchange callbacks, built once (no std::function construction
+  // in the warm step path).
+  lockstep_fns_.reserve(decomp_.nranks);
+  overlap_hooks_.reserve(decomp_.nranks);
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    lockstep_fns_.push_back(
+        [this](State&) { stage_barrier_.arrive_and_wait(); });
+    dycore::Dycore::OverlapHooks hooks;
+    hooks.post = [this, r]() { comm_.post(r); };
+    hooks.wait = [this, r]() { comm_.wait(r); };
+    overlap_hooks_.push_back(std::move(hooks));
+  }
   // Initial halo fill (scatterState already fills halos, but this exercises
   // the exchange path and guards against stale construction).
   comm_.exchange(lists_);
+  // Persistent pool: one worker per rank, parked at start_barrier_.
+  workers_.reserve(decomp_.nranks);
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    workers_.emplace_back([this, r]() { workerLoop(r); });
+  }
+}
+
+ParallelModel::~ParallelModel() {
+  stopping_ = true;
+  start_barrier_.arrive_and_wait();  // release workers; they see stopping_
+  for (auto& t : workers_) t.join();
+}
+
+void ParallelModel::workerLoop(Index rank) {
+  for (;;) {
+    start_barrier_.arrive_and_wait();
+    if (stopping_) return;
+    if (schedule_ == Schedule::kOverlap) {
+      dycores_[rank]->step(states_[rank], overlap_hooks_[rank]);
+    } else {
+      dycores_[rank]->step(states_[rank], lockstep_fns_[rank]);
+    }
+    done_barrier_.arrive_and_wait();
+  }
 }
 
 void ParallelModel::step() {
-  // Lockstep stages: every rank runs in its own thread; the Dycore's
-  // exchange callback parks at a barrier whose completion step runs the
-  // batched halo exchange for all ranks at once.
-  const Index n = decomp_.nranks;
-  std::barrier barrier(static_cast<std::ptrdiff_t>(n),
-                       [this]() noexcept { comm_.exchange(lists_); });
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (Index r = 0; r < n; ++r) {
-    threads.emplace_back([this, r, &barrier]() {
-      dycores_[r]->step(states_[r],
-                        [&barrier](State&) { barrier.arrive_and_wait(); });
+  if (schedule_ == Schedule::kSpawnUnpacked) {
+    // Seed schedule, kept as the ablation baseline: spawn a thread per rank
+    // every step and run the element-wise exchange at full-stop barriers.
+    const Index n = decomp_.nranks;
+    std::barrier barrier(static_cast<std::ptrdiff_t>(n), [this]() noexcept {
+      comm_.exchangeUnpacked(lists_);
     });
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (Index r = 0; r < n; ++r) {
+      threads.emplace_back([this, r, &barrier]() {
+        dycores_[r]->step(states_[r],
+                          [&barrier](State&) { barrier.arrive_and_wait(); });
+      });
+    }
+    for (auto& t : threads) t.join();
+    return;
   }
-  for (auto& t : threads) t.join();
+  start_barrier_.arrive_and_wait();  // workers run one step under schedule_
+  done_barrier_.arrive_and_wait();
 }
 
 void ParallelModel::run(int nsteps) {

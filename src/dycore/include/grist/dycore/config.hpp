@@ -3,6 +3,8 @@
 // `tracer_ratio` dynamics steps (Dyn:Trac = 4:30 in the paper).
 #pragma once
 
+#include <vector>
+
 #include "grist/common/types.hpp"
 #include "grist/precision/ns.hpp"
 
@@ -34,6 +36,21 @@ struct Bounds {
   Index cells_diag = 0;   ///< diagnostic cell updates (>= cells_prog)
   Index edges_prog = 0;
   Index vertices_diag = 0;
+};
+
+/// Boundary/interior split of the prognostic entities, used for
+/// communication-computation overlap: boundary entities are the ones some
+/// neighbor rank reads (they must be updated before the halo messages are
+/// posted); interior entities are updated while the messages are in flight.
+/// The two cell lists must partition [0, cells_prog) and the two edge lists
+/// [0, edges_prog); Dycore::setBands validates this. Since the prognostic
+/// update loops are independent per entity, computing the bands in either
+/// order is bit-identical to the contiguous sweep.
+struct Bands {
+  std::vector<Index> boundary_cells;
+  std::vector<Index> interior_cells;
+  std::vector<Index> boundary_edges;
+  std::vector<Index> interior_edges;
 };
 
 } // namespace grist::dycore

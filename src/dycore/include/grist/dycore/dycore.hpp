@@ -31,10 +31,30 @@ class Dycore {
   /// nothing.
   using ExchangeFn = std::function<void(State&)>;
 
+  /// Split-exchange hooks for communication-computation overlap. Each of
+  /// the four exchange rounds of a step (3 RK stages + vertical solve)
+  /// becomes: update boundary band -> post() -> update interior band ->
+  /// wait(). post() packs and publishes this rank's outgoing halo data;
+  /// wait() blocks until the incoming halo data is unpacked.
+  struct OverlapHooks {
+    std::function<void()> post;
+    std::function<void()> wait;
+  };
+
   /// Advance one dynamics step of config().dt seconds (three RK stages +
   /// one vertical implicit solve). `exchange`, when provided, is invoked
   /// after each stage and after the vertical solve.
   void step(State& state, const ExchangeFn& exchange = {});
+
+  /// Overlapped step: requires setBands(); bitwise identical to the
+  /// lockstep step (band order only permutes independent per-entity loops).
+  void step(State& state, const OverlapHooks& hooks);
+
+  /// Install the boundary/interior split of the prognostic entities
+  /// (derived from the decomposition's exchange patterns). Throws if the
+  /// lists do not exactly partition [0, cells_prog) / [0, edges_prog).
+  void setBands(Bands bands);
+  bool hasBands() const { return has_bands_; }
 
   /// Accumulated horizontal dry-mass flux (edges x nlev) since the last
   /// resetAccumulatedFlux(); always double precision (paper section 3.4.2:
@@ -53,7 +73,8 @@ class Dycore {
 
  private:
   template <typename NS>
-  void stepImpl(State& state, const ExchangeFn& exchange);
+  void stepImpl(State& state, const ExchangeFn& exchange,
+                const OverlapHooks* hooks);
 
   template <typename NS>
   void computeTendencies(const State& state);
@@ -62,6 +83,8 @@ class Dycore {
   const grid::TrskWeights& trsk_;
   DycoreConfig config_;
   Bounds bounds_;
+  Bands bands_;
+  bool has_bands_ = false;
 
   // Scratch (allocated once), grouped by mesh entity; the constructor
   // asserts every field's size against its entity count.

@@ -207,32 +207,55 @@ void calcCoriolisTerm(const HexMesh& m, const TrskWeights& trsk, Index nedges,
 // pow() calls dominating this kernel still run in NS for alpha/Pi.
 // ---------------------------------------------------------------------------
 template <precision::NsReal NS>
+inline void computeRrrColumn(Index c, int nlev, double ptop, const double* delp,
+                             const double* theta, const double* phi,
+                             double* alpha, double* p, double* exner,
+                             double* pi_mid) {
+  using namespace constants;
+  const double gamma = kCp / (kCp - kRd);  // cp/cv
+  double pi_acc = ptop;
+  for (int k = 0; k < nlev; ++k) {
+    const double dp = delp[c * nlev + k];
+    pi_mid[c * nlev + k] = pi_acc + 0.5 * dp;
+    pi_acc += dp;
+    // Layer thickness in geopotential; positive by construction.
+    const NS dphi = static_cast<NS>(phi[c * (nlev + 1) + k] -
+                                    phi[c * (nlev + 1) + k + 1]);
+    const NS a = dphi / static_cast<NS>(dp);
+    alpha[c * nlev + k] = static_cast<double>(a);
+    // Equation of state: p = p0 (rho Rd theta / p0)^(cp/cv), rho = dp/dphi
+    // (delta-pi = g rho delta-z and delta-phi = g delta-z).
+    // Double on purpose: p feeds the sensitive PGF/gravity terms.
+    const double rho = dp / static_cast<double>(dphi);
+    const double pk = kP0 * std::pow(rho * kRd * theta[c * nlev + k] / kP0, gamma);
+    p[c * nlev + k] = pk;
+    exner[c * nlev + k] = static_cast<double>(
+        std::pow(static_cast<NS>(pk / kP0), static_cast<NS>(kKappa)));
+  }
+}
+
+template <precision::NsReal NS>
 void computeRrr(Index ncells, int nlev, double ptop, const double* delp,
                     const double* theta, const double* phi, double* alpha,
                     double* p, double* exner, double* pi_mid) {
-  using namespace constants;
-  const double gamma = kCp / (kCp - kRd);  // cp/cv
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    double pi_acc = ptop;
-    for (int k = 0; k < nlev; ++k) {
-      const double dp = delp[c * nlev + k];
-      pi_mid[c * nlev + k] = pi_acc + 0.5 * dp;
-      pi_acc += dp;
-      // Layer thickness in geopotential; positive by construction.
-      const NS dphi = static_cast<NS>(phi[c * (nlev + 1) + k] -
-                                      phi[c * (nlev + 1) + k + 1]);
-      const NS a = dphi / static_cast<NS>(dp);
-      alpha[c * nlev + k] = static_cast<double>(a);
-      // Equation of state: p = p0 (rho Rd theta / p0)^(cp/cv), rho = dp/dphi
-      // (delta-pi = g rho delta-z and delta-phi = g delta-z).
-      // Double on purpose: p feeds the sensitive PGF/gravity terms.
-      const double rho = dp / static_cast<double>(dphi);
-      const double pk = kP0 * std::pow(rho * kRd * theta[c * nlev + k] / kP0, gamma);
-      p[c * nlev + k] = pk;
-      exner[c * nlev + k] = static_cast<double>(
-          std::pow(static_cast<NS>(pk / kP0), static_cast<NS>(kKappa)));
-    }
+    computeRrrColumn<NS>(c, nlev, ptop, delp, theta, phi, alpha, p, exner,
+                         pi_mid);
+  }
+}
+
+/// Band variant: same per-column arithmetic, restricted to the cell indices
+/// in `cells` (the boundary or interior band of a decomposed rank). Columns
+/// are independent, so splitting the sweep is bit-exact.
+template <precision::NsReal NS>
+void computeRrrBand(const Index* cells, Index nband, int nlev, double ptop,
+                    const double* delp, const double* theta, const double* phi,
+                    double* alpha, double* p, double* exner, double* pi_mid) {
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < nband; ++i) {
+    computeRrrColumn<NS>(cells[i], nlev, ptop, delp, theta, phi, alpha, p,
+                         exner, pi_mid);
   }
 }
 
@@ -339,6 +362,13 @@ void del2Scalar(const HexMesh& m, Index ncells, int nlev, const double* scalar,
 void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
                         const double* delp, const double* theta, const double* p,
                         double* w, double* phi, double w_damp_tau);
+
+/// Band variant of the column solve, restricted to the cell indices in
+/// `cells`. Columns are independent, so splitting the sweep is bit-exact.
+void vertImplicitSolverBand(const Index* cells, Index nband, int nlev,
+                            double dt, double ptop, const double* delp,
+                            const double* theta, const double* p, double* w,
+                            double* phi, double w_damp_tau);
 
 // ===========================================================================
 // Fused single-sweep kernels. The dycore tendency step is memory-bandwidth

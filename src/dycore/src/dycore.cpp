@@ -87,12 +87,54 @@ void Dycore::resetAccumulatedFlux() {
   acc_steps_ = 0;
 }
 
+void Dycore::setBands(Bands bands) {
+  const auto validate = [](const std::vector<Index>& boundary,
+                           const std::vector<Index>& interior, Index n,
+                           const char* what) {
+    if (static_cast<Index>(boundary.size() + interior.size()) != n) {
+      throw std::invalid_argument(std::string("Dycore::setBands: ") + what +
+                                  " bands do not cover the prognostic range");
+    }
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (const std::vector<Index>* band : {&boundary, &interior}) {
+      for (const Index i : *band) {
+        if (i < 0 || i >= n || seen[static_cast<std::size_t>(i)]) {
+          throw std::invalid_argument(std::string("Dycore::setBands: ") + what +
+                                      " bands are not a partition");
+        }
+        seen[static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  };
+  validate(bands.boundary_cells, bands.interior_cells, bounds_.cells_prog,
+           "cell");
+  validate(bands.boundary_edges, bands.interior_edges, bounds_.edges_prog,
+           "edge");
+  bands_ = std::move(bands);
+  has_bands_ = true;
+}
+
 void Dycore::step(State& state, const ExchangeFn& exchange) {
   const ScopedTimer timer("dycore");
   if (config_.ns == precision::NsMode::kDouble) {
-    stepImpl<double>(state, exchange);
+    stepImpl<double>(state, exchange, nullptr);
   } else {
-    stepImpl<float>(state, exchange);
+    stepImpl<float>(state, exchange, nullptr);
+  }
+}
+
+void Dycore::step(State& state, const OverlapHooks& hooks) {
+  if (!has_bands_) {
+    throw std::logic_error("Dycore::step(overlap): setBands() first");
+  }
+  if (!hooks.post || !hooks.wait) {
+    throw std::invalid_argument("Dycore::step(overlap): both hooks required");
+  }
+  const ScopedTimer timer("dycore");
+  if (config_.ns == precision::NsMode::kDouble) {
+    stepImpl<double>(state, {}, &hooks);
+  } else {
+    stepImpl<float>(state, {}, &hooks);
   }
 }
 
@@ -145,7 +187,8 @@ void Dycore::computeTendencies(const State& state) {
 }
 
 template <typename NS>
-void Dycore::stepImpl(State& state, const ExchangeFn& exchange) {
+void Dycore::stepImpl(State& state, const ExchangeFn& exchange,
+                      const OverlapHooks* hooks) {
   const int nlev = config_.nlev;
 
   // Save step-start prognostics for the Runge-Kutta combinations.
@@ -161,13 +204,14 @@ void Dycore::stepImpl(State& state, const ExchangeFn& exchange) {
     for (int kk = 0; kk < nlev; ++kk) u0_(e, kk) = state.u(e, kk);
   }
 
-  // Wicker-Skamarock RK3: dt/3, dt/2, dt, each stage restarting from S^n.
-  const double stage_dt[3] = {config_.dt / 3.0, config_.dt / 2.0, config_.dt};
-  for (int stage = 0; stage < 3; ++stage) {
-    computeTendencies<NS>(state);
-    const double dts = stage_dt[stage];
+  // Prognostic update sweeps, callable either contiguously (cells ==
+  // nullptr: the lockstep schedule) or on a band list (the overlapped
+  // schedule). Per-entity arithmetic is identical either way, and entities
+  // are independent, so both schedules produce bitwise-identical states.
+  const auto updateCells = [&](const Index* cells, Index n, double dts) {
 #pragma omp parallel for schedule(static)
-    for (Index c = 0; c < bounds_.cells_prog; ++c) {
+    for (Index i = 0; i < n; ++i) {
+      const Index c = cells ? cells[i] : i;
       for (int kk = 0; kk < nlev; ++kk) {
         double new_delp = delp0_(c, kk) + dts * delp_tend_(c, kk);
         const double new_thetam = thetam0_(c, kk) + dts * thetam_tend_(c, kk);
@@ -186,25 +230,82 @@ void Dycore::stepImpl(State& state, const ExchangeFn& exchange) {
         state.theta(c, kk) = new_thetam / new_delp;
       }
     }
+  };
+  const auto updateEdges = [&](const Index* edges, Index n, double dts) {
 #pragma omp parallel for schedule(static)
-    for (Index e = 0; e < bounds_.edges_prog; ++e) {
+    for (Index i = 0; i < n; ++i) {
+      const Index e = edges ? edges[i] : i;
       for (int kk = 0; kk < nlev; ++kk) {
         state.u(e, kk) = u0_(e, kk) + dts * u_tend_(e, kk);
       }
     }
-    if (exchange) exchange(state);
+  };
+
+  // Wicker-Skamarock RK3: dt/3, dt/2, dt, each stage restarting from S^n.
+  const double stage_dt[3] = {config_.dt / 3.0, config_.dt / 2.0, config_.dt};
+  for (int stage = 0; stage < 3; ++stage) {
+    computeTendencies<NS>(state);
+    const double dts = stage_dt[stage];
+    if (hooks) {
+      // Overlapped: boundary band first, post the halo messages, compute
+      // the interior while they are in flight, then consume the halos
+      // (the next stage's tendencies read them).
+      updateCells(bands_.boundary_cells.data(),
+                  static_cast<Index>(bands_.boundary_cells.size()), dts);
+      updateEdges(bands_.boundary_edges.data(),
+                  static_cast<Index>(bands_.boundary_edges.size()), dts);
+      hooks->post();
+      updateCells(bands_.interior_cells.data(),
+                  static_cast<Index>(bands_.interior_cells.size()), dts);
+      updateEdges(bands_.interior_edges.data(),
+                  static_cast<Index>(bands_.interior_edges.size()), dts);
+      hooks->wait();
+    } else {
+      updateCells(nullptr, bounds_.cells_prog, dts);
+      updateEdges(nullptr, bounds_.edges_prog, dts);
+      if (exchange) exchange(state);
+    }
   }
 
   // Vertically implicit acoustic adjustment of (w, phi); pressure is
-  // recomputed for the updated delp/theta in full double precision.
-  kernels::computeRrr<double>(bounds_.cells_prog, nlev, config_.ptop,
-                              state.delp.data(), state.theta.data(),
-                              state.phi.data(), alpha_.data(), p_.data(),
-                              exner_.data(), pi_mid_.data());
-  kernels::vertImplicitSolver(bounds_.cells_prog, nlev, config_.dt, config_.ptop,
-                              state.delp.data(), state.theta.data(), p_.data(),
-                              state.w.data(), state.phi.data(), config_.w_damp_tau);
-  if (exchange) exchange(state);
+  // recomputed for the updated delp/theta in full double precision. The
+  // column solve reads no halos, so the overlapped schedule posts the
+  // boundary columns' results and solves the interior columns while the
+  // messages are in flight.
+  if (hooks) {
+    const Index* bcells = bands_.boundary_cells.data();
+    const Index nb = static_cast<Index>(bands_.boundary_cells.size());
+    const Index* icells = bands_.interior_cells.data();
+    const Index ni = static_cast<Index>(bands_.interior_cells.size());
+    kernels::computeRrrBand<double>(bcells, nb, nlev, config_.ptop,
+                                    state.delp.data(), state.theta.data(),
+                                    state.phi.data(), alpha_.data(), p_.data(),
+                                    exner_.data(), pi_mid_.data());
+    kernels::vertImplicitSolverBand(bcells, nb, nlev, config_.dt, config_.ptop,
+                                    state.delp.data(), state.theta.data(),
+                                    p_.data(), state.w.data(), state.phi.data(),
+                                    config_.w_damp_tau);
+    hooks->post();
+    kernels::computeRrrBand<double>(icells, ni, nlev, config_.ptop,
+                                    state.delp.data(), state.theta.data(),
+                                    state.phi.data(), alpha_.data(), p_.data(),
+                                    exner_.data(), pi_mid_.data());
+    kernels::vertImplicitSolverBand(icells, ni, nlev, config_.dt, config_.ptop,
+                                    state.delp.data(), state.theta.data(),
+                                    p_.data(), state.w.data(), state.phi.data(),
+                                    config_.w_damp_tau);
+    hooks->wait();
+  } else {
+    kernels::computeRrr<double>(bounds_.cells_prog, nlev, config_.ptop,
+                                state.delp.data(), state.theta.data(),
+                                state.phi.data(), alpha_.data(), p_.data(),
+                                exner_.data(), pi_mid_.data());
+    kernels::vertImplicitSolver(bounds_.cells_prog, nlev, config_.dt,
+                                config_.ptop, state.delp.data(),
+                                state.theta.data(), p_.data(), state.w.data(),
+                                state.phi.data(), config_.w_damp_tau);
+    if (exchange) exchange(state);
+  }
 
   // Accumulate the (double-precision) mass flux driving tracer transport.
 #pragma omp parallel for schedule(static)
@@ -264,9 +365,14 @@ void calcPressureGradient(const HexMesh& m, Index nedges, int nlev,
 // interfaces (w = 0 at the top and the surface). delta-pi at interface k is
 // the mean of the adjacent layer masses. This kernel carries the gravity
 // and acoustic terms the paper pins to double precision.
-void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
-                        const double* delp, const double* theta, const double* p,
-                        double* w, double* phi, double w_damp_tau) {
+namespace {
+
+// Shared implementation: `cells == nullptr` solves the contiguous range
+// [0, ncols); otherwise the listed columns (boundary/interior band).
+void vertImplicitSolverImpl(const Index* cells, Index ncols, int nlev,
+                            double dt, double ptop, const double* delp,
+                            const double* theta, const double* p, double* w,
+                            double* phi, double w_damp_tau) {
   using namespace constants;
   using common::Workspace;
   const double gamma = kCp / (kCp - kRd);
@@ -280,7 +386,8 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
     ws.reserve(Workspace::bytesFor<double>(nlev) * 5 +
                Workspace::bytesFor<double>(nlev + 1));
 #pragma omp for schedule(static)
-  for (Index c = 0; c < ncells; ++c) {
+  for (Index i = 0; i < ncols; ++i) {
+    const Index c = cells ? cells[i] : i;
     const Workspace::Frame frame(ws);
     const double* dp = delp + static_cast<std::size_t>(c) * nlev;
     const double* pc = p + static_cast<std::size_t>(c) * nlev;
@@ -362,10 +469,29 @@ void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
   } // omp parallel
 }
 
+} // namespace
+
+void vertImplicitSolver(Index ncells, int nlev, double dt, double ptop,
+                        const double* delp, const double* theta, const double* p,
+                        double* w, double* phi, double w_damp_tau) {
+  vertImplicitSolverImpl(nullptr, ncells, nlev, dt, ptop, delp, theta, p, w,
+                         phi, w_damp_tau);
+}
+
+void vertImplicitSolverBand(const Index* cells, Index nband, int nlev,
+                            double dt, double ptop, const double* delp,
+                            const double* theta, const double* p, double* w,
+                            double* phi, double w_damp_tau) {
+  vertImplicitSolverImpl(cells, nband, nlev, dt, ptop, delp, theta, p, w, phi,
+                         w_damp_tau);
+}
+
 } // namespace kernels
 
 // Explicit instantiations of the step for both precisions.
-template void Dycore::stepImpl<double>(State&, const ExchangeFn&);
-template void Dycore::stepImpl<float>(State&, const ExchangeFn&);
+template void Dycore::stepImpl<double>(State&, const ExchangeFn&,
+                                       const OverlapHooks*);
+template void Dycore::stepImpl<float>(State&, const ExchangeFn&,
+                                      const OverlapHooks*);
 
 } // namespace grist::dycore

@@ -52,6 +52,18 @@ struct ProjectorConfig {
   double imbalance_per_doubling = 0.03;
   Index imbalance_ref_cgs = 128;
 
+  /// Communication-computation overlap: fraction of the raw halo-exchange
+  /// time hidden behind the interior-band dynamics sweep (the post/wait
+  /// schedule of core::ParallelModel). The hideable window is bounded by
+  /// the interior share of the dynamics sweep, (1 - boundary_fraction) of
+  /// t_dyn, with boundary_fraction ~ perimeter/area = min(1, 4 sqrt(A)/A)
+  /// for A = cells/CG: at kilometer scale (large A) nearly the whole
+  /// exchange can hide; in the strong-scaling tail (A -> 16) the boundary
+  /// band IS the domain and overlap buys nothing, which is the paper's
+  /// Fig. 11 plateau story. 0 disables (default, preserving the
+  /// lockstep projections); 1 is perfect overlap.
+  double overlap_efficiency = 0.0;
+
   /// Serial per-step floor (MPE-side sequential work, kernel launches,
   /// barriers, vertical solves that do not shrink with the horizontal
   /// decomposition). Calibrated against the paper's G11S endpoint; this is

@@ -35,6 +35,18 @@ struct LocalDomain {
   std::vector<Index> cell_global;
   std::vector<Index> edge_global;
   std::vector<Index> vtx_global;
+
+  /// Boundary/interior split of the OWNED entities, derived from the
+  /// exchange patterns: boundary entities appear in at least one send map
+  /// (some neighbor reads their values), interior entities in none. Both
+  /// lists are ascending and together partition [0, n*_owned). The split
+  /// drives communication overlap: a rank updates its boundary band first,
+  /// posts the outgoing halo messages, then updates the interior while the
+  /// messages are in flight.
+  std::vector<Index> boundary_cells;
+  std::vector<Index> interior_cells;
+  std::vector<Index> boundary_edges;
+  std::vector<Index> interior_edges;
 };
 
 /// Send/recv maps between one ordered rank pair.
@@ -44,6 +56,11 @@ struct ExchangePattern {
   std::vector<Index> recv_cells;  ///< local indices on `to`
   std::vector<Index> send_edges;
   std::vector<Index> recv_edges;
+  /// Entity counts (== the send vector sizes), precomputed by decompose()
+  /// so per-exchange traffic accounting stays O(patterns), not
+  /// O(patterns x vars x entities).
+  Index nsend_cells = 0;
+  Index nsend_edges = 0;
 };
 
 struct Decomposition {
@@ -52,6 +69,13 @@ struct Decomposition {
   std::vector<LocalDomain> domains;
   std::vector<ExchangePattern> patterns;  ///< all ordered pairs with traffic
   std::vector<Index> cell_part;           ///< global cell -> rank
+
+  /// Pattern indices grouped by endpoint: patterns_from[r] lists the
+  /// patterns with from == r, patterns_to[r] those with to == r (both in
+  /// `patterns` order). These drive the per-rank post()/wait() halves of
+  /// the overlapped exchange.
+  std::vector<std::vector<Index>> patterns_from;
+  std::vector<std::vector<Index>> patterns_to;
 };
 
 /// Decompose `mesh` into `nranks` domains using the given partition vector

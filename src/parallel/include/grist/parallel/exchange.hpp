@@ -4,9 +4,28 @@
 // message count per step is the number of neighbor pairs, not
 // pairs x variables. Byte and message counts are recorded; the network model
 // (src/network) converts them into projected communication time.
+//
+// Transport: each pattern's variables are PACKED into one contiguous
+// per-pattern message buffer (pack -> one memcpy-like transfer -> unpack,
+// mirroring a real MPI transport). The exchange is available in two forms:
+//   exchange(lists)  - collective: pack every pattern, then unpack every
+//                      pattern (single orchestrating thread, pack/unpack
+//                      parallelized across patterns);
+//   post(r)/wait(r)  - split halves for communication-computation overlap:
+//                      rank r's thread packs and publishes its outgoing
+//                      messages in post() as soon as its boundary band is
+//                      computed, then blocks in wait() only when it actually
+//                      consumes halos. Senders and receivers synchronize
+//                      through per-pattern sequence numbers, so no global
+//                      barrier is involved.
+// Message sizes per pattern are fixed by the variable shapes, which plan()
+// validates and caches once; per-exchange CommStats updates are O(1).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "grist/parallel/decompose.hpp"
@@ -14,13 +33,20 @@
 
 namespace grist::parallel {
 
-/// One rank's list of variables queued for the next exchange.
+/// One rank's list of variables queued for the next exchange. Storage is
+/// reserved for the usual prognostic set up front so queueing never
+/// reallocates in the step loop.
 class ExchangeList {
  public:
   struct Var {
     double* data = nullptr;
     int ncomp = 1;
   };
+
+  ExchangeList() {
+    cell_vars_.reserve(kReserve);
+    edge_vars_.reserve(kReserve);
+  }
 
   void addCellVar(double* data, int ncomp) { cell_vars_.push_back({data, ncomp}); }
   void addEdgeVar(double* data, int ncomp) { edge_vars_.push_back({data, ncomp}); }
@@ -35,6 +61,7 @@ class ExchangeList {
   const std::vector<Var>& edgeVars() const { return edge_vars_; }
 
  private:
+  static constexpr std::size_t kReserve = 8;
   std::vector<Var> cell_vars_;
   std::vector<Var> edge_vars_;
 };
@@ -54,23 +81,106 @@ struct CommStats {
 };
 
 /// In-process communicator: executes the decomposition's exchange patterns
-/// by direct copies between rank-local buffers.
+/// through packed per-pattern message buffers.
 class Communicator {
  public:
-  explicit Communicator(const Decomposition& decomp) : decomp_(&decomp) {}
+  explicit Communicator(const Decomposition& decomp);
 
-  /// One exchange call: every variable in every rank's list is updated in
-  /// that rank's halo. `lists` must have one entry per rank, and every
-  /// rank's list must contain the same variable shapes (as in MPI, the call
-  /// is collective and symmetric).
+  /// One collective exchange call: every variable in every rank's list is
+  /// updated in that rank's halo. `lists` must have one entry per rank, and
+  /// every rank's list must contain the same variable shapes (as in MPI,
+  /// the call is collective and symmetric). Plans automatically on first
+  /// use or when the queued shapes change.
   void exchange(std::vector<ExchangeList>& lists);
 
-  const CommStats& stats() const { return stats_; }
-  void resetStats() { stats_ = {}; }
+  /// Seed-style element-wise exchange (no packing): kept as the ablation
+  /// reference path for bench_ablation_exchange.
+  void exchangeUnpacked(std::vector<ExchangeList>& lists);
+
+  /// Bind `lists` for the split post()/wait() protocol: validates that all
+  /// ranks queue identically-shaped variable lists (throws, naming the
+  /// mismatched rank/var, otherwise), sizes the per-pattern message buffers
+  /// and precomputes every byte count. `lists` must outlive subsequent
+  /// post()/wait()/exchange() calls. Re-planning with unchanged shapes
+  /// reuses the buffers (no allocation).
+  void plan(std::vector<ExchangeList>& lists);
+
+  /// Overlap protocol, called from rank r's thread once per exchange round:
+  /// post(r) packs and publishes every outgoing message of rank r;
+  /// wait(r) blocks until every incoming message of rank r for this round
+  /// is published, then unpacks it into r's halos. EVERY rank must call
+  /// post() then wait() exactly once per round (even ranks with no
+  /// traffic), in the same round order on all ranks.
+  void post(Index rank);
+  void wait(Index rank);
+
+  CommStats stats() const;
+  void resetStats();
+
+  /// Emulated interconnect latency (seconds) per exchange round. The
+  /// in-process transport delivers instantly, which no real interconnect
+  /// does, so overlap-on and overlap-off schedules tie on any shared-memory
+  /// host. With a wire latency set, a posted message only becomes
+  /// consumable tau after post(): wait() sleeps out the remainder of tau
+  /// (usually none -- interior compute already covered it), while the
+  /// collective exchange() stalls one full tau window per round, exactly
+  /// like a rank blocking in MPI_Waitall right after MPI_Isend. Data is
+  /// unaffected; tau = 0 (the default) restores instant delivery.
+  /// bench_ablation_exchange sets tau from the fat-tree model at the
+  /// paper's full machine scale.
+  void setWireLatency(double seconds);
+  double wireLatency() const;
 
  private:
+  /// One pattern's packed message: [var0 | var1 | ...] cell vars then edge
+  /// vars, each var's rows contiguous in send-map order. `posted`/`consumed`
+  /// carry the round sequence numbers of the overlap protocol; `consumed`
+  /// also provides the back-pressure that keeps a fast sender from
+  /// overwriting a message its receiver has not unpacked yet.
+  struct PackedMessage {
+    std::vector<double> buffer;
+    std::int64_t bytes = 0;
+    std::atomic<std::uint64_t> posted{0};
+    std::atomic<std::uint64_t> consumed{0};
+    /// Emulated delivery deadline of the in-flight round (wire latency
+    /// mode only). Written before the release-store of `posted`, read
+    /// after the acquire-load in wait(), so it needs no atomicity itself.
+    std::chrono::steady_clock::time_point deliver_at{};
+  };
+
+  void ensurePlan(std::vector<ExchangeList>& lists);
+  void validateShapes(const std::vector<ExchangeList>& lists) const;
+  void packMessage(std::size_t p);
+  void unpackMessage(std::size_t p);
+
   const Decomposition* decomp_;
-  CommStats stats_;
+  std::vector<ExchangeList>* lists_ = nullptr;
+
+  /// Pattern indices by endpoint rank (copied from the decomposition, or
+  /// rebuilt locally for hand-assembled decompositions in tests).
+  std::vector<std::vector<Index>> from_;
+  std::vector<std::vector<Index>> to_;
+
+  // Plan (valid while the queued shapes match plan_cell_comps_/plan_edge_comps_):
+  std::vector<std::unique_ptr<PackedMessage>> messages_;  // one per pattern
+  std::vector<int> plan_cell_comps_, plan_edge_comps_;
+  bool planned_ = false;
+  std::vector<std::int64_t> rank_out_bytes_;   // per rank, per round
+  std::vector<std::int64_t> rank_out_msgs_;
+  std::int64_t round_bytes_ = 0;               // totals per round
+  std::int64_t round_msgs_ = 0;
+
+  // Overlap protocol round counters (per rank; each rank's counter is only
+  // touched from that rank's thread).
+  std::vector<std::uint64_t> round_;
+
+  // Emulated interconnect latency per round (zero = instant delivery).
+  std::chrono::steady_clock::duration wire_latency_{0};
+
+  // O(1)-updated traffic counters (atomic: post() runs on rank threads).
+  std::atomic<std::int64_t> stat_messages_{0};
+  std::atomic<std::int64_t> stat_bytes_{0};
+  std::atomic<std::int64_t> stat_exchanges_{0};
 };
 
 } // namespace grist::parallel

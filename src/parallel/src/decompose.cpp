@@ -261,6 +261,38 @@ Decomposition decompose(const HexMesh& mesh, const std::vector<Index>& part,
   }
   d.patterns.reserve(patterns.size());
   for (auto& [key, pat] : patterns) d.patterns.push_back(std::move(pat));
+
+  // Per-pattern send sizes + per-rank pattern index lists, precomputed here
+  // so the communicator's traffic accounting and its post()/wait() halves
+  // never rescan the send maps.
+  d.patterns_from.resize(nranks);
+  d.patterns_to.resize(nranks);
+  for (std::size_t p = 0; p < d.patterns.size(); ++p) {
+    ExchangePattern& pat = d.patterns[p];
+    pat.nsend_cells = static_cast<Index>(pat.send_cells.size());
+    pat.nsend_edges = static_cast<Index>(pat.send_edges.size());
+    d.patterns_from[pat.from].push_back(static_cast<Index>(p));
+    d.patterns_to[pat.to].push_back(static_cast<Index>(p));
+  }
+
+  // Boundary/interior split of the owned entities: an owned entity is
+  // boundary iff some neighbor receives its value (it appears in a send
+  // map). Ascending order keeps the banded update sweeps deterministic.
+  for (Index r = 0; r < nranks; ++r) {
+    LocalDomain& dom = d.domains[r];
+    std::vector<char> cell_bnd(dom.ncells_owned, 0);
+    std::vector<char> edge_bnd(dom.nedges_owned, 0);
+    for (const Index p : d.patterns_from[r]) {
+      for (const Index lc : d.patterns[p].send_cells) cell_bnd[lc] = 1;
+      for (const Index le : d.patterns[p].send_edges) edge_bnd[le] = 1;
+    }
+    for (Index lc = 0; lc < dom.ncells_owned; ++lc) {
+      (cell_bnd[lc] ? dom.boundary_cells : dom.interior_cells).push_back(lc);
+    }
+    for (Index le = 0; le < dom.nedges_owned; ++le) {
+      (edge_bnd[le] ? dom.boundary_edges : dom.interior_edges).push_back(le);
+    }
+  }
   return d;
 }
 

@@ -1,17 +1,215 @@
 #include "grist/parallel/exchange.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace grist::parallel {
 
-void Communicator::exchange(std::vector<ExchangeList>& lists) {
-  if (static_cast<Index>(lists.size()) != decomp_->nranks) {
-    throw std::invalid_argument("Communicator::exchange: one list per rank required");
+Communicator::Communicator(const Decomposition& decomp) : decomp_(&decomp) {
+  round_.assign(static_cast<std::size_t>(decomp.nranks), 0);
+  // Per-rank pattern index lists: prefer the ones decompose() precomputed,
+  // fall back to a local scan for hand-built decompositions (tests).
+  if (static_cast<Index>(decomp.patterns_from.size()) == decomp.nranks &&
+      static_cast<Index>(decomp.patterns_to.size()) == decomp.nranks) {
+    from_ = decomp.patterns_from;
+    to_ = decomp.patterns_to;
+  } else {
+    from_.resize(static_cast<std::size_t>(decomp.nranks));
+    to_.resize(static_cast<std::size_t>(decomp.nranks));
+    for (std::size_t p = 0; p < decomp.patterns.size(); ++p) {
+      const ExchangePattern& pat = decomp.patterns[p];
+      from_[static_cast<std::size_t>(pat.from)].push_back(static_cast<Index>(p));
+      to_[static_cast<std::size_t>(pat.to)].push_back(static_cast<Index>(p));
+    }
   }
-  // Each pattern is one "message": all queued variables packed together.
-  // Copies go straight from the sender's arrays into the receiver's; the
-  // pack/unpack pair of a real MPI transport collapses into one gather.
+}
+
+void Communicator::validateShapes(const std::vector<ExchangeList>& lists) const {
+  const ExchangeList& ref = lists[0];
+  for (std::size_t r = 1; r < lists.size(); ++r) {
+    const ExchangeList& l = lists[r];
+    if (l.cellVars().size() != ref.cellVars().size()) {
+      throw std::invalid_argument(
+          "Communicator: rank " + std::to_string(r) + " queues " +
+          std::to_string(l.cellVars().size()) + " cell vars, rank 0 queues " +
+          std::to_string(ref.cellVars().size()));
+    }
+    if (l.edgeVars().size() != ref.edgeVars().size()) {
+      throw std::invalid_argument(
+          "Communicator: rank " + std::to_string(r) + " queues " +
+          std::to_string(l.edgeVars().size()) + " edge vars, rank 0 queues " +
+          std::to_string(ref.edgeVars().size()));
+    }
+    for (std::size_t v = 0; v < ref.cellVars().size(); ++v) {
+      if (l.cellVars()[v].ncomp != ref.cellVars()[v].ncomp) {
+        throw std::invalid_argument(
+            "Communicator: cell var " + std::to_string(v) + " on rank " +
+            std::to_string(r) + " has ncomp " +
+            std::to_string(l.cellVars()[v].ncomp) + ", rank 0 has " +
+            std::to_string(ref.cellVars()[v].ncomp));
+      }
+    }
+    for (std::size_t v = 0; v < ref.edgeVars().size(); ++v) {
+      if (l.edgeVars()[v].ncomp != ref.edgeVars()[v].ncomp) {
+        throw std::invalid_argument(
+            "Communicator: edge var " + std::to_string(v) + " on rank " +
+            std::to_string(r) + " has ncomp " +
+            std::to_string(l.edgeVars()[v].ncomp) + ", rank 0 has " +
+            std::to_string(ref.edgeVars()[v].ncomp));
+      }
+    }
+  }
+}
+
+void Communicator::plan(std::vector<ExchangeList>& lists) {
+  if (static_cast<Index>(lists.size()) != decomp_->nranks) {
+    throw std::invalid_argument("Communicator: one list per rank required");
+  }
+  validateShapes(lists);
+  lists_ = &lists;
+
+  plan_cell_comps_.clear();
+  plan_edge_comps_.clear();
+  std::int64_t cell_doubles = 0, edge_doubles = 0;  // per send entity
+  for (const auto& v : lists[0].cellVars()) {
+    plan_cell_comps_.push_back(v.ncomp);
+    cell_doubles += v.ncomp;
+  }
+  for (const auto& v : lists[0].edgeVars()) {
+    plan_edge_comps_.push_back(v.ncomp);
+    edge_doubles += v.ncomp;
+  }
+
   const auto& patterns = decomp_->patterns;
+  messages_.resize(patterns.size());
+  round_bytes_ = 0;
+  round_msgs_ = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    if (!messages_[p]) messages_[p] = std::make_unique<PackedMessage>();
+    PackedMessage& msg = *messages_[p];
+    const std::int64_t doubles = patterns[p].nsend_cells * cell_doubles +
+                                 patterns[p].nsend_edges * edge_doubles;
+    msg.buffer.resize(static_cast<std::size_t>(doubles));
+    msg.bytes = doubles * static_cast<std::int64_t>(sizeof(double));
+    round_bytes_ += msg.bytes;
+  }
+  // One message per neighbor-pair pattern per round (the paper's batching
+  // invariant), independent of how many variables are queued.
+  round_msgs_ = static_cast<std::int64_t>(patterns.size());
+
+  rank_out_bytes_.assign(static_cast<std::size_t>(decomp_->nranks), 0);
+  rank_out_msgs_.assign(static_cast<std::size_t>(decomp_->nranks), 0);
+  for (Index r = 0; r < decomp_->nranks; ++r) {
+    for (const Index p : from_[static_cast<std::size_t>(r)]) {
+      rank_out_bytes_[r] += messages_[p]->bytes;
+    }
+    rank_out_msgs_[r] =
+        static_cast<std::int64_t>(from_[static_cast<std::size_t>(r)].size());
+  }
+  planned_ = true;
+}
+
+void Communicator::ensurePlan(std::vector<ExchangeList>& lists) {
+  if (static_cast<Index>(lists.size()) != decomp_->nranks) {
+    throw std::invalid_argument("Communicator: one list per rank required");
+  }
+  validateShapes(lists);
+  if (planned_) {
+    const ExchangeList& ref = lists[0];
+    bool match = ref.cellVars().size() == plan_cell_comps_.size() &&
+                 ref.edgeVars().size() == plan_edge_comps_.size();
+    for (std::size_t v = 0; match && v < plan_cell_comps_.size(); ++v) {
+      match = ref.cellVars()[v].ncomp == plan_cell_comps_[v];
+    }
+    for (std::size_t v = 0; match && v < plan_edge_comps_.size(); ++v) {
+      match = ref.edgeVars()[v].ncomp == plan_edge_comps_[v];
+    }
+    if (match) {
+      lists_ = &lists;  // rebind data pointers; buffers stay as planned
+      return;
+    }
+  }
+  plan(lists);
+}
+
+void Communicator::packMessage(std::size_t p) {
+  const ExchangePattern& pat = decomp_->patterns[p];
+  const ExchangeList& src = (*lists_)[pat.from];
+  double* w = messages_[p]->buffer.data();
+  for (const auto& var : src.cellVars()) {
+    const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
+    for (const Index lc : pat.send_cells) {
+      std::memcpy(w, var.data + static_cast<std::size_t>(lc) * var.ncomp, row);
+      w += var.ncomp;
+    }
+  }
+  for (const auto& var : src.edgeVars()) {
+    const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
+    for (const Index le : pat.send_edges) {
+      std::memcpy(w, var.data + static_cast<std::size_t>(le) * var.ncomp, row);
+      w += var.ncomp;
+    }
+  }
+}
+
+void Communicator::unpackMessage(std::size_t p) {
+  const ExchangePattern& pat = decomp_->patterns[p];
+  const ExchangeList& dst = (*lists_)[pat.to];
+  const double* r = messages_[p]->buffer.data();
+  for (const auto& var : dst.cellVars()) {
+    const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
+    for (const Index lc : pat.recv_cells) {
+      std::memcpy(var.data + static_cast<std::size_t>(lc) * var.ncomp, r, row);
+      r += var.ncomp;
+    }
+  }
+  for (const auto& var : dst.edgeVars()) {
+    const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
+    for (const Index le : pat.recv_edges) {
+      std::memcpy(var.data + static_cast<std::size_t>(le) * var.ncomp, r, row);
+      r += var.ncomp;
+    }
+  }
+}
+
+void Communicator::exchange(std::vector<ExchangeList>& lists) {
+  ensurePlan(lists);
+  const std::size_t npat = decomp_->patterns.size();
+  // Collective form of the packed transport: pack every pattern, then
+  // unpack every pattern. The two phases are each parallelized across
+  // patterns; the phase boundary is the "transfer".
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t p = 0; p < npat; ++p) packMessage(p);
+  if (wire_latency_.count() > 0) {
+    // All messages are in flight concurrently, so the collective round
+    // stalls one wire-latency window before anything is consumable --
+    // there is no interior work to run under it here.
+    std::this_thread::sleep_for(wire_latency_);
+  }
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t p = 0; p < npat; ++p) unpackMessage(p);
+  // Keep the overlap protocol's sequence numbers in lockstep with the
+  // collective rounds so the two forms can interleave between steps.
+  for (std::size_t p = 0; p < npat; ++p) {
+    PackedMessage& msg = *messages_[p];
+    msg.posted.store(msg.posted.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    msg.consumed.store(msg.consumed.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  }
+  for (auto& r : round_) ++r;
+  stat_bytes_.fetch_add(round_bytes_, std::memory_order_relaxed);
+  stat_messages_.fetch_add(round_msgs_, std::memory_order_relaxed);
+  stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Communicator::exchangeUnpacked(std::vector<ExchangeList>& lists) {
+  ensurePlan(lists);  // shape validation + O(1) traffic totals
+  const auto& patterns = decomp_->patterns;
+  // Seed transport: element-wise copies straight from the sender's arrays
+  // into the receiver's, kept as the ablation baseline for the packed path.
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     const ExchangePattern& pat = patterns[p];
@@ -36,26 +234,87 @@ void Communicator::exchange(std::vector<ExchangeList>& lists) {
       }
     }
   }
-
-  // Traffic accounting (serial; cheap relative to the copies above).
-  std::int64_t bytes = 0;
-  std::int64_t messages = 0;
-  for (const ExchangePattern& pat : patterns) {
-    std::int64_t message_bytes = 0;
-    for (const auto& var : lists[pat.from].cellVars()) {
-      message_bytes += static_cast<std::int64_t>(pat.send_cells.size()) * var.ncomp * 8;
-    }
-    for (const auto& var : lists[pat.from].edgeVars()) {
-      message_bytes += static_cast<std::int64_t>(pat.send_edges.size()) * var.ncomp * 8;
-    }
-    if (message_bytes > 0) {
-      ++messages;
-      bytes += message_bytes;
-    }
+  if (wire_latency_.count() > 0) std::this_thread::sleep_for(wire_latency_);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    PackedMessage& msg = *messages_[p];
+    msg.posted.store(msg.posted.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    msg.consumed.store(msg.consumed.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
   }
-  stats_.messages += messages;
-  stats_.bytes += bytes;
-  stats_.exchanges += 1;
+  for (auto& r : round_) ++r;
+  stat_bytes_.fetch_add(round_bytes_, std::memory_order_relaxed);
+  stat_messages_.fetch_add(round_msgs_, std::memory_order_relaxed);
+  stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Communicator::post(Index rank) {
+  if (!planned_) {
+    throw std::logic_error("Communicator::post: plan() the lists first");
+  }
+  const std::uint64_t seq = ++round_[rank];
+  for (const Index p : from_[static_cast<std::size_t>(rank)]) {
+    PackedMessage& msg = *messages_[p];
+    // Back-pressure: do not overwrite a message the receiver has not
+    // consumed yet (it can be at most one round behind). Blocks on the
+    // atomic's futex rather than spinning -- rank threads are typically
+    // oversubscribed on the host cores.
+    for (std::uint64_t c = msg.consumed.load(std::memory_order_acquire);
+         c + 1 < seq; c = msg.consumed.load(std::memory_order_acquire)) {
+      msg.consumed.wait(c, std::memory_order_acquire);
+    }
+    packMessage(p);
+    if (wire_latency_.count() > 0) {
+      msg.deliver_at = std::chrono::steady_clock::now() + wire_latency_;
+    }
+    msg.posted.store(seq, std::memory_order_release);
+    msg.posted.notify_all();
+  }
+  stat_bytes_.fetch_add(rank_out_bytes_[rank], std::memory_order_relaxed);
+  stat_messages_.fetch_add(rank_out_msgs_[rank], std::memory_order_relaxed);
+  if (rank == 0) stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Communicator::wait(Index rank) {
+  const std::uint64_t seq = round_[rank];  // advanced by this round's post()
+  for (const Index p : to_[static_cast<std::size_t>(rank)]) {
+    PackedMessage& msg = *messages_[p];
+    for (std::uint64_t got = msg.posted.load(std::memory_order_acquire);
+         got < seq; got = msg.posted.load(std::memory_order_acquire)) {
+      msg.posted.wait(got, std::memory_order_acquire);
+    }
+    if (wire_latency_.count() > 0) {
+      // Sleep out whatever part of the wire latency the interior compute
+      // did not already cover (the overlap win: usually none of it).
+      std::this_thread::sleep_until(msg.deliver_at);
+    }
+    unpackMessage(p);
+    msg.consumed.store(seq, std::memory_order_release);
+    msg.consumed.notify_all();
+  }
+}
+
+CommStats Communicator::stats() const {
+  CommStats s;
+  s.messages = stat_messages_.load(std::memory_order_relaxed);
+  s.bytes = stat_bytes_.load(std::memory_order_relaxed);
+  s.exchanges = stat_exchanges_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Communicator::setWireLatency(double seconds) {
+  wire_latency_ = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+}
+
+double Communicator::wireLatency() const {
+  return std::chrono::duration<double>(wire_latency_).count();
+}
+
+void Communicator::resetStats() {
+  stat_messages_.store(0, std::memory_order_relaxed);
+  stat_bytes_.store(0, std::memory_order_relaxed);
+  stat_exchanges_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace grist::parallel

@@ -67,6 +67,70 @@ TEST_P(ParallelRanks, CommunicationVolumeAccounted) {
   EXPECT_GT(after.bytes, before.bytes);
 }
 
+TEST_P(ParallelRanks, OverlapMatchesLockstepBitwiseBothPrecisions) {
+  // The overlap gate: the boundary-first post/wait schedule only permutes
+  // independent per-entity loops and exchanges exact copies, so it must
+  // reproduce the lockstep schedule bit for bit -- in BOTH precision modes
+  // (float runs take different code paths through the NS kernels, so this
+  // is not implied by the double-precision serial gate).
+  for (const auto ns : {precision::NsMode::kDouble, precision::NsMode::kSingle}) {
+    cfg_.ns = ns;
+    const dycore::State initial = dycore::initBaroclinicWave(mesh_, cfg_);
+
+    ParallelModel lockstep(mesh_, trsk_, cfg_, GetParam(), initial);
+    lockstep.setSchedule(ParallelModel::Schedule::kLockstep);
+    ParallelModel overlap(mesh_, trsk_, cfg_, GetParam(), initial);
+    ASSERT_EQ(overlap.schedule(), ParallelModel::Schedule::kOverlap);
+
+    const int nsteps = 3;
+    lockstep.run(nsteps);
+    overlap.run(nsteps);
+    const dycore::State a = lockstep.gatherState();
+    const dycore::State b = overlap.gatherState();
+
+    for (Index c = 0; c < mesh_.ncells; ++c) {
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        ASSERT_EQ(b.delp(c, k), a.delp(c, k)) << "cell " << c;
+        ASSERT_EQ(b.theta(c, k), a.theta(c, k)) << "cell " << c;
+      }
+      for (int k = 0; k <= cfg_.nlev; ++k) {
+        ASSERT_EQ(b.w(c, k), a.w(c, k));
+        ASSERT_EQ(b.phi(c, k), a.phi(c, k));
+      }
+    }
+    for (Index e = 0; e < mesh_.nedges; ++e) {
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        ASSERT_EQ(b.u(e, k), a.u(e, k)) << "edge " << e;
+      }
+    }
+  }
+}
+
+TEST_P(ParallelRanks, SeedSpawnScheduleMatchesPooledSchedules) {
+  // The kSpawnUnpacked baseline (per-step threads + element-wise exchange)
+  // must agree with the pooled packed schedules -- same model, different
+  // transport and thread lifecycle only.
+  const dycore::State initial = dycore::initBaroclinicWave(mesh_, cfg_);
+  ParallelModel seed(mesh_, trsk_, cfg_, GetParam(), initial);
+  seed.setSchedule(ParallelModel::Schedule::kSpawnUnpacked);
+  ParallelModel overlap(mesh_, trsk_, cfg_, GetParam(), initial);
+  seed.run(2);
+  overlap.run(2);
+  const dycore::State a = seed.gatherState();
+  const dycore::State b = overlap.gatherState();
+  for (Index c = 0; c < mesh_.ncells; ++c) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      ASSERT_EQ(b.delp(c, k), a.delp(c, k)) << "cell " << c;
+      ASSERT_EQ(b.theta(c, k), a.theta(c, k)) << "cell " << c;
+    }
+  }
+  for (Index e = 0; e < mesh_.nedges; ++e) {
+    for (int k = 0; k < cfg_.nlev; ++k) {
+      ASSERT_EQ(b.u(e, k), a.u(e, k)) << "edge " << e;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Ranks, ParallelRanks, ::testing::Values(1, 2, 4, 7));
 
 } // namespace

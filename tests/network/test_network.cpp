@@ -115,6 +115,38 @@ TEST_F(ProjectorTest, CacheCostCurveProducesSuperlinearBump) {
   EXPECT_TRUE(superlinear);
 }
 
+TEST_F(ProjectorTest, OverlapHidesHaloTimeUpToInteriorWindow) {
+  SchemeCost mix{.mixed_precision = true, .ml_physics = false};
+  SdpdProjector lockstep(makeConfig());
+
+  ProjectorConfig overlap_cfg = makeConfig();
+  overlap_cfg.overlap_efficiency = 1.0;
+  SdpdProjector overlap(overlap_cfg);
+
+  // Weak-scaling regime (many cells per CG): the interior sweep dwarfs the
+  // exchange, so overlap strictly lowers the step time and comm share.
+  double share_lock = 0, share_over = 0;
+  const double t_lock = lockstep.stepTime(9, 30, 16.0, 8192, mix, &share_lock);
+  const double t_over = overlap.stepTime(9, 30, 16.0, 8192, mix, &share_over);
+  EXPECT_LT(t_over, t_lock);
+  EXPECT_LT(share_over, share_lock);
+
+  // overlap_efficiency = 0 must reproduce the lockstep projection exactly
+  // (the knob defaults off and may not perturb existing curves).
+  ProjectorConfig off_cfg = makeConfig();
+  off_cfg.overlap_efficiency = 0.0;
+  SdpdProjector off(off_cfg);
+  EXPECT_DOUBLE_EQ(off.stepTime(9, 30, 16.0, 8192, mix), t_lock);
+
+  // Strong-scaling tail: with ~16 cells per CG the boundary band is the
+  // whole domain (boundary_fraction == 1), so there is no interior window
+  // and overlap cannot hide anything.
+  const auto counts = grid::countsForLevel(6);
+  const Index ncgs_tail = (counts.cells + 15) / 16;  // cells/CG <= 16
+  EXPECT_DOUBLE_EQ(overlap.stepTime(6, 30, 16.0, ncgs_tail, mix),
+                   lockstep.stepTime(6, 30, 16.0, ncgs_tail, mix));
+}
+
 TEST_F(ProjectorTest, RejectsOversubscribedGrids) {
   SdpdProjector proj(makeConfig());
   SchemeCost dp;

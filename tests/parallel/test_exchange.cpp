@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "grist/grid/hex_mesh.hpp"
@@ -121,6 +122,174 @@ TEST(Exchange, WrongListCountThrows) {
   Communicator comm(d);
   std::vector<ExchangeList> lists(2);
   EXPECT_THROW(comm.exchange(lists), std::invalid_argument);
+}
+
+TEST(Exchange, MismatchedShapesThrowNamingRankAndVar) {
+  const grid::HexMesh mesh = grid::buildHexMesh(2);
+  const Decomposition d = decompose(mesh, Index{2});
+  Communicator comm(d);
+  std::vector<Field> fields;
+  for (Index r = 0; r < 2; ++r) {
+    fields.emplace_back(d.domains[r].mesh.ncells, 3, 0.0);
+  }
+  // Rank 1 queues a different component count for cell var 0.
+  std::vector<ExchangeList> lists(2);
+  lists[0].addCellVar(fields[0].data(), 3);
+  lists[1].addCellVar(fields[1].data(), 5);
+  try {
+    comm.exchange(lists);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cell var 0"), std::string::npos) << msg;
+  }
+  // Differing list lengths are also named.
+  std::vector<ExchangeList> uneven(2);
+  uneven[0].addCellVar(fields[0].data(), 3);
+  EXPECT_THROW(comm.exchange(uneven), std::invalid_argument);
+}
+
+// Hand-built decomposition with IRREGULAR patterns: non-contiguous,
+// unsorted send/recv maps, different entity counts per rank, a rank pair
+// exchanging in one direction only, and a rank with no traffic at all.
+// Exercises the packed pack -> transfer -> unpack round trip directly,
+// including the split post()/wait() halves.
+class IrregularPacking : public ::testing::Test {
+ protected:
+  static constexpr int kComp = 3;
+
+  void SetUp() override {
+    d_.nranks = 3;
+    ExchangePattern p01;  // rank 0 -> rank 1, cells only
+    p01.from = 0;
+    p01.to = 1;
+    p01.send_cells = {7, 2, 5};
+    p01.recv_cells = {1, 6, 3};
+    ExchangePattern p10;  // rank 1 -> rank 0, cells and edges
+    p10.from = 1;
+    p10.to = 0;
+    p10.send_cells = {0, 4};
+    p10.recv_cells = {9, 8};
+    p10.send_edges = {5, 1, 3};
+    p10.recv_edges = {0, 2, 4};
+    d_.patterns = {p01, p10};
+    for (ExchangePattern& pat : d_.patterns) {
+      pat.nsend_cells = static_cast<Index>(pat.send_cells.size());
+      pat.nsend_edges = static_cast<Index>(pat.send_edges.size());
+    }
+    // Rank 2 has no patterns (no traffic), but still participates in the
+    // collective and in every post/wait round.
+    cells_ = {Field(10, kComp), Field(8, kComp), Field(4, kComp)};
+    edges_ = {Field(6, kComp), Field(7, kComp), Field(2, kComp)};
+    lists_.resize(3);
+    for (int r = 0; r < 3; ++r) {
+      lists_[r].addCellField(cells_[r]);
+      lists_[r].addEdgeField(edges_[r]);
+    }
+  }
+
+  // Distinct fill per (rank, entity, comp); sender values are what the
+  // receiver must end up with.
+  void fill(double salt) {
+    for (int r = 0; r < 3; ++r) {
+      for (Index c = 0; c < cells_[r].entities(); ++c) {
+        for (int k = 0; k < kComp; ++k) {
+          cells_[r](c, k) = salt + 100.0 * r + 10.0 * c + k;
+        }
+      }
+      for (Index e = 0; e < edges_[r].entities(); ++e) {
+        for (int k = 0; k < kComp; ++k) {
+          edges_[r](e, k) = -(salt + 100.0 * r + 10.0 * e + k);
+        }
+      }
+    }
+  }
+
+  void checkRoundTrip(double salt) {
+    // Receiver halos hold the sender's values...
+    for (const ExchangePattern& pat : d_.patterns) {
+      for (std::size_t i = 0; i < pat.send_cells.size(); ++i) {
+        for (int k = 0; k < kComp; ++k) {
+          EXPECT_EQ(cells_[pat.to](pat.recv_cells[i], k),
+                    salt + 100.0 * pat.from + 10.0 * pat.send_cells[i] + k);
+        }
+      }
+      for (std::size_t i = 0; i < pat.send_edges.size(); ++i) {
+        for (int k = 0; k < kComp; ++k) {
+          EXPECT_EQ(edges_[pat.to](pat.recv_edges[i], k),
+                    -(salt + 100.0 * pat.from + 10.0 * pat.send_edges[i] + k));
+        }
+      }
+    }
+    // ...and every non-halo entry is untouched (pack/unpack touched only
+    // the mapped rows). Rank 2 is entirely untouched.
+    for (Index c = 0; c < cells_[2].entities(); ++c) {
+      for (int k = 0; k < kComp; ++k) {
+        EXPECT_EQ(cells_[2](c, k), salt + 200.0 + 10.0 * c + k);
+      }
+    }
+  }
+
+  Decomposition d_;
+  std::vector<Field> cells_, edges_;
+  std::vector<ExchangeList> lists_;
+};
+
+TEST_F(IrregularPacking, CollectiveExchangeRoundTrips) {
+  Communicator comm(d_);
+  fill(1.0);
+  comm.exchange(lists_);
+  checkRoundTrip(1.0);
+  // Exact byte accounting: (3 send cells + 2 send cells + 3 send edges)
+  // rows of kComp doubles.
+  EXPECT_EQ(comm.stats().bytes, (3 + 2 + 3) * kComp * 8);
+  EXPECT_EQ(comm.stats().messages, 2);
+}
+
+TEST_F(IrregularPacking, PostWaitRoundTripsAcrossRounds) {
+  Communicator comm(d_);
+  comm.plan(lists_);
+  // Several rounds with fresh values each time: sequence numbers must
+  // advance and no round may see a stale buffer.
+  for (int round = 0; round < 3; ++round) {
+    const double salt = 1.0 + 7.0 * round;
+    fill(salt);
+    for (Index r = 0; r < 3; ++r) comm.post(r);
+    for (Index r = 0; r < 3; ++r) comm.wait(r);
+    checkRoundTrip(salt);
+  }
+  EXPECT_EQ(comm.stats().exchanges, 3);  // one per post round
+}
+
+TEST_F(IrregularPacking, PostBeforePlanThrows) {
+  Communicator comm(d_);
+  EXPECT_THROW(comm.post(0), std::logic_error);
+}
+
+TEST_F(IrregularPacking, WireLatencyDelaysDeliveryButRoundTrips) {
+  // Emulated interconnect latency must not change the delivered data, and
+  // the collective round must stall at least one latency window.
+  Communicator comm(d_);
+  const double tau = 500e-6;
+  comm.setWireLatency(tau);
+  EXPECT_DOUBLE_EQ(comm.wireLatency(), tau);
+
+  fill(3.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  comm.exchange(lists_);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  checkRoundTrip(3.0);
+  EXPECT_GE(elapsed, tau);
+
+  // Split form: delivery deadlines are per message; data still exact.
+  comm.plan(lists_);
+  fill(4.0);
+  for (Index r = 0; r < 3; ++r) comm.post(r);
+  for (Index r = 0; r < 3; ++r) comm.wait(r);
+  checkRoundTrip(4.0);
 }
 
 } // namespace
