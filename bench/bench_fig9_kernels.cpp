@@ -39,8 +39,10 @@ int main() {
       " - tracer_transport_hori_flux_limiter / compute_rrr: many arrays +\n"
       "   mixed-precision -> clear gains from both MIX and DST;\n"
       " - primal_normal_flux_edge: divide/pow heavy -> big MIX speedup;\n"
-      " - calc_coriolis_term: no MIX arithmetic advantage, few arrays ->\n"
-      "   minimal benefit from MIX and DST;\n"
+      " - calc_coriolis_term: arithmetic follows NS, but the indirect TRSK\n"
+      "   gather dominates -> modest benefit from MIX and DST;\n"
+      " - fused_* rows: single-sweep variants of the production tendency\n"
+      "   pipeline (same backend kernel bodies the host dycore runs);\n"
       " - overall acceleration ~20-70x vs MPE-DP.\n");
   return 0;
 }

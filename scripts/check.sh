@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus sanitizer passes over the failure-prone subsystems.
 #
-#   scripts/check.sh            # configure + build + ctest, then ASan, then TSan
+#   scripts/check.sh            # configure + build + ctest, then ASan, UBSan, TSan
 #   GRIST_SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan stage
+#   GRIST_SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan-only stage
 #   GRIST_SKIP_TSAN=1 scripts/check.sh   # skip the TSan stage
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
@@ -36,6 +37,24 @@ else
   for bin in test_ml test_ml_alloc test_common; do
     echo "-- $bin (sanitized)"
     ./build-asan/tests/"$bin"
+  done
+fi
+
+if [[ "${GRIST_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "== skipping UBSan pass (GRIST_SKIP_UBSAN=1) =="
+else
+  # UBSan only (no ASan) over the simulated-accelerator subsystems: the
+  # backend layer templates one kernel body over host and sim views, so an
+  # out-of-range index, a misaligned virtual address computation, or a
+  # signed overflow in the cycle accounting trips here before it skews a
+  # Fig. 9 number. ASan is left off because the per-access cache model makes
+  # shadow-memory overhead prohibitive on these binaries.
+  echo "== sanitizer pass: UBSan on swgomp + sunway + backend test binaries =="
+  cmake -B build-ubsan -S . -DGRIST_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j"$(nproc)" --target test_swgomp test_sunway test_backend
+  for bin in test_swgomp test_sunway test_backend; do
+    echo "-- $bin (UBSan)"
+    ./build-ubsan/tests/"$bin"
   done
 fi
 

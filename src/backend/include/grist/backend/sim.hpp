@@ -1,0 +1,79 @@
+// SimBackend: the SW26010P cost-model instantiation of the execution-backend
+// concept. Views pair real host storage with a virtual base address from the
+// swgomp pool allocator; every read/write is accounted against the simulated
+// core's LDCache (and, unlike the former hand-written replicas, writes also
+// land in the real payload -- so the Sim instantiation computes the same
+// values as the Host one and the two can be compared bit-for-bit).
+//
+// Only swgomp translation units include this header; the production dycore
+// sees backend.hpp alone and never links the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "grist/backend/backend.hpp"
+#include "grist/sunway/core_group.hpp"
+
+namespace grist::backend {
+
+inline sunway::SimPrecision toSimPrecision(Prec p) {
+  return p == Prec::kSingle ? sunway::SimPrecision::kSingle
+                            : sunway::SimPrecision::kDouble;
+}
+
+/// Adapter from the backend event interface to a simulated core (sunway::Cpe
+/// or sunway::Mpe): forwards memory events verbatim and converts Prec to the
+/// simulator's SimPrecision.
+template <typename Core>
+struct SimContext {
+  Core* core = nullptr;
+
+  void load(std::uint64_t addr, std::size_t size) { core->load(addr, size); }
+  void store(std::uint64_t addr, std::size_t size) { core->store(addr, size); }
+  void flops(double n, Prec p) { core->flops(n, toSimPrecision(p)); }
+  void divs(double n, Prec p) { core->divs(n, toSimPrecision(p)); }
+  void elems(double n, Prec p) { core->elems(n, toSimPrecision(p)); }
+};
+
+struct SimBackend {
+  /// Default Context (MPE-flavored) so the ExecutionBackend concept and
+  /// generic code have a concrete type; kernels run under whatever
+  /// SimContext<Core> the offload driver hands them.
+  using Context = SimContext<sunway::Mpe>;
+
+  /// elem_bytes is the accounted element size: 4 for `ns` arrays in a MIX
+  /// build (the payload stays double on the host; only addresses shrink).
+  template <typename T>
+  struct View {
+    const T* data = nullptr;
+    std::uint64_t vbase = 0;
+    std::size_t elem_bytes = sizeof(T);
+
+    template <typename Ctx>
+    T read(Ctx& ctx, Index i) const {
+      ctx.load(vbase + static_cast<std::uint64_t>(i) * elem_bytes, elem_bytes);
+      return data[i];
+    }
+  };
+
+  template <typename T>
+  struct MutView {
+    T* data = nullptr;
+    std::uint64_t vbase = 0;
+    std::size_t elem_bytes = sizeof(T);
+
+    template <typename Ctx>
+    T read(Ctx& ctx, Index i) const {
+      ctx.load(vbase + static_cast<std::uint64_t>(i) * elem_bytes, elem_bytes);
+      return data[i];
+    }
+    template <typename Ctx>
+    void write(Ctx& ctx, Index i, T v) const {
+      ctx.store(vbase + static_cast<std::uint64_t>(i) * elem_bytes, elem_bytes);
+      data[i] = v;
+    }
+  };
+};
+
+} // namespace grist::backend

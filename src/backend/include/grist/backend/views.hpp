@@ -1,0 +1,90 @@
+// Backend-typed handles on the mesh connectivity/geometry and the TRSK
+// weight table -- the read-only operands every dycore kernel shares. A
+// MeshView<HostBackend> is a bundle of raw pointers into the HexMesh
+// vectors; a MeshView<SimBackend> additionally carries the virtual base
+// addresses the cost model accounts loads against.
+#pragma once
+
+#include <array>
+
+#include "grist/backend/backend.hpp"
+#include "grist/common/math.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+
+namespace grist::backend {
+
+template <typename B, typename T>
+using V = typename B::template View<T>;
+template <typename B, typename T>
+using MV = typename B::template MutView<T>;
+
+template <typename B>
+struct MeshView {
+  // -- edges --
+  V<B, std::array<Index, 2>> edge_cell;
+  V<B, std::array<Index, 2>> edge_vertex;
+  V<B, double> edge_de;
+  V<B, double> edge_le;
+  // -- cells --
+  V<B, double> cell_area;
+  V<B, Index> cell_offset;
+  V<B, Index> cell_edges;
+  V<B, double> cell_edge_sign;
+  V<B, Index> cell_cells;
+  // -- vertices --
+  V<B, double> vtx_area;
+  V<B, Vec3> vtx_x;
+  V<B, std::array<Index, 3>> vtx_edges;
+  V<B, std::array<double, 3>> vtx_edge_sign;
+  V<B, std::array<Index, 3>> vtx_cells;
+  V<B, std::array<double, 3>> vtx_kite_area;
+};
+
+template <typename B>
+struct TrskView {
+  V<B, Index> offset;
+  V<B, Index> edge;
+  V<B, double> weight;
+};
+
+// ---- Host factories --------------------------------------------------------
+
+template <typename T>
+constexpr HostBackend::View<T> hostView(const T* p) {
+  return {p};
+}
+template <typename T>
+constexpr HostBackend::MutView<T> hostMut(T* p) {
+  return {p};
+}
+
+inline MeshView<HostBackend> makeHostMeshView(const grid::HexMesh& m) {
+  MeshView<HostBackend> v;
+  v.edge_cell = hostView(m.edge_cell.data());
+  v.edge_vertex = hostView(m.edge_vertex.data());
+  v.edge_de = hostView(m.edge_de.data());
+  v.edge_le = hostView(m.edge_le.data());
+  v.cell_area = hostView(m.cell_area.data());
+  v.cell_offset = hostView(m.cell_offset.data());
+  v.cell_edges = hostView(m.cell_edges.data());
+  v.cell_edge_sign = hostView(m.cell_edge_sign.data());
+  v.cell_cells = hostView(m.cell_cells.data());
+  v.vtx_area = hostView(m.vtx_area.data());
+  v.vtx_x = hostView(m.vtx_x.data());
+  v.vtx_edges = hostView(m.vtx_edges.data());
+  v.vtx_edge_sign = hostView(m.vtx_edge_sign.data());
+  v.vtx_cells = hostView(m.vtx_cells.data());
+  v.vtx_kite_area = hostView(m.vtx_kite_area.data());
+  return v;
+}
+
+inline TrskView<HostBackend> makeHostTrskView(const grid::TrskWeights& t) {
+  TrskView<HostBackend> v;
+  v.offset = hostView(t.offset.data());
+  v.edge = hostView(t.edge.data());
+  v.weight = hostView(t.weight.data());
+  return v;
+}
+
+} // namespace grist::backend

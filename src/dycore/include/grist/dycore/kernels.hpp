@@ -6,6 +6,14 @@
 // plus the remaining operators the solver needs (divergence, vorticity,
 // del2 damping, vertical implicit solve).
 //
+// Since the execution-backend refactor the per-entity arithmetic lives ONCE
+// in grist/backend/kernels.hpp, shared with the SW26010P cost model in
+// src/swgomp. The functions here are the production (HostBackend)
+// instantiations: OpenMP sweep drivers that bind raw-pointer views and a
+// no-op accounting context, so under -O3 each body compiles to exactly the
+// pre-refactor loads/stores/FLOPs (guarded by the legacy-vs-backend pairs in
+// bench_host_kernels and the bit-exactness tests).
+//
 // Mixed precision (paper section 3.4): kernels are templated on NS. Fields
 // are stored in double; precision-INSENSITIVE arithmetic is performed after
 // an on-the-fly cast to NS. Precision-SENSITIVE terms -- the pressure
@@ -16,6 +24,7 @@
 
 #include <cmath>
 
+#include "grist/backend/kernels.hpp"
 #include "grist/common/math.hpp"
 #include "grist/common/workspace.hpp"
 #include "grist/dycore/config.hpp"
@@ -27,6 +36,12 @@ namespace grist::dycore::kernels {
 
 using grid::HexMesh;
 using grid::TrskWeights;
+namespace bk = grist::backend::kernels;
+using grist::backend::hostMut;
+using grist::backend::hostView;
+using grist::backend::makeHostMeshView;
+using grist::backend::makeHostTrskView;
+using HostCtx = grist::backend::HostBackend::Context;
 
 // ---------------------------------------------------------------------------
 // primal_normal_flux_edge: horizontal dry-mass flux at edges,
@@ -38,23 +53,12 @@ using grid::TrskWeights;
 template <precision::NsReal NS>
 void primalNormalFluxEdge(const HexMesh& m, Index nedges, int nlev,
                           const double* delp, const double* u, double* flux) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    const NS le = static_cast<NS>(m.edge_le[e]);
-    for (int k = 0; k < nlev; ++k) {
-      const NS h1 = static_cast<NS>(delp[c1 * nlev + k]);
-      const NS h2 = static_cast<NS>(delp[c2 * nlev + k]);
-      const NS ue = static_cast<NS>(u[e * nlev + k]);
-      // Upwind-biased blend: the ratio r guards against over-steepening.
-      const NS centered = NS(0.5) * (h1 + h2);
-      const NS upwind = ue >= NS(0) ? h1 : h2;
-      const NS r = upwind / centered;  // > 0 for positive thickness
-      const NS blend = NS(1) / (NS(1) + r * r);
-      const NS he = centered + blend * (upwind - centered) * NS(0.5);
-      flux[e * nlev + k] = static_cast<double>(le * ue * he);
-    }
+    HostCtx ctx;
+    bk::primalNormalFluxEdge<NS>(ctx, e, mv, nlev, hostView(delp), hostView(u),
+                                 hostMut(flux));
   }
 }
 
@@ -64,18 +68,11 @@ void primalNormalFluxEdge(const HexMesh& m, Index nedges, int nlev,
 template <precision::NsReal NS>
 void divAtCell(const HexMesh& m, Index ncells, int nlev, const double* flux,
                double* div) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    for (int k = 0; k < nlev; ++k) div[c * nlev + k] = 0.0;
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
-      for (int k = 0; k < nlev; ++k) {
-        div[c * nlev + k] += static_cast<double>(
-            sign * static_cast<NS>(flux[e * nlev + k]) * inv_area);
-      }
-    }
+    HostCtx ctx;
+    bk::divAtCell<NS>(ctx, c, mv, nlev, hostView(flux), hostMut(div));
   }
 }
 
@@ -85,19 +82,11 @@ void divAtCell(const HexMesh& m, Index ncells, int nlev, const double* flux,
 template <precision::NsReal NS>
 void kineticEnergy(const HexMesh& m, Index ncells, int nlev, const double* u,
                    double* ke) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    for (int k = 0; k < nlev; ++k) ke[c * nlev + k] = 0.0;
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const NS weight =
-          static_cast<NS>(0.25 * m.edge_le[e] * m.edge_de[e]) * inv_area;
-      for (int k = 0; k < nlev; ++k) {
-        const NS ue = static_cast<NS>(u[e * nlev + k]);
-        ke[c * nlev + k] += static_cast<double>(weight * ue * ue);
-      }
-    }
+    HostCtx ctx;
+    bk::kineticEnergy<NS>(ctx, c, mv, nlev, hostView(u), hostMut(ke));
   }
 }
 
@@ -108,16 +97,11 @@ void kineticEnergy(const HexMesh& m, Index ncells, int nlev, const double* u,
 template <precision::NsReal NS>
 void tendGradKeAtEdge(const HexMesh& m, Index nedges, int nlev, const double* ke,
                       double* tend_u) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
-    for (int k = 0; k < nlev; ++k) {
-      tend_u[e * nlev + k] += static_cast<double>(
-          -(static_cast<NS>(ke[c2 * nlev + k]) - static_cast<NS>(ke[c1 * nlev + k])) *
-          inv_de);
-    }
+    HostCtx ctx;
+    bk::tendGradKeAtEdge<NS>(ctx, e, mv, nlev, hostView(ke), hostMut(tend_u));
   }
 }
 
@@ -128,18 +112,11 @@ void tendGradKeAtEdge(const HexMesh& m, Index nedges, int nlev, const double* ke
 template <precision::NsReal NS>
 void vorticityAtVertex(const HexMesh& m, Index nvertices, int nlev,
                        const double* u, double* vor) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index v = 0; v < nvertices; ++v) {
-    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
-    for (int k = 0; k < nlev; ++k) {
-      NS acc = NS(0);
-      for (int j = 0; j < 3; ++j) {
-        const Index e = m.vtx_edges[v][j];
-        acc += static_cast<NS>(m.vtx_edge_sign[v][j] * m.edge_de[e]) *
-               static_cast<NS>(u[e * nlev + k]);
-      }
-      vor[v * nlev + k] = static_cast<double>(acc * inv_area);
-    }
+    HostCtx ctx;
+    bk::vorticityAtVertex<NS>(ctx, v, mv, nlev, hostView(u), hostMut(vor));
   }
 }
 
@@ -149,20 +126,12 @@ template <precision::NsReal NS>
 void potentialVorticityAtVertex(const HexMesh& m, Index nvertices, int nlev,
                                 const double* vor, const double* delp,
                                 double omega, double* qv) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index v = 0; v < nvertices; ++v) {
-    const NS f = static_cast<NS>(2.0 * omega * m.vtx_x[v].z);
-    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
-    for (int k = 0; k < nlev; ++k) {
-      NS hv = NS(0);
-      for (int j = 0; j < 3; ++j) {
-        hv += static_cast<NS>(m.vtx_kite_area[v][j]) *
-              static_cast<NS>(delp[m.vtx_cells[v][j] * nlev + k]);
-      }
-      hv *= inv_area;
-      qv[v * nlev + k] =
-          static_cast<double>((static_cast<NS>(vor[v * nlev + k]) + f) / hv);
-    }
+    HostCtx ctx;
+    bk::potentialVorticityAtVertex<NS>(ctx, v, mv, nlev, hostView(vor),
+                                       hostView(delp), omega, hostMut(qv));
   }
 }
 
@@ -175,26 +144,13 @@ template <precision::NsReal NS>
 void calcCoriolisTerm(const HexMesh& m, const TrskWeights& trsk, Index nedges,
                       int nlev, const double* flux, const double* qv,
                       double* tend_u) {
+  const auto mv = makeHostMeshView(m);
+  const auto tv = makeHostTrskView(trsk);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index v1 = m.edge_vertex[e][0];
-    const Index v2 = m.edge_vertex[e][1];
-    for (int k = 0; k < nlev; ++k) {
-      const NS qe =
-          NS(0.5) * (static_cast<NS>(qv[v1 * nlev + k]) + static_cast<NS>(qv[v2 * nlev + k]));
-      NS acc = NS(0);
-      for (Index j = trsk.offset[e]; j < trsk.offset[e + 1]; ++j) {
-        const Index ep = trsk.edge[j];
-        const NS qep = NS(0.5) * (static_cast<NS>(qv[m.edge_vertex[ep][0] * nlev + k]) +
-                                  static_cast<NS>(qv[m.edge_vertex[ep][1] * nlev + k]));
-        // flux carries an le factor; remove e''s own length scale so the
-        // TRSK weight (which already holds le'/de) is applied to delp*u.
-        acc += static_cast<NS>(trsk.weight[j]) *
-               static_cast<NS>(flux[ep * nlev + k]) *
-               static_cast<NS>(1.0 / m.edge_le[ep]) * NS(0.5) * (qe + qep);
-      }
-      tend_u[e * nlev + k] += static_cast<double>(acc);
-    }
+    HostCtx ctx;
+    bk::calcCoriolisTerm<NS>(ctx, e, mv, tv, nlev, hostView(flux), hostView(qv),
+                             hostMut(tend_u));
   }
 }
 
@@ -211,27 +167,10 @@ inline void computeRrrColumn(Index c, int nlev, double ptop, const double* delp,
                              const double* theta, const double* phi,
                              double* alpha, double* p, double* exner,
                              double* pi_mid) {
-  using namespace constants;
-  const double gamma = kCp / (kCp - kRd);  // cp/cv
-  double pi_acc = ptop;
-  for (int k = 0; k < nlev; ++k) {
-    const double dp = delp[c * nlev + k];
-    pi_mid[c * nlev + k] = pi_acc + 0.5 * dp;
-    pi_acc += dp;
-    // Layer thickness in geopotential; positive by construction.
-    const NS dphi = static_cast<NS>(phi[c * (nlev + 1) + k] -
-                                    phi[c * (nlev + 1) + k + 1]);
-    const NS a = dphi / static_cast<NS>(dp);
-    alpha[c * nlev + k] = static_cast<double>(a);
-    // Equation of state: p = p0 (rho Rd theta / p0)^(cp/cv), rho = dp/dphi
-    // (delta-pi = g rho delta-z and delta-phi = g delta-z).
-    // Double on purpose: p feeds the sensitive PGF/gravity terms.
-    const double rho = dp / static_cast<double>(dphi);
-    const double pk = kP0 * std::pow(rho * kRd * theta[c * nlev + k] / kP0, gamma);
-    p[c * nlev + k] = pk;
-    exner[c * nlev + k] = static_cast<double>(
-        std::pow(static_cast<NS>(pk / kP0), static_cast<NS>(kKappa)));
-  }
+  HostCtx ctx;
+  bk::computeRrrColumn<NS, grist::backend::HostBackend>(
+      ctx, c, nlev, ptop, hostView(delp), hostView(theta), hostView(phi),
+      hostMut(alpha), hostMut(p), hostMut(exner), hostMut(pi_mid));
 }
 
 template <precision::NsReal NS>
@@ -278,26 +217,12 @@ template <precision::NsReal NS>
 void del2Momentum(const HexMesh& m, Index nedges, int nlev, const double* div_u,
                   const double* vor, double nu_div, double nu_vor,
                   double* tend_u) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    const Index v1 = m.edge_vertex[e][0];
-    const Index v2 = m.edge_vertex[e][1];
-    const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
-    const NS inv_le = static_cast<NS>(1.0 / m.edge_le[e]);
-    // Scale del2 by local grid size^2 so damping is resolution-uniform.
-    const NS scale = static_cast<NS>(m.edge_de[e] * m.edge_de[e]);
-    for (int k = 0; k < nlev; ++k) {
-      const NS grad_div =
-          (static_cast<NS>(div_u[c2 * nlev + k]) - static_cast<NS>(div_u[c1 * nlev + k])) *
-          inv_de;
-      const NS curl_vor =
-          (static_cast<NS>(vor[v2 * nlev + k]) - static_cast<NS>(vor[v1 * nlev + k])) *
-          inv_le;
-      tend_u[e * nlev + k] += static_cast<double>(
-          scale * (static_cast<NS>(nu_div) * grad_div - static_cast<NS>(nu_vor) * curl_vor));
-    }
+    HostCtx ctx;
+    bk::del2Momentum<NS>(ctx, e, mv, nlev, hostView(div_u), hostView(vor),
+                         nu_div, nu_vor, hostMut(tend_u));
   }
 }
 
@@ -308,23 +233,12 @@ void del2Momentum(const HexMesh& m, Index nedges, int nlev, const double* div_u,
 template <precision::NsReal NS>
 void scalarFluxTendency(const HexMesh& m, Index ncells, int nlev,
                         const double* flux, const double* scalar, double* tend) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    for (int k = 0; k < nlev; ++k) tend[c * nlev + k] = 0.0;
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const Index c1 = m.edge_cell[e][0];
-      const Index c2 = m.edge_cell[e][1];
-      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
-      for (int k = 0; k < nlev; ++k) {
-        const NS f = static_cast<NS>(flux[e * nlev + k]);
-        // Upwind in the direction of the mass flux (f > 0 means c1 -> c2).
-        const NS se = f >= NS(0) ? static_cast<NS>(scalar[c1 * nlev + k])
-                                 : static_cast<NS>(scalar[c2 * nlev + k]);
-        tend[c * nlev + k] -= static_cast<double>(sign * f * se * inv_area);
-      }
-    }
+    HostCtx ctx;
+    bk::scalarFluxTendency<NS>(ctx, c, mv, nlev, hostView(flux),
+                               hostView(scalar), hostMut(tend));
   }
 }
 
@@ -334,21 +248,11 @@ void scalarFluxTendency(const HexMesh& m, Index ncells, int nlev,
 template <precision::NsReal NS>
 void del2Scalar(const HexMesh& m, Index ncells, int nlev, const double* scalar,
                 double nu, double* tend) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const Index nb = m.cell_cells[j];
-      const NS w = static_cast<NS>(m.edge_le[e] / m.edge_de[e] * m.edge_de[e] *
-                                   m.edge_de[e] * nu) *
-                   inv_area;
-      for (int k = 0; k < nlev; ++k) {
-        tend[c * nlev + k] += static_cast<double>(
-            w * (static_cast<NS>(scalar[nb * nlev + k]) -
-                 static_cast<NS>(scalar[c * nlev + k])));
-      }
-    }
+    HostCtx ctx;
+    bk::del2Scalar<NS>(ctx, c, mv, nlev, hostView(scalar), nu, hostMut(tend));
   }
 }
 
@@ -395,24 +299,12 @@ template <precision::NsReal NS>
 void fusedEdgeFluxes(const HexMesh& m, Index nedges, int nlev,
                      const double* delp, const double* u, double* flux,
                      double* uflux) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    const double le_d = m.edge_le[e];
-    const NS le = static_cast<NS>(le_d);
-    for (int k = 0; k < nlev; ++k) {
-      const NS h1 = static_cast<NS>(delp[c1 * nlev + k]);
-      const NS h2 = static_cast<NS>(delp[c2 * nlev + k]);
-      const NS ue = static_cast<NS>(u[e * nlev + k]);
-      const NS centered = NS(0.5) * (h1 + h2);
-      const NS upwind = ue >= NS(0) ? h1 : h2;
-      const NS r = upwind / centered;
-      const NS blend = NS(1) / (NS(1) + r * r);
-      const NS he = centered + blend * (upwind - centered) * NS(0.5);
-      flux[e * nlev + k] = static_cast<double>(le * ue * he);
-      uflux[e * nlev + k] = le_d * u[e * nlev + k];
-    }
+    HostCtx ctx;
+    bk::fusedEdgeFluxes<NS>(ctx, e, mv, nlev, hostView(delp), hostView(u),
+                            hostMut(flux), hostMut(uflux));
   }
 }
 
@@ -427,31 +319,13 @@ void fusedCellDiagnostics(const HexMesh& m, Index ncells, int nlev,
                           const double* flux, const double* uflux,
                           const double* u, double* div_flux, double* div_u,
                           double* ke) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    double* df = div_flux + static_cast<std::size_t>(c) * nlev;
-    double* du = div_u + static_cast<std::size_t>(c) * nlev;
-    double* kc = ke + static_cast<std::size_t>(c) * nlev;
-    for (int k = 0; k < nlev; ++k) {
-      df[k] = 0.0;
-      du[k] = 0.0;
-      kc[k] = 0.0;
-    }
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
-      const NS weight =
-          static_cast<NS>(0.25 * m.edge_le[e] * m.edge_de[e]) * inv_area;
-      for (int k = 0; k < nlev; ++k) {
-        df[k] += static_cast<double>(
-            sign * static_cast<NS>(flux[e * nlev + k]) * inv_area);
-        du[k] += static_cast<double>(
-            sign * static_cast<NS>(uflux[e * nlev + k]) * inv_area);
-        const NS ue = static_cast<NS>(u[e * nlev + k]);
-        kc[k] += static_cast<double>(weight * ue * ue);
-      }
-    }
+    HostCtx ctx;
+    bk::fusedCellDiagnostics<NS>(ctx, c, mv, nlev, hostView(flux),
+                                 hostView(uflux), hostView(u),
+                                 hostMut(div_flux), hostMut(div_u), hostMut(ke));
   }
 }
 
@@ -464,28 +338,13 @@ template <precision::NsReal NS>
 void fusedVertexDiagnostics(const HexMesh& m, Index nvertices, int nlev,
                             const double* u, const double* delp, double omega,
                             double* vor, double* qv) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index v = 0; v < nvertices; ++v) {
-    const NS inv_area = static_cast<NS>(1.0 / m.vtx_area[v]);
-    const NS f = static_cast<NS>(2.0 * omega * m.vtx_x[v].z);
-    for (int k = 0; k < nlev; ++k) {
-      NS acc = NS(0);
-      for (int j = 0; j < 3; ++j) {
-        const Index e = m.vtx_edges[v][j];
-        acc += static_cast<NS>(m.vtx_edge_sign[v][j] * m.edge_de[e]) *
-               static_cast<NS>(u[e * nlev + k]);
-      }
-      const double zeta = static_cast<double>(acc * inv_area);
-      vor[v * nlev + k] = zeta;
-      NS hv = NS(0);
-      for (int j = 0; j < 3; ++j) {
-        hv += static_cast<NS>(m.vtx_kite_area[v][j]) *
-              static_cast<NS>(delp[m.vtx_cells[v][j] * nlev + k]);
-      }
-      hv *= inv_area;
-      qv[v * nlev + k] =
-          static_cast<double>((static_cast<NS>(zeta) + f) / hv);
-    }
+    HostCtx ctx;
+    bk::fusedVertexDiagnostics<NS>(ctx, v, mv, nlev, hostView(u),
+                                   hostView(delp), omega, hostMut(vor),
+                                   hostMut(qv));
   }
 }
 
@@ -501,38 +360,14 @@ void fusedScalarTendencies(const HexMesh& m, Index ncells, int nlev,
                            const double* flux, const double* scalar,
                            const double* delp, const double* div_flux,
                            double nu, double* delp_tend, double* thetam_tend) {
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < ncells; ++c) {
-    const NS inv_area = static_cast<NS>(1.0 / m.cell_area[c]);
-    double* dt_row = delp_tend + static_cast<std::size_t>(c) * nlev;
-    double* tt_row = thetam_tend + static_cast<std::size_t>(c) * nlev;
-    for (int k = 0; k < nlev; ++k) {
-      tt_row[k] = 0.0;  // advective accumulator
-      dt_row[k] = 0.0;  // del2 accumulator (overwritten with -div below)
-    }
-    for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-      const Index e = m.cell_edges[j];
-      const Index c1 = m.edge_cell[e][0];
-      const Index c2 = m.edge_cell[e][1];
-      const Index nb = m.cell_cells[j];
-      const NS sign = static_cast<NS>(m.cell_edge_sign[j]);
-      const NS w = static_cast<NS>(m.edge_le[e] / m.edge_de[e] * m.edge_de[e] *
-                                   m.edge_de[e] * nu) *
-                   inv_area;
-      for (int k = 0; k < nlev; ++k) {
-        const NS fl = static_cast<NS>(flux[e * nlev + k]);
-        const NS se = fl >= NS(0) ? static_cast<NS>(scalar[c1 * nlev + k])
-                                  : static_cast<NS>(scalar[c2 * nlev + k]);
-        tt_row[k] -= static_cast<double>(sign * fl * se * inv_area);
-        dt_row[k] += static_cast<double>(
-            w * (static_cast<NS>(scalar[nb * nlev + k]) -
-                 static_cast<NS>(scalar[c * nlev + k])));
-      }
-    }
-    for (int k = 0; k < nlev; ++k) {
-      tt_row[k] += delp[c * nlev + k] * dt_row[k];
-      dt_row[k] = -div_flux[c * nlev + k];
-    }
+    HostCtx ctx;
+    bk::fusedScalarTendencies<NS>(ctx, c, mv, nlev, hostView(flux),
+                                  hostView(scalar), hostView(delp),
+                                  hostView(div_flux), nu, hostMut(delp_tend),
+                                  hostMut(thetam_tend));
   }
 }
 
@@ -551,14 +386,12 @@ void fusedMomentumTendency(const HexMesh& m, const TrskWeights& trsk,
                            const double* p, const double* div_u,
                            const double* vor, double nu_div, double nu_vor,
                            double* tend_u) {
+  const auto mv = makeHostMeshView(m);
+  const auto tv = makeHostTrskView(trsk);
 #pragma omp parallel
   {
-    // Per-level accumulator rows (arena-backed, heap-free when warm). The
-    // Coriolis stencil loop runs j-outer / k-inner so the TRSK indices,
-    // weights and 1/le' are loaded once per stencil edge instead of once per
-    // (stencil edge, level); per element the NS additions still happen in
-    // ascending-j order, so results stay bitwise identical to the unfused
-    // k-outer calcCoriolisTerm.
+    // Per-level accumulator rows (arena-backed, heap-free when warm); the
+    // shared body runs the Coriolis stencil j-outer / k-inner over them.
     common::Workspace& ws = common::Workspace::threadLocal();
     ws.reserve(2 * common::Workspace::bytesFor<NS>(nlev));
 #pragma omp for schedule(static)
@@ -566,62 +399,12 @@ void fusedMomentumTendency(const HexMesh& m, const TrskWeights& trsk,
       const common::Workspace::Frame frame(ws);
       NS* qe_row = ws.get<NS>(nlev);
       NS* acc_row = ws.get<NS>(nlev);
-      const Index c1 = m.edge_cell[e][0];
-      const Index c2 = m.edge_cell[e][1];
-      const Index v1 = m.edge_vertex[e][0];
-      const Index v2 = m.edge_vertex[e][1];
-      const NS inv_de = static_cast<NS>(1.0 / m.edge_de[e]);
-      const NS inv_le = static_cast<NS>(1.0 / m.edge_le[e]);
-      const NS scale = static_cast<NS>(m.edge_de[e] * m.edge_de[e]);
-      const double inv_de_d = 1.0 / m.edge_de[e];
-      for (int k = 0; k < nlev; ++k) {
-        qe_row[k] = NS(0.5) * (static_cast<NS>(qv[v1 * nlev + k]) +
-                               static_cast<NS>(qv[v2 * nlev + k]));
-        acc_row[k] = NS(0);
-      }
-      // 2) TRSK nonlinear Coriolis (accumulated first; folded in below in
-      //    the unfused gradKe -> Coriolis -> PGF -> del2 order).
-      for (Index j = trsk.offset[e]; j < trsk.offset[e + 1]; ++j) {
-        const Index ep = trsk.edge[j];
-        const NS wj = static_cast<NS>(trsk.weight[j]);
-        const NS inv_lep = static_cast<NS>(1.0 / m.edge_le[ep]);
-        const double* qv1 = qv + m.edge_vertex[ep][0] * nlev;
-        const double* qv2 = qv + m.edge_vertex[ep][1] * nlev;
-        const double* fl = flux + ep * nlev;
-        for (int k = 0; k < nlev; ++k) {
-          const NS qep = NS(0.5) * (static_cast<NS>(qv1[k]) +
-                                    static_cast<NS>(qv2[k]));
-          acc_row[k] += wj * static_cast<NS>(fl[k]) * inv_lep * NS(0.5) *
-                        (qe_row[k] + qep);
-        }
-      }
-      for (int k = 0; k < nlev; ++k) {
-        // 1) -grad(ke) (accumulation starts from the unfused zero-fill).
-        double t = 0.0;
-        t += static_cast<double>(
-            -(static_cast<NS>(ke[c2 * nlev + k]) - static_cast<NS>(ke[c1 * nlev + k])) *
-            inv_de);
-        t += static_cast<double>(acc_row[k]);
-        // 3) Pressure gradient (SENSITIVE -- double; see calcPressureGradient
-        //    for the cancellation notes).
-        const double phm1 =
-            0.5 * (phi[c1 * (nlev + 1) + k] + phi[c1 * (nlev + 1) + k + 1]);
-        const double phm2 =
-            0.5 * (phi[c2 * (nlev + 1) + k] + phi[c2 * (nlev + 1) + k + 1]);
-        const double alpha_e = 0.5 * (alpha[c1 * nlev + k] + alpha[c2 * nlev + k]);
-        t -= ((phm2 - phm1) + alpha_e * (p[c2 * nlev + k] - p[c1 * nlev + k])) *
-             inv_de_d;
-        // 4) del2 damping.
-        const NS grad_div = (static_cast<NS>(div_u[c2 * nlev + k]) -
-                             static_cast<NS>(div_u[c1 * nlev + k])) *
-                            inv_de;
-        const NS curl_vor = (static_cast<NS>(vor[v2 * nlev + k]) -
-                             static_cast<NS>(vor[v1 * nlev + k])) *
-                            inv_le;
-        t += static_cast<double>(scale * (static_cast<NS>(nu_div) * grad_div -
-                                          static_cast<NS>(nu_vor) * curl_vor));
-        tend_u[e * nlev + k] = t;
-      }
+      HostCtx ctx;
+      bk::fusedMomentumTendency<NS>(ctx, e, mv, tv, nlev, hostView(ke),
+                                    hostView(qv), hostView(flux), hostView(phi),
+                                    hostView(alpha), hostView(p),
+                                    hostView(div_u), hostView(vor), nu_div,
+                                    nu_vor, hostMut(tend_u), qe_row, acc_row);
     }
   } // omp parallel
 }

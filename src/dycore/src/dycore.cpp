@@ -332,27 +332,19 @@ void calcPressureGradient(const HexMesh& m, Index nedges, int nlev,
                           const double* phi, const double* alpha, const double* p,
                           const double* pi_mid, double* tend_u) {
   (void)pi_mid;  // retained in the signature for the coupler-facing kernel set
+  // Full sigma/mass-coordinate PGF along model levels:
+  //   -grad(phi_mid) - alpha * grad(p).
+  // Over terrain-following levels these are two large canceling terms
+  // (the classic PGF-error source); the residual is measured by
+  // TopographyTest.PgfErrorFlowStaysSmall. (Subtracting pi from p here
+  // would drop the alpha*grad(pi) piece that balances grad(phi) over
+  // orography.)
+  const auto mv = makeHostMeshView(m);
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    const double inv_de = 1.0 / m.edge_de[e];
-    for (int k = 0; k < nlev; ++k) {
-      // Full sigma/mass-coordinate PGF along model levels:
-      //   -grad(phi_mid) - alpha * grad(p).
-      // Over terrain-following levels these are two large canceling terms
-      // (the classic PGF-error source); the residual is measured by
-      // TopographyTest.PgfErrorFlowStaysSmall. (Subtracting pi from p here
-      // would drop the alpha*grad(pi) piece that balances grad(phi) over
-      // orography.)
-      const double phm1 =
-          0.5 * (phi[c1 * (nlev + 1) + k] + phi[c1 * (nlev + 1) + k + 1]);
-      const double phm2 =
-          0.5 * (phi[c2 * (nlev + 1) + k] + phi[c2 * (nlev + 1) + k + 1]);
-      const double alpha_e = 0.5 * (alpha[c1 * nlev + k] + alpha[c2 * nlev + k]);
-      tend_u[e * nlev + k] -=
-          ((phm2 - phm1) + alpha_e * (p[c2 * nlev + k] - p[c1 * nlev + k])) * inv_de;
-    }
+    HostCtx ctx;
+    bk::calcPressureGradient(ctx, e, mv, nlev, hostView(phi), hostView(alpha),
+                             hostView(p), hostMut(tend_u));
   }
 }
 
@@ -373,10 +365,7 @@ void vertImplicitSolverImpl(const Index* cells, Index ncols, int nlev,
                             double dt, double ptop, const double* delp,
                             const double* theta, const double* p, double* w,
                             double* phi, double w_damp_tau) {
-  using namespace constants;
   using common::Workspace;
-  const double gamma = kCp / (kCp - kRd);
-  const double g = kGravity;
 #pragma omp parallel
   {
     // All per-column temporaries come from the thread's persistent arena:
@@ -386,86 +375,22 @@ void vertImplicitSolverImpl(const Index* cells, Index ncols, int nlev,
     ws.reserve(Workspace::bytesFor<double>(nlev) * 5 +
                Workspace::bytesFor<double>(nlev + 1));
 #pragma omp for schedule(static)
-  for (Index i = 0; i < ncols; ++i) {
-    const Index c = cells ? cells[i] : i;
-    const Workspace::Frame frame(ws);
-    const double* dp = delp + static_cast<std::size_t>(c) * nlev;
-    const double* pc = p + static_cast<std::size_t>(c) * nlev;
-    double* wc = w + static_cast<std::size_t>(c) * (nlev + 1);
-    double* phic = phi + static_cast<std::size_t>(c) * (nlev + 1);
-
-    // Layer compressibility factor: dP_j/dphi(top of j) = -gamma p_j/dphi_j.
-    double* comp = ws.get<double>(nlev);
-    for (int j = 0; j < nlev; ++j) {
-      const double dphi = phic[j] - phic[j + 1];
-      comp[j] = gamma * pc[j] / dphi;
+    for (Index i = 0; i < ncols; ++i) {
+      const Index c = cells ? cells[i] : i;
+      const Workspace::Frame frame(ws);
+      const int n = nlev - 1;
+      grist::backend::kernels::VertSolveScratch scratch;
+      scratch.comp = ws.get<double>(nlev);
+      scratch.lower = ws.get<double>(n);
+      scratch.diag = ws.get<double>(n);
+      scratch.upper = ws.get<double>(n);
+      scratch.rhs = ws.get<double>(n);
+      scratch.wnew = ws.get<double>(nlev + 1);
+      HostCtx ctx;
+      bk::vertImplicitColumn<grist::backend::HostBackend>(
+          ctx, c, nlev, dt, ptop, hostView(delp), hostView(theta), hostView(p),
+          hostMut(w), hostMut(phi), w_damp_tau, scratch);
     }
-
-    // Tridiagonal system over interior interfaces k = 1..nlev-1.
-    const int n = nlev - 1;
-    double* lower = ws.get<double>(n);
-    double* diag = ws.get<double>(n);
-    double* upper = ws.get<double>(n);
-    double* rhs = ws.get<double>(n);
-    for (int k = 1; k <= n; ++k) {
-      const double dpi = 0.5 * (dp[k - 1] + dp[k]);
-      const double ck = dt * g / dpi;
-      // p_k depends on phi(k) [its top] with +comp[k] and phi(k+1) with
-      // -comp[k]; p_{k-1} depends on phi(k-1) with +comp and phi(k) with -.
-      // dphi^{+}(k) = dt g w^{+}(k) at interior interfaces.
-      const double a = ck * dt * g;
-      lower[k - 1] = -a * comp[k - 1];                 // couples w(k-1)
-      diag[k - 1] = 1.0 + a * (comp[k] + comp[k - 1]); // couples w(k)
-      upper[k - 1] = -a * comp[k];                     // couples w(k+1)
-      rhs[k - 1] = wc[k] + ck * (pc[k] - pc[k - 1]) - dt * g;
-    }
-    // Thomas algorithm.
-    for (int i = 1; i < n; ++i) {
-      const double m = lower[i] / diag[i - 1];
-      diag[i] -= m * upper[i - 1];
-      rhs[i] -= m * rhs[i - 1];
-    }
-    double* wnew = ws.get<double>(nlev + 1);
-    for (int k = 0; k <= nlev; ++k) wnew[k] = 0.0;
-    if (n > 0) {
-      wnew[n] = rhs[n - 1] / diag[n - 1];
-      for (int i = n - 2; i >= 0; --i) {
-        wnew[i + 1] = (rhs[i] - upper[i] * wnew[i + 2]) / diag[i];
-      }
-    }
-    // Optional Rayleigh damping of w (quasi-hydrostatic limiter). At
-    // hydrostatic-scale grid spacings explicit moist updrafts are
-    // grid-point storms, not resolved convection; damping w on a timescale
-    // of ~2-3 steps suppresses that feedback while leaving acoustic
-    // adjustment intact. Storm-resolving runs disable it (tau = 0).
-    if (w_damp_tau > 0) {
-      for (int k = 1; k <= n; ++k) {
-        wnew[k] /= 1.0 + dt / w_damp_tau;
-      }
-    }
-    // Layer-inversion limiter: the interface displacement dt*g*w must stay
-    // well inside both adjacent layer thicknesses or delta-phi can turn
-    // negative in one step (and the EOS with it). Physical solutions sit
-    // far below this bound; it only arrests runaway columns.
-    for (int k = 1; k <= n; ++k) {
-      const double room =
-          0.25 * std::min(phic[k - 1] - phic[k], phic[k] - phic[k + 1]);
-      const double bound = room / (dt * g);
-      if (wnew[k] > bound) wnew[k] = bound;
-      if (wnew[k] < -bound) wnew[k] = -bound;
-    }
-    for (int k = 0; k <= nlev; ++k) wc[k] = wnew[k];
-    for (int k = 1; k <= n; ++k) phic[k] += dt * g * wnew[k];
-    // Constant-pressure model top: the top interface is not a rigid lid.
-    // Keep the top layer hydrostatically attached to ptop so column
-    // expansion/contraction moves phi(0) instead of squeezing the layer
-    // (a frozen phi(0) makes the top layer absorb all column volume change
-    // and its temperature run away).
-    const double pi_top_mid = ptop + 0.5 * dp[0];
-    const double alpha_top =
-        kRd * theta[c * nlev + 0] * std::pow(pi_top_mid / kP0, kKappa) / pi_top_mid;
-    phic[0] = phic[1] + alpha_top * dp[0];
-  }
   } // omp parallel
 }
 

@@ -4,9 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "grist/backend/kernels.hpp"
 #include "grist/common/workspace.hpp"
 
 namespace grist::dycore {
+
+namespace bk = grist::backend::kernels;
+using grist::backend::hostMut;
+using grist::backend::hostView;
+using grist::backend::makeHostMeshView;
+using HostCtx = grist::backend::HostBackend::Context;
 
 template <precision::NsReal NS>
 void tracerTransportHoriFluxLimiter(const TracerTransportArgs& a, double* q) {
@@ -34,66 +41,35 @@ void tracerTransportHoriFluxLimiter(const TracerTransportArgs& a, double* q) {
   double* rp = ws.get<double>(cn);
   double* rm = ws.get<double>(cn);
 
+  const auto mv = makeHostMeshView(m);
+
   // 1) Low-order (upwind) and antidiffusive (centered - upwind) fluxes on
   //    all local edges.
 #pragma omp parallel for schedule(static)
   for (Index e = 0; e < m.nedges; ++e) {
-    const Index c1 = m.edge_cell[e][0];
-    const Index c2 = m.edge_cell[e][1];
-    for (int k = 0; k < nlev; ++k) {
-      const double f = a.mean_flux[e * nlev + k];
-      const NS q1 = static_cast<NS>(q[c1 * nlev + k]);
-      const NS q2 = static_cast<NS>(q[c2 * nlev + k]);
-      const double low = f * static_cast<double>(f >= 0 ? q1 : q2);
-      const double high = f * static_cast<double>(NS(0.5) * (q1 + q2));
-      flux_low[e * nlev + k] = low;
-      flux_anti[e * nlev + k] = high - low;
-    }
+    HostCtx ctx;
+    bk::tracerEdgeFluxes<NS>(ctx, e, mv, nlev, hostView(a.mean_flux),
+                             hostView(q), hostMut(flux_low),
+                             hostMut(flux_anti));
   }
 
   // 2) Transported-diffused solution from low-order fluxes (monotone).
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < a.ncells_prog; ++c) {
-    for (int k = 0; k < nlev; ++k) {
-      double div = 0.0;
-      for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-        div += m.cell_edge_sign[j] * flux_low[m.cell_edges[j] * nlev + k];
-      }
-      const double mass_old = a.delp_old[c * nlev + k] * q[c * nlev + k];
-      q_td[c * nlev + k] =
-          (mass_old - dt * div / m.cell_area[c]) / a.delp_new[c * nlev + k];
-    }
+    HostCtx ctx;
+    bk::tracerTransportedDiffused(ctx, c, mv, nlev, dt, hostView(flux_low),
+                                  hostView(q), hostView(a.delp_old),
+                                  hostView(a.delp_new), hostMut(q_td));
   }
 
   // 3) Zalesak limiter: per-cell allowed extrema from the old and
   //    transported-diffused values of the cell and its neighbors.
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < a.ncells_prog; ++c) {
-    for (int k = 0; k < nlev; ++k) {
-      double qmax = std::max(q[c * nlev + k], q_td[c * nlev + k]);
-      double qmin = std::min(q[c * nlev + k], q_td[c * nlev + k]);
-      for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-        const Index nb = m.cell_cells[j];
-        qmax = std::max({qmax, q[nb * nlev + k], q_td[nb * nlev + k]});
-        qmin = std::min({qmin, q[nb * nlev + k], q_td[nb * nlev + k]});
-      }
-      // Sum of antidiffusive fluxes into / out of the cell.
-      double p_in = 0.0, p_out = 0.0;
-      for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-        const double fa =
-            m.cell_edge_sign[j] * flux_anti[m.cell_edges[j] * nlev + k];
-        if (fa < 0) {
-          p_in -= fa;  // influx
-        } else {
-          p_out += fa;
-        }
-      }
-      const double scale = dt / (m.cell_area[c] * a.delp_new[c * nlev + k]);
-      const double room_up = (qmax - q_td[c * nlev + k]) / scale;
-      const double room_dn = (q_td[c * nlev + k] - qmin) / scale;
-      rp[c * nlev + k] = p_in > 0 ? std::min(1.0, room_up / p_in) : 0.0;
-      rm[c * nlev + k] = p_out > 0 ? std::min(1.0, room_dn / p_out) : 0.0;
-    }
+    HostCtx ctx;
+    bk::tracerLimiterFactors(ctx, c, mv, nlev, dt, hostView(q), hostView(q_td),
+                             hostView(flux_anti), hostView(a.delp_new),
+                             hostMut(rp), hostMut(rm));
   }
 
   // 4) Apply limited antidiffusive fluxes. Edges on the rank boundary may
@@ -103,25 +79,10 @@ void tracerTransportHoriFluxLimiter(const TracerTransportArgs& a, double* q) {
   //    runs pass owned+ring1 as ncells_prog for limiter symmetry).
 #pragma omp parallel for schedule(static)
   for (Index c = 0; c < a.ncells_prog; ++c) {
-    for (int k = 0; k < nlev; ++k) {
-      double corr = 0.0;
-      for (Index j = m.cell_offset[c]; j < m.cell_offset[c + 1]; ++j) {
-        const Index e = m.cell_edges[j];
-        const Index c1 = m.edge_cell[e][0];
-        const Index c2 = m.edge_cell[e][1];
-        const double fa = flux_anti[e * nlev + k];
-        // Limiter factor: receiving side uses R+, giving side R-.
-        double limit;
-        if (fa >= 0) {  // antidiffusive flux c1 -> c2
-          limit = std::min(rp[c2 * nlev + k], rm[c1 * nlev + k]);
-        } else {
-          limit = std::min(rp[c1 * nlev + k], rm[c2 * nlev + k]);
-        }
-        corr += m.cell_edge_sign[j] * limit * fa;
-      }
-      q[c * nlev + k] =
-          q_td[c * nlev + k] - dt * corr / (m.cell_area[c] * a.delp_new[c * nlev + k]);
-    }
+    HostCtx ctx;
+    bk::tracerApplyLimited(ctx, c, mv, nlev, dt, hostView(q_td), hostView(rp),
+                           hostView(rm), hostView(flux_anti),
+                           hostView(a.delp_new), hostMut(q));
   }
 }
 

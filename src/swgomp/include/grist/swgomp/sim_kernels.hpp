@@ -1,10 +1,13 @@
-// Instrumented replicas of the dycore kernels benchmarked in the paper's
-// Fig. 9, expressed as SWGOMP offload bodies over the simulated SW26010P.
-// Each replica issues the same loads/stores/divides/elementary calls per
-// iteration as its production counterpart in src/dycore, against virtual
-// addresses handed out by the pool allocator -- so the four configurations
-// (DP / DP+DST / MIX / MIX+DST, on MPE or 64 CPEs) reproduce the paper's
-// cache-thrashing and precision effects mechanistically.
+// Fig. 9 kernel registry over the simulated SW26010P.
+//
+// Since the execution-backend refactor there are NO hand-written kernel
+// replicas here: every kernel below is the SimBackend instantiation of the
+// SAME body (grist/backend/kernels.hpp) the production dycore runs, driven
+// through the SWGOMP offload layer. The simulator accounts each load/store/
+// divide the shared body performs against virtual addresses from the pool
+// allocator, and -- because SimBackend views write through to real payloads
+// -- computes the same values as the host instantiation, bit for bit
+// (asserted by tests/swgomp/test_backend_parity.cpp).
 #pragma once
 
 #include <string>
@@ -12,6 +15,7 @@
 
 #include "grist/grid/hex_mesh.hpp"
 #include "grist/grid/trsk.hpp"
+#include "grist/precision/ns.hpp"
 #include "grist/sunway/core_group.hpp"
 #include "grist/swgomp/offload.hpp"
 
@@ -30,6 +34,8 @@ enum class SimKernel {
   // kernels, so the LDCache model sees the reduced stream count.
   kFusedEdgeFluxes,
   kFusedCellDiagnostics,
+  kFusedVertexDiagnostics,
+  kFusedScalarTendencies,
   kFusedMomentumTendency,
 };
 
@@ -44,8 +50,44 @@ struct SimConfig {
   int nlev = 30;
 };
 
+/// Real model-field payloads the kernels run over: physically seeded (the
+/// same sinusoidal state the host benchmarks use, with the diagnostic
+/// pipeline pre-run so every kernel input is filled). Both backends read and
+/// write these arrays, so host/sim outputs are directly comparable.
+struct SimKernelData {
+  int nlev = 0;
+  Index ncells = 0, nedges = 0, nvertices = 0;
+  // -- cell fields (ncells x nlev) --
+  std::vector<double> delp, theta, alpha, p, exner, pi_mid, ke, div_flux,
+      div_u, delp_tend, thetam_tend, q, q_td, rp, rm, delp_old, delp_new;
+  // -- cell interface fields (ncells x (nlev+1)) --
+  std::vector<double> phi, w;
+  // -- edge fields (nedges x nlev) --
+  std::vector<double> u, flux, uflux, tend_u, mean_flux, flux_low, flux_anti;
+  // -- vertex fields (nvertices x nlev) --
+  std::vector<double> vor, qv;
+};
+
+SimKernelData makeSimKernelData(const grid::HexMesh& mesh, int nlev);
+
+/// Which instantiation of the shared kernel body to run over a SimKernelData.
+enum class ExecBackend {
+  kHost, ///< HostBackend: raw pointers, no accounting
+  kSim,  ///< SimBackend on simulated CPEs: accounted, writes land in data too
+};
+
+/// Run one kernel ONCE over `data` through the chosen backend (fixed solver
+/// constants, see sim_kernels.cpp). Outputs land in `data` either way --
+/// running the same seeded data through both backends must produce bitwise
+/// identical arrays in both NS precisions.
+void runKernelOnData(SimKernel kernel, const grid::HexMesh& mesh,
+                     const grid::TrskWeights& trsk, precision::NsMode ns,
+                     ExecBackend exec, SimKernelData& data);
+
 /// Run one kernel over the mesh on the given (reset) core group; returns
-/// the region's cycle count.
+/// the region's steady-state (warm) cycle count: the kernel runs twice over
+/// freshly built payloads (restored between passes, unaccounted) and the
+/// second pass is reported.
 double runSimKernel(SimKernel kernel, const grid::HexMesh& mesh,
                     const grid::TrskWeights& trsk, const SimConfig& config,
                     sunway::CoreGroup& cg);
