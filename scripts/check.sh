@@ -5,6 +5,8 @@
 #   GRIST_SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan stage
 #   GRIST_SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan-only stage
 #   GRIST_SKIP_TSAN=1 scripts/check.sh   # skip the TSan stage
+#   GRIST_SKIP_SIMD=1 scripts/check.sh   # skip the per-tier SIMD stage
+#   GRIST_SIMD_BENCH=1 scripts/check.sh  # also record the Fused/Simd JSON pair
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
 # and runs the ml and common test binaries -- the two subsystems that hand
@@ -27,6 +29,38 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${GRIST_SKIP_SIMD:-0}" == "1" ]]; then
+  echo "== skipping per-tier SIMD pass (GRIST_SKIP_SIMD=1) =="
+else
+  # The SIMD dispatch contract: every tier the build carries must pass the
+  # backend parity suite and the dycore suites (which route through the
+  # dispatch table by default) bit-identically. GRIST_SIMD_TIER clamps the
+  # active tier down, so forcing "scalar" pins the portable tier and the
+  # unset run exercises the best tier cpuid grants on this machine.
+  echo "== SIMD dispatch pass: backend + dycore suites per tier =="
+  for tier in scalar ""; do
+    label="${tier:-best-available}"
+    for bin in test_backend test_dycore test_fused_kernels; do
+      echo "-- $bin (tier: $label)"
+      if [[ -n "$tier" ]]; then
+        GRIST_SIMD_TIER="$tier" ./build/tests/"$bin" >/dev/null
+      else
+        ./build/tests/"$bin" >/dev/null
+      fi
+    done
+  done
+  if [[ "${GRIST_SIMD_BENCH:-0}" == "1" ]]; then
+    # Comparable Fused (Host instantiation) vs Simd (best tier) pair, same
+    # fixture, recorded for the README table.
+    echo "-- recording BENCH_simd_backend.json (Fused vs Simd pairs)"
+    ./build/bench/bench_host_kernels \
+      --benchmark_filter='(Fused|Simd)(EdgeFluxes|CellDiagnostics|VertexDiagnostics|ScalarTendencies|MomentumTendency|TendencyPipeline)' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+      --benchmark_format=json --benchmark_out=BENCH_simd_backend.json \
+      >/dev/null
+  fi
+fi
 
 if [[ "${GRIST_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== skipping ASan/UBSan pass (GRIST_SKIP_ASAN=1) =="

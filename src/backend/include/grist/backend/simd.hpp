@@ -1,0 +1,179 @@
+// SimdBackend: the third ExecutionBackend instantiation (beside
+// HostBackend and SimBackend) -- explicitly vectorized host kernels.
+//
+// The single-source kernel bodies (kernels.hpp) are per-entity scalar code;
+// HostBackend compiles them to whatever the baseline ISA auto-vectorizes
+// (SSE2 on a portable x86-64 build). The stencil sweeps are memory- and
+// divide-bound, so the remaining host headroom is vector width: this layer
+// re-expresses each Fig. 9 registry kernel with its vertical (nlev) inner
+// loop explicitly vectorized -- `#pragma omp simd` over __restrict rows for
+// the streaming sweeps, AVX2/AVX-512 intrinsics for the divide-heavy edge
+// interpolation where the compiler's cost model gives up -- and compiles the
+// whole set three times into scalar / AVX2 / AVX-512 translation units.
+//
+// Runtime dispatch (mirroring the DiagnosticsFactory CPU/GPU dispatch
+// exemplar): cpuid picks the best tier the build carries and the CPU
+// supports; GRIST_SIMD_TIER=scalar|avx2|avx512 clamps it down (never up)
+// so tests can pin every tier on one machine. The dispatch surface is a
+// table of per-kernel function pointers, two slots per kernel (NS = double
+// / float), one entry per Fig. 9 registry kernel.
+//
+// Numerical contract: every tier is BITWISE identical to the HostBackend
+// instantiation, in both NS precisions, for every nlev (masked/scalar
+// fringe included). That holds because vectorization is only ever over the
+// independent k dimension -- per-element operation order is untouched, the
+// j (stencil) accumulation order is preserved by keeping j loops outer,
+// IEEE vector div/cvt round like their scalar forms, and the vector TUs are
+// compiled with -ffp-contract=off so no FMA contraction sneaks in relative
+// to the FMA-less baseline. The parity gates in tests/backend/test_simd.cpp
+// are therefore exact (ULP bound 0); the ULP machinery exists for the day a
+// kernel opts into reassociation.
+//
+// Layout contract (src/common): operand arrays are entity-major with nlev
+// fastest (unit-stride vector lanes), allocated cache-line aligned and
+// padded to whole lines (parallel::FieldT, common::Workspace::acquire).
+// Kernels never read past row ends -- the nlev % width fringe runs masked
+// (AVX-512) or scalar (AVX2) -- so the padding buys alignment and false-
+// sharing isolation, not out-of-bounds slack.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grist/backend/backend.hpp"
+#include "grist/common/types.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/precision/ns.hpp"
+
+namespace grist::backend {
+
+/// ExecutionBackend shape of the SIMD tier: views are raw pointers exactly
+/// like HostBackend (accounting compiles away), but carry the layout
+/// promise above. Kernels without a vectorized driver yet instantiate the
+/// shared scalar bodies with this backend -- structurally identical to
+/// Host, so falling back is free and bit-exact by construction.
+struct SimdBackend {
+  using Context = HostBackend::Context;
+  template <typename T>
+  using View = HostBackend::View<T>;
+  template <typename T>
+  using MutView = HostBackend::MutView<T>;
+};
+
+static_assert(ExecutionBackend<SimdBackend>);
+
+namespace simd {
+
+using grid::HexMesh;
+using grid::TrskWeights;
+
+/// Dispatch tiers, ordered: forcing a tier clamps DOWN from the best
+/// available, never up past what the build carries or the CPU supports.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* tierName(Tier t);
+
+/// Per-kernel function pointers for one tier. Index the [2] arrays with
+/// nsIndex(): 0 = NS double, 1 = NS float. Signatures mirror the
+/// dycore::kernels sweep drivers (OpenMP over entities inside); operands
+/// are entity-major, nlev-fastest, compact stride.
+struct KernelTable {
+  Tier tier = Tier::kScalar;
+
+  void (*primal_normal_flux_edge[2])(const HexMesh&, Index nedges, int nlev,
+                                     const double* delp, const double* u,
+                                     double* flux) = {};
+  void (*compute_rrr[2])(Index ncells, int nlev, double ptop,
+                         const double* delp, const double* theta,
+                         const double* phi, double* alpha, double* p,
+                         double* exner, double* pi_mid) = {};
+  void (*calc_coriolis_term[2])(const HexMesh&, const TrskWeights&,
+                                Index nedges, int nlev, const double* flux,
+                                const double* qv, double* tend_u) = {};
+  void (*tend_grad_ke_at_edge[2])(const HexMesh&, Index nedges, int nlev,
+                                  const double* ke, double* tend_u) = {};
+  void (*div_at_cell[2])(const HexMesh&, Index ncells, int nlev,
+                         const double* flux, double* div) = {};
+  /// All four FCT phases: phase 1 over every mesh edge, phases 2-4 over the
+  /// first `ncells` (prognostic) cells. flux_low/flux_anti/q_td/rp/rm are
+  /// caller-provided scratch (Workspace rows in the production tracer).
+  void (*tracer_hori_flux_limiter[2])(const HexMesh&, Index ncells, int nlev,
+                                      double dt, const double* mean_flux,
+                                      const double* delp_old,
+                                      const double* delp_new, double* q,
+                                      double* flux_low, double* flux_anti,
+                                      double* q_td, double* rp,
+                                      double* rm) = {};
+  /// Column-sequential (Thomas) -- hard double, same body every tier; both
+  /// slots carry the same pointer so callers can index uniformly.
+  void (*vert_implicit_solver[2])(Index ncells, int nlev, double dt,
+                                  double ptop, const double* delp,
+                                  const double* theta, const double* p,
+                                  double* w, double* phi,
+                                  double w_damp_tau) = {};
+  void (*fused_edge_fluxes[2])(const HexMesh&, Index nedges, int nlev,
+                               const double* delp, const double* u,
+                               double* flux, double* uflux) = {};
+  void (*fused_cell_diagnostics[2])(const HexMesh&, Index ncells, int nlev,
+                                    const double* flux, const double* uflux,
+                                    const double* u, double* div_flux,
+                                    double* div_u, double* ke) = {};
+  void (*fused_vertex_diagnostics[2])(const HexMesh&, Index nvertices,
+                                      int nlev, const double* u,
+                                      const double* delp, double omega,
+                                      double* vor, double* qv) = {};
+  void (*fused_scalar_tendencies[2])(const HexMesh&, Index ncells, int nlev,
+                                     const double* flux, const double* scalar,
+                                     const double* delp,
+                                     const double* div_flux, double nu,
+                                     double* delp_tend,
+                                     double* thetam_tend) = {};
+  void (*fused_momentum_tendency[2])(const HexMesh&, const TrskWeights&,
+                                     Index nedges, int nlev, const double* ke,
+                                     const double* qv, const double* flux,
+                                     const double* phi, const double* alpha,
+                                     const double* p, const double* div_u,
+                                     const double* vor, double nu_div,
+                                     double nu_vor, double* tend_u) = {};
+};
+
+/// Table slot for an NS precision.
+template <precision::NsReal NS>
+inline constexpr int kNsIndex = std::is_same_v<NS, float> ? 1 : 0;
+
+inline int nsIndex(precision::NsMode ns) {
+  return ns == precision::NsMode::kSingle ? 1 : 0;
+}
+
+/// Best tier this build carries AND this CPU supports (cpuid), before any
+/// override. Stable for the process lifetime.
+Tier bestTier();
+
+/// Tiers usable right now, ascending (always starts with kScalar).
+std::vector<Tier> availableTiers();
+
+/// The active tier: min(bestTier(), forced), where forced comes from
+/// forceTier() or, once at startup, GRIST_SIMD_TIER=scalar|avx2|avx512.
+Tier activeTier();
+
+/// Pin the active tier (clamped to bestTier()); used by the parity tests
+/// and the per-tier CI stage. Affects subsequent table() calls.
+void forceTier(Tier t);
+
+/// Drop the forceTier()/env override and return to bestTier().
+void clearForcedTier();
+
+/// False iff GRIST_SIMD=0: the runtime master switch the dycore drivers
+/// consult before routing a sweep away from the Host instantiation.
+bool enabled();
+
+/// The active tier's kernel table.
+const KernelTable& table();
+
+/// A specific tier's table (clamped to bestTier()); lets tests and benches
+/// compare tiers without mutating the global override.
+const KernelTable& table(Tier t);
+
+} // namespace simd
+} // namespace grist::backend

@@ -1,0 +1,7 @@
+// AVX2 dispatch tier: the shared SIMD kernel bodies compiled with -mavx2
+// (plus -ffp-contract=off -- the baseline build has no FMA, so contraction
+// here would break bitwise parity). Only built when the compiler accepts
+// the flags; only dispatched to when cpuid reports AVX2.
+#define GRIST_SIMD_TIER_FN tierTableAvx2
+#define GRIST_SIMD_TIER_ID ::grist::backend::simd::Tier::kAvx2
+#include "grist/backend/simd_kernels_impl.hpp"

@@ -1,0 +1,8 @@
+// AVX-512 dispatch tier: the shared SIMD kernel bodies compiled with
+// -mavx512f/-mavx512vl/-mavx512dq (512-bit preferred width, -ffp-contract=off
+// as in the AVX2 tier). Fringe lanes run masked rather than scalar. Only
+// built when the compiler accepts the flags; only dispatched to when cpuid
+// reports AVX-512F.
+#define GRIST_SIMD_TIER_FN tierTableAvx512
+#define GRIST_SIMD_TIER_ID ::grist::backend::simd::Tier::kAvx512
+#include "grist/backend/simd_kernels_impl.hpp"

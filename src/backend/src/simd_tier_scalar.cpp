@@ -1,0 +1,7 @@
+// Scalar dispatch tier: the shared SIMD kernel bodies compiled with the
+// build's baseline flags only (no extra ISA, no `omp simd` widening beyond
+// what the base target offers). This tier always exists -- it is both the
+// portable fallback and the reference the per-tier CI stage pins first.
+#define GRIST_SIMD_TIER_FN tierTableScalar
+#define GRIST_SIMD_TIER_ID ::grist::backend::simd::Tier::kScalar
+#include "grist/backend/simd_kernels_impl.hpp"

@@ -1,0 +1,19 @@
+// Internal: the per-tier table factories defined by the three tier TUs.
+// Which of these exist in a given build is decided by CMake's ISA probes;
+// the matching GRIST_SIMD_HAVE_* definitions are set on the target so
+// simd_dispatch.cpp only references symbols the build actually carries.
+#pragma once
+
+#include "grist/backend/simd.hpp"
+
+namespace grist::backend::simd {
+
+const KernelTable& tierTableScalar();
+#if GRIST_SIMD_HAVE_AVX2
+const KernelTable& tierTableAvx2();
+#endif
+#if GRIST_SIMD_HAVE_AVX512
+const KernelTable& tierTableAvx512();
+#endif
+
+} // namespace grist::backend::simd

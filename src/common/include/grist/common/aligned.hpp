@@ -1,0 +1,76 @@
+// Cache-line-aligned allocation, shared by the field containers and the
+// Workspace arena. The SIMD execution backend (grist/backend/simd.hpp)
+// vectorizes the vertical (nlev) inner loops of the dycore kernels; its
+// layout contract is that every hot array starts on a 64-byte boundary and
+// owns whole cache lines, so
+//   - the first vector lane of an array never straddles a line,
+//   - two arrays never share a line (no false sharing between the OpenMP
+//     sweep over one field and a neighbor field's tail),
+//   - capacity rounded to whole lines lets the arena hand out aligned rows
+//     with pure pointer bumps.
+// std::vector<double> only guarantees alignof(double) == 8; AlignedVector
+// upgrades that to kCacheLine without changing any other vector semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace grist::common {
+
+/// One cache line on every target we build for (x86-64, SW26010P MPE).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Round a byte count up to whole cache lines.
+constexpr std::size_t roundUpToCacheLine(std::size_t bytes) {
+  return (bytes + (kCacheLine - 1)) & ~(kCacheLine - 1);
+}
+
+/// True if `p` sits on a cache-line boundary.
+inline bool isCacheAligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kCacheLine - 1)) == 0;
+}
+
+/// Minimal C++17 allocator handing out 64-byte-aligned storage via the
+/// aligned operator new. Stateless: all instances compare equal, so
+/// containers can move storage between allocator copies freely.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = roundUpToCacheLine(n * sizeof(T));
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t(kCacheLine)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kCacheLine));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+};
+
+/// std::vector whose data() is always cache-line aligned and whose
+/// allocations cover whole cache lines.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace grist::common

@@ -28,15 +28,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
-#include <vector>
+
+#include "grist/common/aligned.hpp"
 
 namespace grist::common {
 
 class Workspace {
  public:
-  /// Every get() is rounded up to this alignment (one cache line), so
-  /// per-iteration arrays never share a line across requests.
-  static constexpr std::size_t kAlign = 64;
+  /// Every acquire() is rounded up to this alignment (one cache line), so
+  /// per-iteration arrays never share a line across requests. The backing
+  /// buffer itself is cache-line aligned (AlignedVector), so the offsets
+  /// being multiples of kAlign makes every pointer handed out genuinely
+  /// 64-byte aligned -- the contract the SIMD backend's `aligned` loop
+  /// clauses rely on.
+  static constexpr std::size_t kAlign = kCacheLine;
 
   /// Bytes one get<T>(n) consumes, including alignment padding. Sum these
   /// when sizing reserve().
@@ -57,25 +62,34 @@ class Workspace {
     ++growths_;
   }
 
-  /// Bump-allocate n elements of T (uninitialized). Throws if the request
-  /// does not fit: callers must reserve() the loop's worst case up front --
-  /// that contract is what makes the zero-allocation guarantee checkable.
+  /// Bump-allocate n elements of T (uninitialized), 64-byte aligned.
+  /// Throws if the request does not fit: callers must reserve() the loop's
+  /// worst case up front -- that contract is what makes the zero-allocation
+  /// guarantee checkable.
   template <typename T>
-  T* get(std::size_t n) {
-    const std::size_t bytes = roundUp(n * sizeof(T));
+  T* acquire(std::size_t n) {
+    const std::size_t payload = n * sizeof(T);
+    const std::size_t bytes = roundUp(payload);
     if (offset_ + bytes > buf_.size()) {
       if (offset_ == 0) {
         // No live pointers: growing is safe (first-use convenience).
         buf_.resize(offset_ + bytes);
         ++growths_;
       } else {
-        throw std::logic_error("Workspace::get: overflow; reserve() more");
+        throw std::logic_error("Workspace::acquire: overflow; reserve() more");
       }
     }
     T* p = reinterpret_cast<T*>(buf_.data() + offset_);
     offset_ += bytes;
+    padding_ += bytes - payload;
     if (offset_ > high_water_) high_water_ = offset_;
     return p;
+  }
+
+  /// Historic name for acquire(); kept so existing call sites read the same.
+  template <typename T>
+  T* get(std::size_t n) {
+    return acquire<T>(n);
   }
 
   /// Release everything (capacity is kept).
@@ -85,6 +99,10 @@ class Workspace {
   std::size_t used() const { return offset_; }
   /// Peak bytes ever live at once (sizing aid).
   std::size_t highWater() const { return high_water_; }
+  /// Cumulative bytes of cache-line padding appended to acquires (monotonic,
+  /// like growths()): the cost of the alignment contract, visible so callers
+  /// can size reserve() with bytesFor<T>() instead of guessing.
+  std::size_t paddingBytes() const { return padding_; }
   /// Number of times the backing buffer (re)allocated -- a warmed-up arena
   /// stops incrementing this.
   std::int64_t growths() const { return growths_; }
@@ -115,9 +133,10 @@ class Workspace {
     return (bytes + (kAlign - 1)) & ~(kAlign - 1);
   }
 
-  std::vector<unsigned char> buf_;
+  AlignedVector<unsigned char> buf_;
   std::size_t offset_ = 0;
   std::size_t high_water_ = 0;
+  std::size_t padding_ = 0;
   std::int64_t growths_ = 0;
 };
 

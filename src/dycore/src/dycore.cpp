@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "grist/backend/simd.hpp"
 #include "grist/common/timer.hpp"
 #include "grist/common/workspace.hpp"
 #include "grist/dycore/kernels.hpp"
@@ -148,6 +149,38 @@ template <typename NS>
 void Dycore::computeTendencies(const State& state) {
   const int nlev = config_.nlev;
   namespace k = kernels;
+  namespace simd = backend::simd;
+
+  // Runtime Host-vs-Simd routing: every SIMD tier is bitwise-identical to
+  // the Host instantiation (tests/backend/test_simd.cpp), so the choice is
+  // purely about speed -- config_.use_simd pins the Host path for the
+  // benchmark baseline, GRIST_SIMD=0 disables routing process-wide, and
+  // the table itself picks the best tier cpuid allows.
+  if (config_.use_simd && simd::enabled()) {
+    const simd::KernelTable& tb = simd::table();
+    constexpr int si = simd::kNsIndex<NS>;
+    tb.compute_rrr[si](bounds_.cells_diag, nlev, config_.ptop,
+                       state.delp.data(), state.theta.data(), state.phi.data(),
+                       alpha_.data(), p_.data(), exner_.data(), pi_mid_.data());
+    tb.fused_edge_fluxes[si](mesh_, mesh_.nedges, nlev, state.delp.data(),
+                             state.u.data(), flux_.data(), uflux_.data());
+    tb.fused_cell_diagnostics[si](mesh_, bounds_.cells_diag, nlev,
+                                  flux_.data(), uflux_.data(), state.u.data(),
+                                  div_flux_.data(), div_u_.data(), ke_.data());
+    tb.fused_vertex_diagnostics[si](mesh_, bounds_.vertices_diag, nlev,
+                                    state.u.data(), state.delp.data(),
+                                    constants::kOmega, vor_.data(), qv_.data());
+    tb.fused_scalar_tendencies[si](
+        mesh_, bounds_.cells_prog, nlev, flux_.data(), state.theta.data(),
+        state.delp.data(), div_flux_.data(), config_.diff_coef / config_.dt,
+        delp_tend_.data(), thetam_tend_.data());
+    tb.fused_momentum_tendency[si](
+        mesh_, trsk_, bounds_.edges_prog, nlev, ke_.data(), qv_.data(),
+        flux_.data(), state.phi.data(), alpha_.data(), p_.data(),
+        div_u_.data(), vor_.data(), config_.div_damp / config_.dt,
+        config_.diff_coef / config_.dt, u_tend_.data());
+    return;
+  }
 
   // Thermodynamic diagnostics (compute_rrr) on the diagnostic cell band.
   k::computeRrr<NS>(bounds_.cells_diag, nlev, config_.ptop, state.delp.data(),
@@ -295,6 +328,19 @@ void Dycore::stepImpl(State& state, const ExchangeFn& exchange,
                                     p_.data(), state.w.data(), state.phi.data(),
                                     config_.w_damp_tau);
     hooks->wait();
+  } else if (config_.use_simd && backend::simd::enabled()) {
+    // Lockstep schedule through the SIMD table (contiguous prefix only --
+    // the band lists above stay on the Host drivers). The solver entry is
+    // scalar in every tier; it rides the table for uniform routing.
+    const backend::simd::KernelTable& tb = backend::simd::table();
+    tb.compute_rrr[0](bounds_.cells_prog, nlev, config_.ptop,
+                      state.delp.data(), state.theta.data(), state.phi.data(),
+                      alpha_.data(), p_.data(), exner_.data(), pi_mid_.data());
+    tb.vert_implicit_solver[0](bounds_.cells_prog, nlev, config_.dt,
+                               config_.ptop, state.delp.data(),
+                               state.theta.data(), p_.data(), state.w.data(),
+                               state.phi.data(), config_.w_damp_tau);
+    if (exchange) exchange(state);
   } else {
     kernels::computeRrr<double>(bounds_.cells_prog, nlev, config_.ptop,
                                 state.delp.data(), state.theta.data(),

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "grist/backend/kernels.hpp"
+#include "grist/backend/simd.hpp"
 #include "grist/common/workspace.hpp"
 
 namespace grist::dycore {
@@ -32,14 +33,28 @@ void tracerTransportHoriFluxLimiter(const TracerTransportArgs& a, double* q) {
   Workspace& ws = Workspace::threadLocal();
   const std::size_t en = static_cast<std::size_t>(m.nedges) * nlev;
   const std::size_t cn = static_cast<std::size_t>(m.ncells) * nlev;
+  // The + 4 rows are headroom for the SIMD phases below: this thread's
+  // arena doubles as their per-cell scratch source, and without the slack a
+  // fully-consumed arena would make those per-iteration acquires overflow.
   ws.reserve(2 * Workspace::bytesFor<double>(en) +
-             3 * Workspace::bytesFor<double>(cn));
+             3 * Workspace::bytesFor<double>(cn) +
+             4 * Workspace::bytesFor<double>(nlev));
   const Workspace::Frame frame(ws);
   double* flux_low = ws.get<double>(en);
   double* flux_anti = ws.get<double>(en);
   double* q_td = ws.get<double>(cn);
   double* rp = ws.get<double>(cn);
   double* rm = ws.get<double>(cn);
+
+  // SIMD routing: identical arithmetic, vectorized k loops (all four
+  // phases live behind one table entry).
+  namespace simd = grist::backend::simd;
+  if (a.use_simd && simd::enabled()) {
+    simd::table().tracer_hori_flux_limiter[simd::kNsIndex<NS>](
+        m, a.ncells_prog, nlev, dt, a.mean_flux, a.delp_old, a.delp_new, q,
+        flux_low, flux_anti, q_td, rp, rm);
+    return;
+  }
 
   const auto mv = makeHostMeshView(m);
 

@@ -1,13 +1,20 @@
 // Per-entity field storage. Layout is component-fastest (column-contiguous):
 // value(entity, comp) = data[entity * ncomp + comp]. GRIST stores (ilev, ie)
 // with the level index fastest for the same reason: physics and the vertical
-// implicit solver sweep whole columns.
+// implicit solver sweep whole columns -- and the SIMD backend vectorizes
+// exactly that unit-stride component (nlev) dimension.
+//
+// Storage is cache-line aligned and padded out to whole lines
+// (common::AlignedVector): the vectorized sweeps get an aligned base, the
+// head vector lane of a field never splits a line, and no two fields share
+// the line at either end. Indexing is unchanged (stride stays ncomp), so
+// this is bitwise-invisible to every kernel.
 #pragma once
 
 #include <cstddef>
 #include <stdexcept>
-#include <vector>
 
+#include "grist/common/aligned.hpp"
 #include "grist/common/types.hpp"
 
 namespace grist::parallel {
@@ -17,8 +24,11 @@ class FieldT {
  public:
   FieldT() = default;
   FieldT(Index nentity, int ncomp, T init = T{})
-      : nentity_(nentity), ncomp_(ncomp), data_(static_cast<std::size_t>(nentity) * ncomp, init) {
+      : nentity_(nentity), ncomp_(ncomp) {
     if (nentity < 0 || ncomp <= 0) throw std::invalid_argument("FieldT: bad shape");
+    const std::size_t n = static_cast<std::size_t>(nentity) * ncomp;
+    data_.reserve(common::roundUpToCacheLine(n * sizeof(T)) / sizeof(T));
+    data_.assign(n, init);
   }
 
   Index entities() const { return nentity_; }
@@ -40,7 +50,7 @@ class FieldT {
  private:
   Index nentity_ = 0;
   int ncomp_ = 1;
-  std::vector<T> data_;
+  common::AlignedVector<T> data_;
 };
 
 using Field = FieldT<double>;

@@ -1,0 +1,267 @@
+// Parity gates for the SIMD execution backend: every tier this build+CPU
+// can dispatch to must reproduce the HostBackend instantiation BITWISE, for
+// all 12 Fig. 9 registry kernels, in both NS precisions, across a sweep of
+// nlev values that exercises every fringe shape (nlev % 4 and nlev % 8 of
+// 0..7, below/at/above one vector, and the production 30).
+//
+// The reference runner is the swgomp harness's host path
+// (runKernelOnData(..., ExecBackend::kHost, ...)): a serial sweep of the
+// shared scalar bodies over physically seeded payloads, with the same fixed
+// solver constants the sim uses. The SIMD side runs the dispatch table over
+// an identically seeded copy; every output array must match bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "grist/backend/simd.hpp"
+#include "grist/common/math.hpp"
+#include "grist/grid/hex_mesh.hpp"
+#include "grist/grid/trsk.hpp"
+#include "grist/swgomp/sim_kernels.hpp"
+
+namespace grist::backend::simd {
+namespace {
+
+using grid::HexMesh;
+using grid::TrskWeights;
+using grid::buildHexMesh;
+using grid::buildTrskWeights;
+using precision::NsMode;
+using swgomp::ExecBackend;
+using swgomp::SimKernel;
+using swgomp::SimKernelData;
+using swgomp::kernelName;
+using swgomp::makeSimKernelData;
+using swgomp::runKernelOnData;
+
+// Fixed solver constants, mirroring swgomp/src/sim_kernels.cpp.
+constexpr double kDt = 300.0;
+constexpr double kPtop = 225.0;
+constexpr double kWDampTau = 900.0;
+constexpr double kNuTheta = 0.005 / 300.0;
+constexpr double kNuDiv = 0.02 / 300.0;
+constexpr double kNuVor = 0.005 / 300.0;
+
+/// The SIMD-table equivalent of runKernelPhases: same entity counts, same
+/// constants, outputs land in `d`.
+void runSimdKernel(SimKernel kernel, const HexMesh& mesh,
+                   const TrskWeights& trsk, NsMode ns, const KernelTable& tb,
+                   SimKernelData& d) {
+  const int si = nsIndex(ns);
+  const int nlev = d.nlev;
+  switch (kernel) {
+    case SimKernel::kPrimalNormalFluxEdge:
+      tb.primal_normal_flux_edge[si](mesh, d.nedges, nlev, d.delp.data(),
+                                     d.u.data(), d.flux.data());
+      return;
+    case SimKernel::kComputeRrr:
+      tb.compute_rrr[si](d.ncells, nlev, kPtop, d.delp.data(), d.theta.data(),
+                         d.phi.data(), d.alpha.data(), d.p.data(),
+                         d.exner.data(), d.pi_mid.data());
+      return;
+    case SimKernel::kCalcCoriolisTerm:
+      tb.calc_coriolis_term[si](mesh, trsk, d.nedges, nlev, d.flux.data(),
+                                d.qv.data(), d.tend_u.data());
+      return;
+    case SimKernel::kTendGradKeAtEdge:
+      tb.tend_grad_ke_at_edge[si](mesh, d.nedges, nlev, d.ke.data(),
+                                  d.tend_u.data());
+      return;
+    case SimKernel::kDivAtCell:
+      tb.div_at_cell[si](mesh, d.ncells, nlev, d.flux.data(),
+                         d.div_flux.data());
+      return;
+    case SimKernel::kTracerHoriFluxLimiter:
+      tb.tracer_hori_flux_limiter[si](
+          mesh, d.ncells, nlev, kDt, d.mean_flux.data(), d.delp_old.data(),
+          d.delp_new.data(), d.q.data(), d.flux_low.data(),
+          d.flux_anti.data(), d.q_td.data(), d.rp.data(), d.rm.data());
+      return;
+    case SimKernel::kVertImplicitSolver:
+      tb.vert_implicit_solver[si](d.ncells, nlev, kDt, kPtop, d.delp.data(),
+                                  d.theta.data(), d.p.data(), d.w.data(),
+                                  d.phi.data(), kWDampTau);
+      return;
+    case SimKernel::kFusedEdgeFluxes:
+      tb.fused_edge_fluxes[si](mesh, d.nedges, nlev, d.delp.data(),
+                               d.u.data(), d.flux.data(), d.uflux.data());
+      return;
+    case SimKernel::kFusedCellDiagnostics:
+      tb.fused_cell_diagnostics[si](mesh, d.ncells, nlev, d.flux.data(),
+                                    d.uflux.data(), d.u.data(),
+                                    d.div_flux.data(), d.div_u.data(),
+                                    d.ke.data());
+      return;
+    case SimKernel::kFusedVertexDiagnostics:
+      tb.fused_vertex_diagnostics[si](mesh, d.nvertices, nlev, d.u.data(),
+                                      d.delp.data(), constants::kOmega,
+                                      d.vor.data(), d.qv.data());
+      return;
+    case SimKernel::kFusedScalarTendencies:
+      tb.fused_scalar_tendencies[si](mesh, d.ncells, nlev, d.flux.data(),
+                                     d.theta.data(), d.delp.data(),
+                                     d.div_flux.data(), kNuTheta,
+                                     d.delp_tend.data(), d.thetam_tend.data());
+      return;
+    case SimKernel::kFusedMomentumTendency:
+      tb.fused_momentum_tendency[si](
+          mesh, trsk, d.nedges, nlev, d.ke.data(), d.qv.data(), d.flux.data(),
+          d.phi.data(), d.alpha.data(), d.p.data(), d.div_u.data(),
+          d.vor.data(), kNuDiv, kNuVor, d.tend_u.data());
+      return;
+  }
+  FAIL() << "unknown kernel";
+}
+
+/// Bitwise comparison (memcmp of the representations): the contract is
+/// exactness, not a ULP bound, so NaN payloads and signed zeros count too.
+::testing::AssertionResult bitwiseEqual(const std::vector<double>& ref,
+                                        const std::vector<double>& got,
+                                        const char* name) {
+  if (ref.size() != got.size()) {
+    return ::testing::AssertionFailure()
+           << name << ": size " << got.size() << " != " << ref.size();
+  }
+  if (std::memcmp(ref.data(), got.data(), ref.size() * sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (std::memcmp(&ref[i], &got[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << name << "[" << i << "]: got " << got[i] << " expected "
+             << ref[i] << " (bitwise)";
+    }
+  }
+  return ::testing::AssertionFailure() << name << ": memcmp mismatch";
+}
+
+void expectDataBitwiseEqual(const SimKernelData& ref, const SimKernelData& got) {
+  EXPECT_TRUE(bitwiseEqual(ref.alpha, got.alpha, "alpha"));
+  EXPECT_TRUE(bitwiseEqual(ref.p, got.p, "p"));
+  EXPECT_TRUE(bitwiseEqual(ref.exner, got.exner, "exner"));
+  EXPECT_TRUE(bitwiseEqual(ref.pi_mid, got.pi_mid, "pi_mid"));
+  EXPECT_TRUE(bitwiseEqual(ref.ke, got.ke, "ke"));
+  EXPECT_TRUE(bitwiseEqual(ref.div_flux, got.div_flux, "div_flux"));
+  EXPECT_TRUE(bitwiseEqual(ref.div_u, got.div_u, "div_u"));
+  EXPECT_TRUE(bitwiseEqual(ref.delp_tend, got.delp_tend, "delp_tend"));
+  EXPECT_TRUE(bitwiseEqual(ref.thetam_tend, got.thetam_tend, "thetam_tend"));
+  EXPECT_TRUE(bitwiseEqual(ref.q, got.q, "q"));
+  EXPECT_TRUE(bitwiseEqual(ref.q_td, got.q_td, "q_td"));
+  EXPECT_TRUE(bitwiseEqual(ref.rp, got.rp, "rp"));
+  EXPECT_TRUE(bitwiseEqual(ref.rm, got.rm, "rm"));
+  EXPECT_TRUE(bitwiseEqual(ref.phi, got.phi, "phi"));
+  EXPECT_TRUE(bitwiseEqual(ref.w, got.w, "w"));
+  EXPECT_TRUE(bitwiseEqual(ref.flux, got.flux, "flux"));
+  EXPECT_TRUE(bitwiseEqual(ref.uflux, got.uflux, "uflux"));
+  EXPECT_TRUE(bitwiseEqual(ref.tend_u, got.tend_u, "tend_u"));
+  EXPECT_TRUE(bitwiseEqual(ref.flux_low, got.flux_low, "flux_low"));
+  EXPECT_TRUE(bitwiseEqual(ref.flux_anti, got.flux_anti, "flux_anti"));
+  EXPECT_TRUE(bitwiseEqual(ref.vor, got.vor, "vor"));
+  EXPECT_TRUE(bitwiseEqual(ref.qv, got.qv, "qv"));
+}
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mesh_ = new HexMesh(buildHexMesh(3));
+    trsk_ = new TrskWeights(buildTrskWeights(*mesh_));
+  }
+  static void TearDownTestSuite() {
+    delete trsk_;
+    trsk_ = nullptr;
+    delete mesh_;
+    mesh_ = nullptr;
+  }
+  static HexMesh* mesh_;
+  static TrskWeights* trsk_;
+};
+HexMesh* SimdParityTest::mesh_ = nullptr;
+TrskWeights* SimdParityTest::trsk_ = nullptr;
+
+// nlev sweep: every AVX2 (width 4) and AVX-512 (width 8) fringe shape --
+// below one vector, exactly one, one-plus-fringe, two, the production 30
+// (4*7+2 / 8*3+6), and an odd just-past-four-vectors 33.
+const int kNlevSweep[] = {1, 3, 7, 8, 15, 16, 30, 33};
+
+TEST_F(SimdParityTest, AllKernelsAllTiersAllPrecisionsBitwise) {
+  for (const SimKernel kernel : swgomp::allSimKernels()) {
+    for (const NsMode ns : {NsMode::kDouble, NsMode::kSingle}) {
+      for (const int nlev : kNlevSweep) {
+        if (nlev < 2 && kernel == SimKernel::kVertImplicitSolver) {
+          continue;  // the column solve needs an interior interface
+        }
+        SimKernelData ref = makeSimKernelData(*mesh_, nlev);
+        runKernelOnData(kernel, *mesh_, *trsk_, ns, ExecBackend::kHost, ref);
+        for (const Tier tier : availableTiers()) {
+          SCOPED_TRACE(std::string(kernelName(kernel)) + " ns=" +
+                       (ns == NsMode::kSingle ? "single" : "double") +
+                       " nlev=" + std::to_string(nlev) + " tier=" +
+                       tierName(tier));
+          SimKernelData got = makeSimKernelData(*mesh_, nlev);
+          runSimdKernel(kernel, *mesh_, *trsk_, ns, table(tier), got);
+          expectDataBitwiseEqual(ref, got);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, AvailableTiersAscendFromScalarToBest) {
+  const auto tiers = availableTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), Tier::kScalar);
+  EXPECT_EQ(tiers.back(), bestTier());
+  for (std::size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+}
+
+TEST(SimdDispatch, ForceTierClampsDownNeverUp) {
+  clearForcedTier();
+  EXPECT_EQ(activeTier(), bestTier());
+  forceTier(Tier::kScalar);
+  EXPECT_EQ(activeTier(), Tier::kScalar);
+  EXPECT_EQ(table().tier, Tier::kScalar);
+  // Forcing past the best available clamps to best, never invents a tier.
+  forceTier(Tier::kAvx512);
+  EXPECT_LE(static_cast<int>(activeTier()), static_cast<int>(bestTier()));
+  clearForcedTier();
+  EXPECT_EQ(activeTier(), bestTier());
+}
+
+TEST(SimdDispatch, TableReportsItsOwnTier) {
+  for (const Tier t : availableTiers()) {
+    EXPECT_EQ(table(t).tier, t) << tierName(t);
+  }
+  // Asking for a tier above best returns the best tier's table.
+  EXPECT_EQ(table(Tier::kAvx512).tier, bestTier());
+}
+
+TEST(SimdDispatch, EveryTableSlotIsPopulated) {
+  for (const Tier t : availableTiers()) {
+    const KernelTable& tb = table(t);
+    for (int si = 0; si < 2; ++si) {
+      EXPECT_NE(tb.primal_normal_flux_edge[si], nullptr);
+      EXPECT_NE(tb.compute_rrr[si], nullptr);
+      EXPECT_NE(tb.calc_coriolis_term[si], nullptr);
+      EXPECT_NE(tb.tend_grad_ke_at_edge[si], nullptr);
+      EXPECT_NE(tb.div_at_cell[si], nullptr);
+      EXPECT_NE(tb.tracer_hori_flux_limiter[si], nullptr);
+      EXPECT_NE(tb.vert_implicit_solver[si], nullptr);
+      EXPECT_NE(tb.fused_edge_fluxes[si], nullptr);
+      EXPECT_NE(tb.fused_cell_diagnostics[si], nullptr);
+      EXPECT_NE(tb.fused_vertex_diagnostics[si], nullptr);
+      EXPECT_NE(tb.fused_scalar_tendencies[si], nullptr);
+      EXPECT_NE(tb.fused_momentum_tendency[si], nullptr);
+    }
+  }
+}
+
+} // namespace
+} // namespace grist::backend::simd

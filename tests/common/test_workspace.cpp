@@ -80,6 +80,51 @@ TEST(Workspace, FramesNestAndRestore) {
   EXPECT_EQ(a[0], 42.0);  // outer allocation untouched by inner frame
 }
 
+TEST(Workspace, AcquireReturnsCacheAlignedPointers) {
+  // The SIMD backend's layout contract: every acquire() starts on a 64-byte
+  // boundary, including odd-sized requests that force padding in between.
+  Workspace ws;
+  ws.reserve(Workspace::bytesFor<double>(7) * 4 +
+             Workspace::bytesFor<float>(3));
+  Workspace::Frame frame(ws);
+  double* a = ws.acquire<double>(7);   // 56 bytes -> padded to 64
+  float* b = ws.acquire<float>(3);     // 12 bytes -> padded to 64
+  double* c = ws.acquire<double>(16);  // exactly two lines, no padding
+  for (const void* p : {static_cast<const void*>(a),
+                        static_cast<const void*>(b),
+                        static_cast<const void*>(c)}) {
+    EXPECT_TRUE(isCacheAligned(p));
+  }
+}
+
+TEST(Workspace, PaddingAccountingTracksAlignmentWaste) {
+  Workspace ws;
+  ws.reserve(4096);
+  EXPECT_EQ(ws.paddingBytes(), 0u);
+  {
+    Workspace::Frame frame(ws);
+    ws.acquire<double>(7);  // 56 -> 64: 8 bytes of padding
+    EXPECT_EQ(ws.paddingBytes(), 8u);
+    ws.acquire<double>(8);  // exact line: no padding
+    EXPECT_EQ(ws.paddingBytes(), 8u);
+    ws.acquire<float>(1);   // 4 -> 64: 60 bytes
+    EXPECT_EQ(ws.paddingBytes(), 68u);
+  }
+  // Monotonic like growths(): frames restore offsets, not the ledger.
+  Workspace::Frame frame(ws);
+  ws.acquire<double>(7);
+  EXPECT_EQ(ws.paddingBytes(), 76u);
+}
+
+TEST(Workspace, BackingBufferIsCacheAligned) {
+  // Base alignment is what turns "offsets are multiples of 64" into "every
+  // pointer handed out is 64-byte aligned".
+  Workspace ws;
+  double* p = ws.acquire<double>(1);
+  EXPECT_TRUE(isCacheAligned(p));
+  ws.reset();
+}
+
 TEST(Workspace, ThreadLocalArenasAreDistinctPerThread) {
   std::vector<Workspace*> seen(omp_get_max_threads(), nullptr);
 #pragma omp parallel
