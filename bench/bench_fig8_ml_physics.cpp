@@ -7,9 +7,11 @@
 // (the distillation analog of the paper's 5 km -> 30 km pipeline) and then
 // reused unchanged at every resolution -- the paper's "resolution-adaptive"
 // property under test.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
+#include "grist/backend/quant.hpp"
 #include "grist/core/model.hpp"
 #include "grist/coupler/coupler.hpp"
 #include "grist/dycore/diagnostics.hpp"
@@ -139,6 +141,48 @@ RunOut runClimate(int level, bool use_ml, int nsteps, double dt,
   return out;
 }
 
+// Inference-precision sweep over the TRAINED suite (quantizing an untrained
+// random net says nothing about the acceptance envelope): columns/s and the
+// gate's rel-L2 per output at fp32 / bf16 / int8. Follows the warm-up
+// convention of bench_host_kernels: one untimed invocation per configuration
+// before the timing loop, so the first measured run sees warm Workspace
+// arenas and an already-built, already-gated quantized snapshot.
+void precisionSweep(const std::shared_ptr<ml::Q1Q2Net>& q1q2,
+                    const std::shared_ptr<ml::RadMlp>& rad) {
+  const Index ncol = 1024;
+  physics::PhysicsInput in =
+      ml::synthesizeColumns(ml::table1Scenarios()[0], ncol, kNlev);
+  io::Table table({"Precision", "Kernel", "Columns/s", "Speedup",
+                   "Worst gate rel-L2"});
+  double fp32_rate = 0.0;
+  for (const ml::Precision prec :
+       {ml::Precision::kFp32, ml::Precision::kBf16, ml::Precision::kInt8}) {
+    ml::MlSuiteConfig cfg;
+    cfg.precision = prec;
+    ml::MlPhysicsSuite suite(ncol, kNlev, q1q2, rad, cfg);
+    physics::PhysicsOutput out(ncol, kNlev);
+    suite.run(in, 600.0, out);  // untimed warm-up: arenas, snapshot, gate
+    const int reps = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) suite.run(in, 600.0, out);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    const double rate = reps * static_cast<double>(ncol) / dt.count();
+    if (prec == ml::Precision::kFp32) fp32_rate = rate;
+    double worst = 0.0;
+    for (const auto& [var, rel] : suite.quantGateRecords()) {
+      worst = std::max(worst, rel);
+    }
+    table.addRow({ml::precisionName(prec),
+                  prec == ml::Precision::kFp32 ? "sgemm-packed"
+                                               : backend::quant::table().name,
+                  io::Table::num(rate, 0),
+                  io::Table::num(rate / fp32_rate, 2) + "x",
+                  prec == ml::Precision::kFp32 ? "-" : io::Table::num(worst, 4)});
+  }
+  table.print();
+}
+
 } // namespace
 
 int main() {
@@ -149,6 +193,12 @@ int main() {
   std::shared_ptr<ml::Q1Q2Net> q1q2;
   std::shared_ptr<ml::RadMlp> rad;
   trainSuite(q1q2, rad);
+
+  // ---- quantized-inference sweep on the trained suite ----
+  std::printf("\n-- inference precision sweep (quantized ML physics,\n"
+              "   Table 3 rel-L2 acceptance gate at %.0f%%) --\n",
+              100.0 * ml::MlSuiteConfig{}.quant_tolerance);
+  precisionSweep(q1q2, rad);
 
   // ---- (a)(b): 3-hour weather run at the finest affordable grid ----
   std::printf("\n-- (a)(b) 3-hour weather integration, G5 (G12 analog) --\n");

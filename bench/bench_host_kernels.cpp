@@ -20,12 +20,14 @@
 #include <random>
 #include <vector>
 
+#include "grist/backend/quant.hpp"
 #include "grist/backend/simd.hpp"
 #include "grist/common/math.hpp"
 #include "grist/dycore/kernels.hpp"
 #include "grist/grid/hex_mesh.hpp"
 #include "grist/grid/trsk.hpp"
 #include "grist/ml/matrix.hpp"
+#include "grist/ml/quant.hpp"
 #include "grist/ml/ml_suite.hpp"
 #include "grist/ml/traindata.hpp"
 #include "grist/parallel/field.hpp"
@@ -824,9 +826,38 @@ void BM_GemmBlocked(benchmark::State& state) {
                           op.n * op.k);
 }
 
+// Quantized-weight GEMM with the fused dequant epilogue, against the fp32
+// BM_GemmBlocked partner on the same shapes. The label records the kernel
+// flavor the dispatch actually ran ("avx512-bf16dp", "avx2-fma", ...).
+void benchGemmQuant(benchmark::State& state, ml::Precision prec) {
+  GemmOperands op(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)),
+                  static_cast<int>(state.range(2)));
+  ml::Matrix w(op.m, op.k);
+  std::copy(op.a.begin(), op.a.end(), w.a.begin());
+  const ml::QuantizedWeights qw = ml::QuantizedWeights::pack(prec, w);
+  state.SetLabel(backend::quant::table().name);
+  ml::gemmQuant(qw, op.n, op.b.data(), op.n, false, op.c.data(), op.n, {});
+  for (auto _ : state) {
+    ml::gemmQuant(qw, op.n, op.b.data(), op.n, false, op.c.data(), op.n, {});
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(op.m) * op.n * op.k);
+}
+
+void BM_GemmQuantBf16(benchmark::State& state) {
+  benchGemmQuant(state, ml::Precision::kBf16);
+}
+void BM_GemmQuantInt8(benchmark::State& state) {
+  benchGemmQuant(state, ml::Precision::kInt8);
+}
+
 // End-to-end ML-physics suite throughput at the bench_fig8 configuration;
-// the per-column/batched pair differs only in MlSuiteConfig::column_block.
-void benchMlSuite(benchmark::State& state, int column_block) {
+// the per-column/batched pair differs only in MlSuiteConfig::column_block,
+// the precision sweep only in MlSuiteConfig::precision.
+void benchMlSuite(benchmark::State& state, int column_block,
+                  ml::Precision prec = ml::Precision::kFp32) {
   const int nlev = 20;
   const Index ncol = 256;
   ml::Q1Q2NetConfig qcfg;
@@ -838,6 +869,10 @@ void benchMlSuite(benchmark::State& state, int column_block) {
   rcfg.hidden = 48;
   ml::MlSuiteConfig cfg;
   cfg.column_block = column_block;
+  cfg.precision = prec;
+  // Untrained random-weight nets exceed the trained-net 5% envelope on int8
+  // (see tests/ml/test_quant.cpp); widen so the gate accepts the bench nets.
+  cfg.quant_tolerance = 0.15;
   ml::MlPhysicsSuite suite(ncol, nlev, std::make_shared<ml::Q1Q2Net>(qcfg),
                            std::make_shared<ml::RadMlp>(rcfg), cfg);
   physics::PhysicsInput in =
@@ -853,6 +888,15 @@ void benchMlSuite(benchmark::State& state, int column_block) {
 
 void BM_MlSuitePerColumn(benchmark::State& state) { benchMlSuite(state, 1); }
 void BM_MlSuiteBatched(benchmark::State& state) { benchMlSuite(state, 32); }
+void BM_MlSuitePrecisionFp32(benchmark::State& state) {
+  benchMlSuite(state, 32, ml::Precision::kFp32);
+}
+void BM_MlSuitePrecisionBf16(benchmark::State& state) {
+  benchMlSuite(state, 32, ml::Precision::kBf16);
+}
+void BM_MlSuitePrecisionInt8(benchmark::State& state) {
+  benchMlSuite(state, 32, ml::Precision::kInt8);
+}
 
 } // namespace
 
@@ -919,8 +963,19 @@ BENCHMARK(BM_GemmNaive)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GemmBlocked)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GemmNaive)->Args({48, 32, 48})->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GemmBlocked)->Args({48, 32, 48})->Unit(benchmark::kMicrosecond);
+// Quantized partners for the blocked-SGEMM shapes above (the {24, 640, 72}
+// conv shape is the bf16 >= 1.3x / int8 >= 1.6x acceptance number).
+BENCHMARK(BM_GemmQuantBf16)->Args({256, 256, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmQuantInt8)->Args({256, 256, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmQuantBf16)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemmQuantInt8)->Args({24, 640, 72})->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_MlSuitePerColumn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MlSuiteBatched)->Unit(benchmark::kMillisecond);
+// Columns/s vs inference precision at the batched configuration (recorded
+// to BENCH_quantized_ml.json by scripts/check.sh's quant stage).
+BENCHMARK(BM_MlSuitePrecisionFp32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MlSuitePrecisionBf16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MlSuitePrecisionInt8)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -7,6 +7,10 @@
 #   GRIST_SKIP_TSAN=1 scripts/check.sh   # skip the TSan stage
 #   GRIST_SKIP_SIMD=1 scripts/check.sh   # skip the per-tier SIMD stage
 #   GRIST_SIMD_BENCH=1 scripts/check.sh  # also record the Fused/Simd JSON pair
+#   GRIST_SKIP_QUANT=1 scripts/check.sh  # skip the quantized-inference stage
+#   GRIST_QUANT_BENCH=1 scripts/check.sh # also record BENCH_quantized_ml.json
+#                                        # (and diff it against the committed
+#                                        # baseline via scripts/bench_compare.py)
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
 # and runs the ml and common test binaries -- the two subsystems that hand
@@ -59,6 +63,44 @@ else
       --benchmark_repetitions=3 --benchmark_report_aggregates_only \
       --benchmark_format=json --benchmark_out=BENCH_simd_backend.json \
       >/dev/null
+  fi
+fi
+
+if [[ "${GRIST_SKIP_QUANT:-0}" == "1" ]]; then
+  echo "== skipping quantized-inference pass (GRIST_SKIP_QUANT=1) =="
+else
+  # Quantized-inference contract: the bf16/int8 kernels, the packers, and
+  # the suite's rel-L2 acceptance gate must pass on every tier this build
+  # carries (the scalar run pins the reference tier; the unset run exercises
+  # the best quant tier cpuid grants, including native avx512-bf16). The
+  # cross-tier bitwise assertions live inside the QuantTierParity tests.
+  echo "== quantized-inference pass: quant suites per tier =="
+  for tier in scalar ""; do
+    label="${tier:-best-available}"
+    echo "-- test_ml Quant*/GemmQuant* (tier: $label)"
+    if [[ -n "$tier" ]]; then
+      GRIST_SIMD_TIER="$tier" ./build/tests/test_ml \
+        --gtest_filter='Quant*:GemmQuant*' >/dev/null
+    else
+      ./build/tests/test_ml --gtest_filter='Quant*:GemmQuant*' >/dev/null
+    fi
+  done
+  if [[ "${GRIST_QUANT_BENCH:-0}" == "1" ]]; then
+    # Columns/s vs precision plus the fp32/bf16/int8 GEMM shapes, recorded
+    # for the README table; a committed baseline turns the run into a >5%
+    # regression gate through bench_compare.py.
+    echo "-- recording BENCH_quantized_ml.json (precision sweep)"
+    ./build/bench/bench_host_kernels \
+      --benchmark_filter='Gemm(Blocked|QuantBf16|QuantInt8)|MlSuitePrecision' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+      --benchmark_format=json --benchmark_out=BENCH_quantized_ml.new.json \
+      >/dev/null
+    if [[ -f BENCH_quantized_ml.json ]]; then
+      echo "-- diffing against committed BENCH_quantized_ml.json"
+      python3 scripts/bench_compare.py BENCH_quantized_ml.json \
+        BENCH_quantized_ml.new.json
+    fi
+    mv BENCH_quantized_ml.new.json BENCH_quantized_ml.json
   fi
 fi
 

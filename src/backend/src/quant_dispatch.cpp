@@ -1,0 +1,102 @@
+// Runtime dispatch for the quantized-GEMM tiers. Reuses the simd::Tier
+// override machinery (GRIST_SIMD_TIER / simd::forceTier clamp these tiers
+// down too) but gates on its own cpuid requirements: the AVX-512 quant tier
+// needs AVX-512BW (512-bit vpmovsxbw/vpmaddwd) on top of F, and the native
+// bf16 dot product additionally needs AVX512_BF16 -- when the latter is
+// granted, the AVX-512 table is served with its bf16 microkernel swapped
+// for vdpbf16ps (packing and the int8 kernel are unchanged).
+
+#include "grist/backend/quant.hpp"
+
+#include "quant_tiers.hpp"
+
+namespace grist::backend::quant {
+namespace {
+
+bool cpuSupports(simd::Tier t) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (t) {
+    case simd::Tier::kScalar:
+      return true;
+    case simd::Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case simd::Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
+  }
+  return false;
+#else
+  return t == simd::Tier::kScalar;
+#endif
+}
+
+bool buildCarries(simd::Tier t) {
+  switch (t) {
+    case simd::Tier::kScalar:
+      return true;
+    case simd::Tier::kAvx2:
+      return GRIST_QUANT_HAVE_AVX2 != 0;
+    case simd::Tier::kAvx512:
+      return GRIST_QUANT_HAVE_AVX512 != 0;
+  }
+  return false;
+}
+
+simd::Tier computeBestTier() {
+  for (simd::Tier t : {simd::Tier::kAvx512, simd::Tier::kAvx2}) {
+    if (buildCarries(t) && cpuSupports(t)) return t;
+  }
+  return simd::Tier::kScalar;
+}
+
+#if GRIST_QUANT_HAVE_AVX512
+const KernelTable& avx512TableWithNativeBf16() {
+  static const KernelTable t = [] {
+    KernelTable tbl = tierTableQuantAvx512();
+#if GRIST_QUANT_HAVE_AVX512BF16
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512bf16")) {
+      tbl.bf16_tile = &bf16TileAvx512Native;
+      tbl.name = "avx512-bf16dp";
+      tbl.native_bf16 = true;
+    }
+#endif
+#endif
+    return tbl;
+  }();
+  return t;
+}
+#endif
+
+} // namespace
+
+simd::Tier bestTier() {
+  static const simd::Tier t = computeBestTier();
+  return t;
+}
+
+const KernelTable& table(simd::Tier t) {
+  const simd::Tier best = bestTier();
+  const simd::Tier eff =
+      static_cast<int>(t) < static_cast<int>(best) ? t : best;
+  switch (eff) {
+#if GRIST_QUANT_HAVE_AVX512
+    case simd::Tier::kAvx512:
+      return avx512TableWithNativeBf16();
+#endif
+#if GRIST_QUANT_HAVE_AVX2
+    case simd::Tier::kAvx2:
+      return tierTableQuantAvx2();
+#endif
+    default:
+      return tierTableQuantScalar();
+  }
+}
+
+const KernelTable& table() {
+  // Qualified: the simd::Tier argument would otherwise drag simd::table(Tier)
+  // into overload resolution via ADL.
+  return quant::table(simd::activeTier());
+}
+
+} // namespace grist::backend::quant

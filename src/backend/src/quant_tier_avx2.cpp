@@ -1,0 +1,88 @@
+// AVX2+FMA quant tier: the 8x16 tile is processed as two 8x8 halves (ymm =
+// 8 fp32 / 8 int32 lanes). bf16 operands widen with a 16-bit shift into the
+// high half of each fp32 lane (exact); int8 pairs ride vpmaddwd after a
+// vpmovsxbw widen. Packing reuses the scalar reference (conversion is
+// bandwidth-trivial next to the 256^3 bench shape and identical by
+// construction). Compiled with -mavx2 -mfma only in builds whose compiler
+// carries them; cpuid still gates dispatch at runtime.
+
+#include <immintrin.h>
+
+#include "quant_tiers.hpp"
+
+namespace grist::backend::quant {
+
+namespace {
+
+void bf16TileAvx2(int k2, const std::uint16_t* ap, const std::uint16_t* bp,
+                  float* acc) {
+  const __m256i hi_mask = _mm256_set1_epi32(static_cast<int>(0xFFFF0000u));
+  for (int half = 0; half < 2; ++half) {
+    __m256 c[kQuantMR];
+    for (int i = 0; i < kQuantMR; ++i) c[i] = _mm256_setzero_ps();
+    const std::uint16_t* b = bp + half * (kQuantNR / 2) * 2;
+    for (int t = 0; t < k2; ++t) {
+      const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b + static_cast<std::size_t>(t) * kQuantNR * 2));
+      // Even pair element lives in the low 16 bits of each 32-bit lane,
+      // odd in the high 16; widening to fp32 is "place in the exponent+
+      // mantissa field", i.e. shift-left-16 / mask.
+      const __m256 be = _mm256_castsi256_ps(_mm256_slli_epi32(bv, 16));
+      const __m256 bo = _mm256_castsi256_ps(_mm256_and_si256(bv, hi_mask));
+      const std::uint32_t* aw = reinterpret_cast<const std::uint32_t*>(
+          ap + static_cast<std::size_t>(t) * kQuantMR * 2);
+      for (int i = 0; i < kQuantMR; ++i) {
+        const __m256i av = _mm256_set1_epi32(static_cast<int>(aw[i]));
+        const __m256 ae = _mm256_castsi256_ps(_mm256_slli_epi32(av, 16));
+        const __m256 ao = _mm256_castsi256_ps(_mm256_and_si256(av, hi_mask));
+        // Same even-then-odd chain as the scalar reference; the products
+        // are exact so FMA == mul+add bitwise.
+        c[i] = _mm256_fmadd_ps(ae, be, c[i]);
+        c[i] = _mm256_fmadd_ps(ao, bo, c[i]);
+      }
+    }
+    for (int i = 0; i < kQuantMR; ++i)
+      _mm256_storeu_ps(acc + i * kQuantNR + half * (kQuantNR / 2), c[i]);
+  }
+}
+
+void int8TileAvx2(int k2, const std::int8_t* ap, const std::int8_t* bp,
+                  std::int32_t* acc) {
+  for (int half = 0; half < 2; ++half) {
+    __m256i c[kQuantMR];
+    for (int i = 0; i < kQuantMR; ++i) c[i] = _mm256_setzero_si256();
+    const std::int8_t* b = bp + half * (kQuantNR / 2) * 2;
+    for (int t = 0; t < k2; ++t) {
+      const __m128i b8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          b + static_cast<std::size_t>(t) * kQuantNR * 2));
+      const __m256i b16 = _mm256_cvtepi8_epi16(b8);
+      const std::int8_t* a = ap + static_cast<std::size_t>(t) * kQuantMR * 2;
+      for (int i = 0; i < kQuantMR; ++i) {
+        // Broadcast the (even, odd) int8 pair as two sign-extended int16s
+        // in every 32-bit lane; vpmaddwd then forms
+        // ae*be + ao*bo per lane -- exact int32.
+        const std::int32_t pair =
+            (static_cast<std::int32_t>(a[2 * i]) & 0xFFFF) |
+            (static_cast<std::int32_t>(a[2 * i + 1]) << 16);
+        const __m256i av = _mm256_set1_epi32(pair);
+        c[i] = _mm256_add_epi32(c[i], _mm256_madd_epi16(av, b16));
+      }
+    }
+    for (int i = 0; i < kQuantMR; ++i)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              acc + i * kQuantNR + half * (kQuantNR / 2)),
+                          c[i]);
+  }
+}
+
+} // namespace
+
+const KernelTable& tierTableQuantAvx2() {
+  static const KernelTable t{simd::Tier::kAvx2, "avx2-fma",
+                             /*native_bf16=*/false, &bf16TileAvx2,
+                             &int8TileAvx2, &packBBf16ScalarRef,
+                             &packBInt8ScalarRef};
+  return t;
+}
+
+} // namespace grist::backend::quant

@@ -1,0 +1,35 @@
+// Native AVX512-BF16 dot-product microkernel (vdpbf16ps): each instruction
+// consumes a (even, odd) bf16 pair per 32-bit lane and accumulates both
+// products into the fp32 lane -- exactly the pair-interleaved panel layout.
+// Hardware may sum the two per-pair products before rounding (and in an
+// unspecified order), so this kernel is held to a small relative tolerance
+// against the widen tiers instead of bitwise identity; packing is NOT
+// overridden here -- the plain AVX-512 integer-RNE pack already matches
+// vcvtneps2bf16 bit-for-bit, keeping snapshots tier-portable.
+
+#include <immintrin.h>
+
+#include "quant_tiers.hpp"
+
+namespace grist::backend::quant {
+
+void bf16TileAvx512Native(int k2, const std::uint16_t* ap,
+                          const std::uint16_t* bp, float* acc) {
+  __m512 c[kQuantMR];
+  for (int i = 0; i < kQuantMR; ++i) c[i] = _mm512_setzero_ps();
+  for (int t = 0; t < k2; ++t) {
+    const __m512bh bv = (__m512bh)_mm512_loadu_si512(
+        bp + static_cast<std::size_t>(t) * kQuantNR * 2);
+    const std::uint32_t* aw = reinterpret_cast<const std::uint32_t*>(
+        ap + static_cast<std::size_t>(t) * kQuantMR * 2);
+    for (int i = 0; i < kQuantMR; ++i) {
+      const __m512bh av =
+          (__m512bh)_mm512_set1_epi32(static_cast<int>(aw[i]));
+      c[i] = _mm512_dpbf16_ps(c[i], av, bv);
+    }
+  }
+  for (int i = 0; i < kQuantMR; ++i)
+    _mm512_storeu_ps(acc + i * kQuantNR, c[i]);
+}
+
+} // namespace grist::backend::quant

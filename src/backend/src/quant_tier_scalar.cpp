@@ -1,0 +1,100 @@
+// Scalar reference tier for the quantized-GEMM microkernels. Compiled with
+// the base ISA only; these bodies define the numerical contract (see
+// grist/backend/quant.hpp) that the vector tiers are tested against:
+// int8 bitwise everywhere, bf16 bitwise for widen+FMA tiers.
+
+#include "quant_tiers.hpp"
+
+namespace grist::backend::quant {
+
+void bf16TileScalarRef(int k2, const std::uint16_t* ap,
+                       const std::uint16_t* bp, float* acc) {
+  for (int x = 0; x < kQuantMR * kQuantNR; ++x) acc[x] = 0.0f;
+  for (int t = 0; t < k2; ++t) {
+    const std::uint16_t* a = ap + static_cast<std::size_t>(t) * kQuantMR * 2;
+    const std::uint16_t* b = bp + static_cast<std::size_t>(t) * kQuantNR * 2;
+    for (int i = 0; i < kQuantMR; ++i) {
+      const float ae = bf16ToFloat(a[2 * i]);
+      const float ao = bf16ToFloat(a[2 * i + 1]);
+      float* row = acc + i * kQuantNR;
+      // Fixed even-then-odd per-pair chain: the accumulation order every
+      // widen tier reproduces bitwise (products are exact in fp32).
+      for (int j = 0; j < kQuantNR; ++j) {
+        row[j] += ae * bf16ToFloat(b[2 * j]);
+        row[j] += ao * bf16ToFloat(b[2 * j + 1]);
+      }
+    }
+  }
+}
+
+void int8TileScalarRef(int k2, const std::int8_t* ap, const std::int8_t* bp,
+                       std::int32_t* acc) {
+  for (int x = 0; x < kQuantMR * kQuantNR; ++x) acc[x] = 0;
+  for (int t = 0; t < k2; ++t) {
+    const std::int8_t* a = ap + static_cast<std::size_t>(t) * kQuantMR * 2;
+    const std::int8_t* b = bp + static_cast<std::size_t>(t) * kQuantNR * 2;
+    for (int i = 0; i < kQuantMR; ++i) {
+      const std::int32_t ae = a[2 * i];
+      const std::int32_t ao = a[2 * i + 1];
+      std::int32_t* row = acc + i * kQuantNR;
+      // vpmaddwd shape: both pair products summed before joining the
+      // accumulator -- exact integer math, associative, tier-independent.
+      for (int j = 0; j < kQuantNR; ++j)
+        row[j] += ae * b[2 * j] + ao * b[2 * j + 1];
+    }
+  }
+}
+
+void packBBf16ScalarRef(int k, int nr, const float* b,
+                        std::ptrdiff_t row_stride, std::ptrdiff_t col_stride,
+                        std::uint16_t* bp) {
+  const int k2 = quantKPairs(k);
+  for (int t = 0; t < k2; ++t) {
+    const int k0 = 2 * t;
+    const int k1 = k0 + 1;
+    std::uint16_t* dst = bp + static_cast<std::size_t>(t) * kQuantNR * 2;
+    for (int j = 0; j < nr; ++j) {
+      dst[2 * j] = floatToBf16(b[k0 * row_stride + j * col_stride]);
+      dst[2 * j + 1] =
+          k1 < k ? floatToBf16(b[k1 * row_stride + j * col_stride])
+                 : std::uint16_t{0};
+    }
+    for (int j = nr; j < kQuantNR; ++j) {
+      dst[2 * j] = 0;
+      dst[2 * j + 1] = 0;
+    }
+  }
+}
+
+void packBInt8ScalarRef(int k, int nr, const float* b,
+                        std::ptrdiff_t row_stride, std::ptrdiff_t col_stride,
+                        const float* inv_scale, std::int8_t* bp) {
+  const int k2 = quantKPairs(k);
+  for (int t = 0; t < k2; ++t) {
+    const int k0 = 2 * t;
+    const int k1 = k0 + 1;
+    std::int8_t* dst = bp + static_cast<std::size_t>(t) * kQuantNR * 2;
+    for (int j = 0; j < nr; ++j) {
+      dst[2 * j] = quantizeInt8(b[k0 * row_stride + j * col_stride],
+                                inv_scale[j]);
+      dst[2 * j + 1] =
+          k1 < k ? quantizeInt8(b[k1 * row_stride + j * col_stride],
+                                inv_scale[j])
+                 : std::int8_t{0};
+    }
+    for (int j = nr; j < kQuantNR; ++j) {
+      dst[2 * j] = 0;
+      dst[2 * j + 1] = 0;
+    }
+  }
+}
+
+const KernelTable& tierTableQuantScalar() {
+  static const KernelTable t{simd::Tier::kScalar, "scalar",
+                             /*native_bf16=*/false, &bf16TileScalarRef,
+                             &int8TileScalarRef, &packBBf16ScalarRef,
+                             &packBInt8ScalarRef};
+  return t;
+}
+
+} // namespace grist::backend::quant

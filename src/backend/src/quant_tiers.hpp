@@ -1,0 +1,40 @@
+// Internal: per-tier quant table factories plus the scalar reference bodies
+// the vector tiers reuse for slots they do not override. Which tier TUs
+// exist in a build is decided by CMake's ISA probes (GRIST_QUANT_HAVE_*),
+// mirroring simd_tiers.hpp.
+#pragma once
+
+#include "grist/backend/quant.hpp"
+
+namespace grist::backend::quant {
+
+const KernelTable& tierTableQuantScalar();
+#if GRIST_QUANT_HAVE_AVX2
+const KernelTable& tierTableQuantAvx2();
+#endif
+#if GRIST_QUANT_HAVE_AVX512
+const KernelTable& tierTableQuantAvx512();
+#endif
+#if GRIST_QUANT_HAVE_AVX512BF16
+/// Native vdpbf16ps microkernel; grafted onto the AVX-512 table at dispatch
+/// time when cpuid grants avx512_bf16 (the packing stays the bit-identical
+/// integer-RNE vector path -- only the dot product changes).
+void bf16TileAvx512Native(int k2, const std::uint16_t* ap,
+                          const std::uint16_t* bp, float* acc);
+#endif
+
+// Scalar reference bodies (defined in quant_tier_scalar.cpp): the numerical
+// contract every vector tier is tested against, and the fallback slots for
+// tiers that only override the microkernels.
+void bf16TileScalarRef(int k2, const std::uint16_t* ap,
+                       const std::uint16_t* bp, float* acc);
+void int8TileScalarRef(int k2, const std::int8_t* ap, const std::int8_t* bp,
+                       std::int32_t* acc);
+void packBBf16ScalarRef(int k, int nr, const float* b,
+                        std::ptrdiff_t row_stride, std::ptrdiff_t col_stride,
+                        std::uint16_t* bp);
+void packBInt8ScalarRef(int k, int nr, const float* b,
+                        std::ptrdiff_t row_stride, std::ptrdiff_t col_stride,
+                        const float* inv_scale, std::int8_t* bp);
+
+} // namespace grist::backend::quant

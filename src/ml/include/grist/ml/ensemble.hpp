@@ -23,13 +23,21 @@ class Q1Q2Ensemble {
 
   /// Mean prediction over a block of columns; same layout contract as
   /// Q1Q2Net::predictBatch. Members run sequentially in order, so the
-  /// accumulation order matches the per-column path exactly.
+  /// accumulation order matches the per-column path exactly. `prec` is
+  /// forwarded to every member (each holds its own versioned snapshot).
   void predictBatch(int batch, const double* u, const double* v,
                     const double* t, const double* q, const double* p,
-                    double* q1, double* q2, common::Workspace& ws) const;
+                    double* q1, double* q2, common::Workspace& ws,
+                    Precision prec = Precision::kFp32) const;
 
   /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
   std::size_t predictScratchBytes(int batch) const;
+
+  /// Pre-build every member's quantized snapshot (no-op for kFp32).
+  void ensureQuantized(Precision prec) const;
+  /// Sum of member snapshot versions for `prec` (0 for kFp32 / none built):
+  /// changes whenever any member is re-quantized.
+  std::uint64_t quantizedVersion(Precision prec) const;
 
   int nlev() const { return members_.front()->config().nlev; }
   std::size_t size() const { return members_.size(); }

@@ -19,6 +19,8 @@
 
 namespace grist::ml {
 
+class QuantizedWeights;
+
 // ---- 1D convolution over a [channels x length] sequence, same padding ----
 struct Conv1dParams {
   int cin = 0, cout = 0, ksize = 3;
@@ -50,6 +52,13 @@ void im2colBatched(const float* x, int cin, int ksize, int batch, int len,
 void conv1dForwardBatched(const Conv1dParams& p, const float* x, int batch,
                           int len, float* col, float* out, bool relu);
 
+/// conv1dForwardBatched with a quantized weight snapshot (`qw` packed from
+/// p.w; bias stays fp32 and is fused into the dequant epilogue together
+/// with the per-row/per-column scales). Same shapes and scratch contract.
+void conv1dForwardBatchedQuant(const Conv1dParams& p, const QuantizedWeights& qw,
+                               const float* x, int batch, int len, float* col,
+                               float* out, bool relu);
+
 /// Backward: given x and dout, accumulates into grad (same shape as p) and
 /// returns dx. `col` must hold the forward's im2col of x.
 Matrix conv1dBackward(const Conv1dParams& p, const Matrix& x, const Matrix& col,
@@ -78,6 +87,11 @@ void denseForward(const DenseParams& p, const std::vector<float>& x,
 /// sample per column) -> out [nout, batch], bias/ReLU fused.
 void denseForwardBatched(const DenseParams& p, const float* x, int batch,
                          float* out, bool relu);
+
+/// denseForwardBatched with a quantized weight snapshot (`qw` packed from
+/// p.w).
+void denseForwardBatchedQuant(const DenseParams& p, const QuantizedWeights& qw,
+                              const float* x, int batch, float* out, bool relu);
 
 std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,
                                  const std::vector<float>& dout, DenseParams& grad);

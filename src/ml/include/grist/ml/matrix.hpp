@@ -14,6 +14,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace grist::common {
+class Workspace;
+}
+
 namespace grist::ml {
 
 struct Matrix {
@@ -78,5 +82,13 @@ void gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
 
 /// y += alpha * x (shape-checked).
 void axpy(float alpha, const Matrix& x, Matrix& y);
+
+namespace detail {
+/// The gemm-private per-thread packing arena (empty between GEMM calls by
+/// construction -- see matrix.cpp). Shared with the quantized path
+/// (grist/ml/quant.hpp) so fp32 and quantized GEMMs reuse one arena per
+/// thread instead of growing two.
+common::Workspace& gemmArena();
+} // namespace detail
 
 } // namespace grist::ml

@@ -6,8 +6,12 @@
 // suite. Precipitation is diagnosed from the column apparent moisture sink.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "grist/common/workspace.hpp"
 #include "grist/ml/ensemble.hpp"
@@ -34,6 +38,16 @@ struct MlSuiteConfig {
   /// the per-output accumulation order); results are also independent of
   /// the block size itself.
   int column_block = 32;
+  /// Inference precision for both networks (grist/ml/quant.hpp). Non-fp32
+  /// precisions are gated: before serving a (new) quantized snapshot, run()
+  /// compares quantized vs fp32 predictions on a sample of the incoming
+  /// columns and throws std::runtime_error if any output's relative L2
+  /// deviation exceeds quant_tolerance -- the suite refuses to run a net
+  /// whose quantization error leaves the acceptance envelope.
+  Precision precision = Precision::kFp32;
+  /// Rel-L2 acceptance threshold for the quantization gate (the paper's
+  /// Table 3 mixed-precision acceptance procedure uses 5%).
+  double quant_tolerance = 0.05;
 };
 
 class MlPhysicsSuite final : public physics::PhysicsSuite {
@@ -55,26 +69,45 @@ class MlPhysicsSuite final : public physics::PhysicsSuite {
   /// paper reports ~2x the FLOPs of RRTMG at 74-84% of peak vs 6%.
   double flopsPerColumn() const;
 
+  /// (variable, rel-L2) pairs recorded by the most recent quantization gate
+  /// (empty until a non-fp32 run() has executed the gate).
+  const std::vector<std::pair<std::string, double>>& quantGateRecords() const {
+    return gate_records_;
+  }
+
  private:
-  /// Batched tendency inference: (batch, u, v, t, q, p, q1, q2, ws) with the
-  /// [batch][nlev] layout of Q1Q2Net::predictBatch.
+  /// Batched tendency inference: (batch, u, v, t, q, p, q1, q2, ws, prec)
+  /// with the [batch][nlev] layout of Q1Q2Net::predictBatch.
   using PredictFn = std::function<void(
       int, const double*, const double*, const double*, const double*,
-      const double*, double*, double*, common::Workspace&)>;
+      const double*, double*, double*, common::Workspace&, Precision)>;
   /// Workspace bytes the tendency module needs for a given batch.
   using ScratchFn = std::function<std::size_t(int)>;
+  /// Build-if-needed the tendency module's snapshot for a precision and
+  /// return its version (0 for kFp32): the gate re-runs when this changes,
+  /// i.e. after a retrain/reload re-quantized the weights.
+  using VersionFn = std::function<std::uint64_t(Precision)>;
   MlPhysicsSuite(Index ncolumns, int nlev, PredictFn predict, ScratchFn scratch,
-                 std::size_t q1q2_params, std::shared_ptr<const RadMlp> rad,
-                 MlSuiteConfig config);
+                 VersionFn version, std::size_t q1q2_params,
+                 std::shared_ptr<const RadMlp> rad, MlSuiteConfig config);
+
+  /// Compare quantized vs fp32 on a sample of the incoming columns; throws
+  /// std::runtime_error when the envelope is exceeded.
+  void runQuantGate(const physics::PhysicsInput& in);
 
   PredictFn predict_q1q2_;
   ScratchFn q1q2_scratch_;
+  VersionFn q1q2_version_;
   std::size_t q1q2_params_ = 0;
   std::shared_ptr<const RadMlp> rad_;
   physics::SurfaceLayer surface_;
   physics::LandModel land_;
   MlSuiteConfig config_;
   int nlev_;
+  /// Combined (tendency + radiation) snapshot version last accepted by the
+  /// gate; 0 = not gated yet.
+  std::uint64_t gated_version_ = 0;
+  std::vector<std::pair<std::string, double>> gate_records_;
 };
 
 } // namespace grist::ml

@@ -14,6 +14,7 @@
 #include "grist/common/workspace.hpp"
 #include "grist/ml/adam.hpp"
 #include "grist/ml/layers.hpp"
+#include "grist/ml/quant.hpp"
 
 namespace grist::ml {
 
@@ -55,12 +56,24 @@ class Q1Q2Net {
   /// All scratch comes from `ws`; callers that pre-reserve
   /// predictScratchBytes(batch) make the call allocation-free. Thread-safe
   /// for distinct workspaces.
+  ///
+  /// `prec` selects the inference kernel: kFp32 runs the bit-exact packed
+  /// SGEMM; kBf16/kInt8 run the quantized path against a versioned weight
+  /// snapshot that is built lazily on the first such call (the only
+  /// allocating one -- call ensureQuantized() up front to keep warm runs
+  /// heap-free) and invalidated by trainBatch()/load().
   void predictBatch(int batch, const double* u, const double* v,
                     const double* t, const double* q, const double* p,
-                    double* q1, double* q2, common::Workspace& ws) const;
+                    double* q1, double* q2, common::Workspace& ws,
+                    Precision prec = Precision::kFp32) const;
 
   /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
   std::size_t predictScratchBytes(int batch) const;
+
+  /// Build (or reuse) the quantized snapshot for `prec` (no-op for kFp32).
+  void ensureQuantized(Precision prec) const;
+  /// Version of the current snapshot for `prec`, 0 when absent (or kFp32).
+  std::uint64_t quantizedVersion(Precision prec) const;
 
   /// Fit the normalization constants to a sample set (call before training).
   void fitNormalization(const std::vector<ColumnSample>& samples);
@@ -87,6 +100,7 @@ class Q1Q2Net {
   Matrix forwardNormalized(const Matrix& xn, Cache* cache) const;
   void backward(const Cache& cache, const Matrix& dout);
   Matrix normalizeInput(const Matrix& x) const;
+  std::vector<QuantizedWeights> buildQuantSnapshot(Precision prec) const;
 
   Q1Q2NetConfig config_;
   Conv1dParams conv_in_;
@@ -97,6 +111,9 @@ class Q1Q2Net {
   std::vector<Conv1dParams> g_res_convs_;
   Conv1dParams g_head_;
   ChannelNorm in_norm_, out_norm_;
+  // Lazily-built quantized weight snapshots (derived data: copies start
+  // empty, trainBatch/load invalidate).
+  mutable QuantCache qcache_;
 };
 
 } // namespace grist::ml

@@ -1,0 +1,157 @@
+// Quantized inference for the ML physics suite: offline fp32 -> bf16/int8
+// weight packing plus a quantized-weight GEMM whose dequantization is fused
+// into the store epilogue (scale * acc + bias + ReLU in one pass -- no fp32
+// weight matrix is ever materialized).
+//
+// Scheme (see DESIGN.md "Quantized inference"):
+//  - bf16: weights rounded to bf16 (round-to-nearest-even) at pack time;
+//    activations converted per GEMM call while packing B panels. Products
+//    are exact in fp32, so the only error is the two input roundings.
+//  - int8: symmetric per-output-row weight scale (max|row| / 127) chosen
+//    offline, symmetric per-column activation scale (max|col| / 127) chosen
+//    dynamically per call; accumulation is exact int32, and the dequant
+//    factor row_scale[i] * col_scale[j] is applied in the epilogue.
+//
+// Weights are packed ONCE into the pair-interleaved micro-panel format of
+// grist/backend/quant.hpp (quantize once, serve many); panels are tier-
+// portable -- every SIMD tier reads the same snapshot -- and the packing is
+// versioned so nets can cache a snapshot and invalidate it on retrain/load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "grist/backend/quant.hpp"
+#include "grist/common/aligned.hpp"
+#include "grist/ml/matrix.hpp"
+
+namespace grist::ml {
+
+/// Inference precision knob threaded through Q1Q2Net / RadMlp /
+/// Q1Q2Ensemble::predictBatch and MlPhysicsSuite::run.
+enum class Precision { kFp32, kBf16, kInt8 };
+
+const char* precisionName(Precision p);
+
+/// An offline-quantized weight matrix [m x k] in the packed micro-panel
+/// format: kQuantMR-row strips, each a pair-interleaved k-panel
+/// (strip[k2][kQuantMR][2]), strips padded to whole cache lines and stored
+/// in cache-line-aligned storage (common/aligned.hpp). Fringe rows and the
+/// odd-k tail are zero-padded, which is exact in both encodings.
+class QuantizedWeights {
+ public:
+  QuantizedWeights() = default;
+
+  /// Quantize + pack `w` (row-major [m x k]) at the given precision
+  /// (kBf16 or kInt8; kFp32 is served by the fp32 kernel and throws here).
+  /// Throws std::invalid_argument on non-finite weights.
+  static QuantizedWeights pack(Precision prec, const Matrix& w);
+
+  Precision precision() const { return prec_; }
+  int rows() const { return m_; }
+  int cols() const { return k_; }
+  bool empty() const { return m_ == 0; }
+  /// Globally monotonic pack counter: two snapshots never share a version,
+  /// so holders can tell "same net, re-quantized" from "unchanged".
+  std::uint64_t version() const { return version_; }
+  /// Bytes of quantized payload (panels + scales) -- the memory the
+  /// precision saves relative to 4 * m * k.
+  std::size_t packedBytes() const;
+
+  int stripCount() const { return nstrips_; }
+  /// Per-output-row dequant scales, length rows() (int8 only).
+  const float* rowScales() const { return row_scale_.data(); }
+  const std::uint16_t* bf16Strip(int s) const {
+    return wbf16_.data() + static_cast<std::size_t>(s) * strip_stride_;
+  }
+  const std::int8_t* int8Strip(int s) const {
+    return wint8_.data() + static_cast<std::size_t>(s) * strip_stride_;
+  }
+
+ private:
+  Precision prec_ = Precision::kFp32;
+  int m_ = 0, k_ = 0, nstrips_ = 0;
+  std::size_t strip_stride_ = 0;  ///< elements (of the payload type) per strip
+  common::AlignedVector<std::uint16_t> wbf16_;
+  common::AlignedVector<std::int8_t> wint8_;
+  common::AlignedVector<float> row_scale_;
+  std::uint64_t version_ = 0;
+};
+
+/// Quantized-weight GEMM with the dequantization fused into the store
+/// epilogue:
+///   C[m x n] = epilogue( dequant( quant(W) * quant(op(B)) ) )
+/// where m = w.rows(), k = w.cols(), op(B) is k x n read with leading
+/// dimension ldb (trans_b reads b[j*ldb + kk]). Inference-shaped contract
+/// (matching every *ForwardBatched call site): alpha = 1, beta = 0 -- C is
+/// never read, only written; ep.bias/ep.relu behave exactly like
+/// gemmBlocked's epilogue. Dispatches through backend::quant::table()
+/// (GRIST_SIMD_TIER / simd::forceTier clamp the tier down).
+void gemmQuant(const QuantizedWeights& w, int n, const float* b, int ldb,
+               bool trans_b, float* c, int ldc, const GemmEpilogue& ep = {});
+
+/// Lazily-built, versioned per-precision snapshot cache a net embeds as a
+/// `mutable` member: quantize once on the first non-fp32 predictBatch (the
+/// only allocating call), serve lock-free afterwards. Copying a net copies
+/// weights, not derived snapshots, so the cache copy-constructs empty;
+/// trainBatch/load invalidate() it (single-threaded by contract -- do not
+/// race invalidate() against concurrent get()).
+class QuantCache {
+ public:
+  QuantCache() = default;
+  QuantCache(const QuantCache&) noexcept {}
+  QuantCache& operator=(const QuantCache&) noexcept {
+    invalidate();
+    return *this;
+  }
+  ~QuantCache() { invalidate(); }
+
+  /// The snapshot for `p` (kBf16/kInt8), building it with
+  /// `build(p) -> std::vector<QuantizedWeights>` under a mutex if absent.
+  template <typename Build>
+  const std::vector<QuantizedWeights>& get(Precision p, Build&& build) const {
+    Snap* s = slot(p).load(std::memory_order_acquire);
+    if (s) return s->w;
+    std::lock_guard<std::mutex> lock(mu_);
+    s = slot(p).load(std::memory_order_relaxed);
+    if (!s) {
+      auto fresh = std::make_unique<Snap>();
+      fresh->w = build(p);
+      s = fresh.release();
+      slot(p).store(s, std::memory_order_release);
+    }
+    return s->w;
+  }
+
+  bool has(Precision p) const {
+    return slot(p).load(std::memory_order_acquire) != nullptr;
+  }
+  /// Version of the snapshot's first layer, or 0 when not built.
+  std::uint64_t version(Precision p) const {
+    const Snap* s = slot(p).load(std::memory_order_acquire);
+    return s && !s->w.empty() ? s->w.front().version() : 0;
+  }
+  void invalidate() {
+    for (auto& a : snaps_) delete a.exchange(nullptr);
+  }
+
+ private:
+  struct Snap {
+    std::vector<QuantizedWeights> w;
+  };
+  std::atomic<Snap*>& slot(Precision p) const {
+    if (p == Precision::kFp32) {
+      throw std::invalid_argument("QuantCache: fp32 has no snapshot");
+    }
+    return snaps_[p == Precision::kInt8 ? 1 : 0];
+  }
+  mutable std::atomic<Snap*> snaps_[2]{nullptr, nullptr};
+  mutable std::mutex mu_;
+};
+
+} // namespace grist::ml

@@ -11,6 +11,7 @@
 #include "grist/common/workspace.hpp"
 #include "grist/ml/adam.hpp"
 #include "grist/ml/layers.hpp"
+#include "grist/ml/quant.hpp"
 
 namespace grist::ml {
 
@@ -45,12 +46,20 @@ class RadMlp {
   /// contiguous, tskin/coszr/gsw/glw are length-batch arrays. All scratch
   /// comes from `ws`; callers that pre-reserve predictScratchBytes(batch)
   /// make the call allocation-free. Thread-safe for distinct workspaces.
+  /// `prec` behaves exactly like Q1Q2Net::predictBatch's knob (lazy
+  /// versioned snapshot; trainBatch/load invalidate).
   void predictBatch(int batch, const double* t, const double* qv,
                     const double* tskin, const double* coszr, double* gsw,
-                    double* glw, common::Workspace& ws) const;
+                    double* glw, common::Workspace& ws,
+                    Precision prec = Precision::kFp32) const;
 
   /// Worst-case workspace bytes predictBatch(batch, ...) consumes.
   std::size_t predictScratchBytes(int batch) const;
+
+  /// Build (or reuse) the quantized snapshot for `prec` (no-op for kFp32).
+  void ensureQuantized(Precision prec) const;
+  /// Version of the current snapshot for `prec`, 0 when absent (or kFp32).
+  std::uint64_t quantizedVersion(Precision prec) const;
 
   void fitNormalization(const std::vector<RadSample>& samples);
   double trainBatch(const std::vector<RadSample>& batch, Adam& adam);
@@ -67,6 +76,7 @@ class RadMlp {
   void backward(const std::vector<std::vector<float>>& acts,
                 std::vector<float> dout);
   std::vector<float> normalize(const std::vector<float>& x) const;
+  std::vector<QuantizedWeights> buildQuantSnapshot(Precision prec) const;
 
   RadMlpConfig config_;
   DenseParams in_;                 // input -> hidden
@@ -75,6 +85,7 @@ class RadMlp {
   DenseParams g_in_, g_head_;
   std::vector<DenseParams> g_mid_;
   std::vector<float> x_mean_, x_std_, y_mean_, y_std_;
+  mutable QuantCache qcache_;
 };
 
 } // namespace grist::ml

@@ -28,7 +28,7 @@ void Q1Q2Ensemble::predict(const double* u, const double* v, const double* t,
 void Q1Q2Ensemble::predictBatch(int batch, const double* u, const double* v,
                                 const double* t, const double* q,
                                 const double* p, double* q1, double* q2,
-                                common::Workspace& ws) const {
+                                common::Workspace& ws, Precision prec) const {
   const std::size_t bl = static_cast<std::size_t>(batch) * nlev();
   common::Workspace::Frame frame(ws);
   double* q1_m = ws.get<double>(bl);
@@ -38,7 +38,7 @@ void Q1Q2Ensemble::predictBatch(int batch, const double* u, const double* v,
     q2[k] = 0;
   }
   for (const auto& member : members_) {
-    member->predictBatch(batch, u, v, t, q, p, q1_m, q2_m, ws);
+    member->predictBatch(batch, u, v, t, q, p, q1_m, q2_m, ws, prec);
     for (std::size_t k = 0; k < bl; ++k) {
       q1[k] += q1_m[k];
       q2[k] += q2_m[k];
@@ -59,6 +59,16 @@ std::size_t Q1Q2Ensemble::predictScratchBytes(int batch) const {
     member_max = std::max(member_max, member->predictScratchBytes(batch));
   }
   return 2 * W::bytesFor<double>(bl) + member_max;
+}
+
+void Q1Q2Ensemble::ensureQuantized(Precision prec) const {
+  for (const auto& member : members_) member->ensureQuantized(prec);
+}
+
+std::uint64_t Q1Q2Ensemble::quantizedVersion(Precision prec) const {
+  std::uint64_t v = 0;
+  for (const auto& member : members_) v += member->quantizedVersion(prec);
+  return v;
 }
 
 void Q1Q2Ensemble::spread(const double* u, const double* v, const double* t,

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "grist/ml/quant.hpp"
+
 namespace grist::ml {
 namespace {
 
@@ -83,6 +85,21 @@ void conv1dForwardBatched(const Conv1dParams& p, const float* x, int batch,
               false, col, bl, false, 0.f, out, bl, GemmEpilogue{p.b.data(), relu});
 }
 
+void conv1dForwardBatchedQuant(const Conv1dParams& p, const QuantizedWeights& qw,
+                               const float* x, int batch, int len, float* col,
+                               float* out, bool relu) {
+  if (qw.rows() != p.cout || qw.cols() != p.cin * p.ksize) {
+    throw std::invalid_argument("conv1dForwardBatchedQuant: snapshot mismatch");
+  }
+  const int bl = batch * len;
+  if (p.ksize == 1) {
+    gemmQuant(qw, bl, x, bl, false, out, bl, GemmEpilogue{p.b.data(), relu});
+    return;
+  }
+  im2colBatched(x, p.cin, p.ksize, batch, len, col);
+  gemmQuant(qw, bl, col, bl, false, out, bl, GemmEpilogue{p.b.data(), relu});
+}
+
 void conv1dForward(const Conv1dParams& p, const Matrix& x, Matrix& col,
                    Matrix& out, bool relu) {
   if (x.rows != p.cin) throw std::invalid_argument("conv1dForward: channel mismatch");
@@ -132,6 +149,15 @@ void denseForwardBatched(const DenseParams& p, const float* x, int batch,
                          float* out, bool relu) {
   gemmBlocked(p.nout, batch, p.nin, 1.f, p.w.a.data(), p.nin, false, x, batch,
               false, 0.f, out, batch, GemmEpilogue{p.b.data(), relu});
+}
+
+void denseForwardBatchedQuant(const DenseParams& p, const QuantizedWeights& qw,
+                              const float* x, int batch, float* out, bool relu) {
+  if (qw.rows() != p.nout || qw.cols() != p.nin) {
+    throw std::invalid_argument("denseForwardBatchedQuant: snapshot mismatch");
+  }
+  gemmQuant(qw, batch, x, batch, false, out, batch,
+            GemmEpilogue{p.b.data(), relu});
 }
 
 std::vector<float> denseBackward(const DenseParams& p, const std::vector<float>& x,

@@ -3,14 +3,30 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
+#include "grist/common/aligned.hpp"
 #include "grist/common/workspace.hpp"
 
 namespace grist::ml {
+
+namespace detail {
+// gemm-private per-thread arena for the packed panels. Deliberately NOT
+// Workspace::threadLocal(): callers (the batched ML suite) hold live frames
+// on that arena while calling gemm, and reserve() is only legal on an arena
+// with no live allocations. This one is empty between gemm calls by
+// construction.
+common::Workspace& gemmArena() {
+  static thread_local common::Workspace ws;
+  return ws;
+}
+} // namespace detail
+
 namespace {
 
 using common::Workspace;
+using detail::gemmArena;
 
 // Below this many flops (2*m*n*k) the packed path cannot amortize its panel
 // copies and a tiny call must not pay the OpenMP fork either: go serial and
@@ -20,14 +36,15 @@ constexpr double kSmallGemmFlops = 16384.0;
 // Above this many flops the row-panel loop is worth forking for.
 constexpr double kParallelGemmFlops = 2.0e6;
 
-// gemm-private per-thread arena for the packed panels. Deliberately NOT
-// Workspace::threadLocal(): callers (the batched ML suite) hold live frames
-// on that arena while calling gemm, and reserve() is only legal on an arena
-// with no live allocations. This one is empty between gemm calls by
-// construction.
-Workspace& gemmArena() {
-  static thread_local Workspace ws;
-  return ws;
+// Pad a panel's float count to whole cache lines: the arena hands out
+// 64-byte-aligned base pointers (common/aligned.hpp contract), so making
+// every per-panel stride a multiple of kCacheLine keeps each micro-panel
+// start aligned too -- packed panels get the same layout guarantee as
+// Field/Workspace rows. Padding lanes are never read (the microkernel
+// consumes exactly kc*MR / kc*NR floats per panel), so this cannot change
+// results.
+constexpr std::size_t alignedPanelFloats(std::size_t n) {
+  return common::roundUpToCacheLine(n * sizeof(float)) / sizeof(float);
 }
 
 inline float opAt(const float* m, int ld, bool trans, int i, int j) {
@@ -41,6 +58,7 @@ inline float opAt(const float* m, int ld, bool trans, int i, int j) {
 // microkernel.
 void packA(const float* a, int lda, bool ta, int i0, int k0, int mr, int kc,
            float* ap) {
+  assert(common::isCacheAligned(ap));
   for (int k = 0; k < kc; ++k) {
     float* dst = ap + static_cast<std::size_t>(k) * kGemmMR;
     for (int i = 0; i < mr; ++i) dst[i] = opAt(a, lda, ta, i0 + i, k0 + k);
@@ -51,6 +69,7 @@ void packA(const float* a, int lda, bool ta, int i0, int k0, int mr, int kc,
 // Pack a kc x nr tile of op(B) into a k-major micro-panel: bp[k*NR + j].
 void packB(const float* b, int ldb, bool tb, int k0, int j0, int kc, int nr,
            float* bp) {
+  assert(common::isCacheAligned(bp));
   for (int k = 0; k < kc; ++k) {
     float* dst = bp + static_cast<std::size_t>(k) * kGemmNR;
     for (int j = 0; j < nr; ++j) dst[j] = opAt(b, ldb, tb, k0 + k, j0 + j);
@@ -140,9 +159,15 @@ void gemmPacked(int m, int n, int k, float alpha, const float* a, int lda,
                 int ldc, const GemmEpilogue& ep, bool threaded) {
   const int kc_max = std::min(k, kGemmKC);
   const int nc_max = std::min(n, kGemmNC);
-  const int npad = (nc_max + kGemmNR - 1) / kGemmNR * kGemmNR;
-  const std::size_t bpack_n = static_cast<std::size_t>(kc_max) * npad;
-  const std::size_t apack_n = static_cast<std::size_t>(kc_max) * kGemmMC;
+  const int npanels_max = (nc_max + kGemmNR - 1) / kGemmNR;
+  const int mpanels_max = (std::min(m, kGemmMC) + kGemmMR - 1) / kGemmMR;
+  // Cache-line-padded per-panel strides (worst-case kc, for sizing).
+  const std::size_t bstride_max =
+      alignedPanelFloats(static_cast<std::size_t>(kc_max) * kGemmNR);
+  const std::size_t astride_max =
+      alignedPanelFloats(static_cast<std::size_t>(kc_max) * kGemmMR);
+  const std::size_t bpack_n = bstride_max * npanels_max;
+  const std::size_t apack_n = astride_max * mpanels_max;
   Workspace& ws = gemmArena();
   // Empty between gemm calls, so this reserve is always legal; it covers
   // the B panel plus this thread's own A panel (worker threads grow their
@@ -159,10 +184,14 @@ void gemmPacked(int m, int n, int k, float alpha, const float* a, int lda,
       const int kc = std::min(kGemmKC, k - k0);
       const bool first = k0 == 0;
       const bool last = k0 + kc >= k;
+      const std::size_t bstride =
+          alignedPanelFloats(static_cast<std::size_t>(kc) * kGemmNR);
+      const std::size_t astride =
+          alignedPanelFloats(static_cast<std::size_t>(kc) * kGemmMR);
       for (int jp = 0; jp < npanels; ++jp) {
         packB(b, ldb, tb, k0, jc + jp * kGemmNR, kc,
               std::min(kGemmNR, nc - jp * kGemmNR),
-              bpack + static_cast<std::size_t>(jp) * kc * kGemmNR);
+              bpack + static_cast<std::size_t>(jp) * bstride);
       }
 #pragma omp parallel for schedule(static) if (threaded)
       for (int ic = 0; ic < m; ic += kGemmMC) {
@@ -170,20 +199,20 @@ void gemmPacked(int m, int n, int k, float alpha, const float* a, int lda,
         Workspace::Frame frame(tws);
         const int mc = std::min(kGemmMC, m - ic);
         const int mpanels = (mc + kGemmMR - 1) / kGemmMR;
-        float* apack = tws.get<float>(static_cast<std::size_t>(kc) * kGemmMC);
+        float* apack = tws.get<float>(astride * mpanels);
         for (int ip = 0; ip < mpanels; ++ip) {
           packA(a, lda, ta, ic + ip * kGemmMR, k0,
                 std::min(kGemmMR, mc - ip * kGemmMR), kc,
-                apack + static_cast<std::size_t>(ip) * kc * kGemmMR);
+                apack + static_cast<std::size_t>(ip) * astride);
         }
         for (int jp = 0; jp < npanels; ++jp) {
           const int nr = std::min(kGemmNR, nc - jp * kGemmNR);
-          const float* bp = bpack + static_cast<std::size_t>(jp) * kc * kGemmNR;
+          const float* bp = bpack + static_cast<std::size_t>(jp) * bstride;
           for (int ip = 0; ip < mpanels; ++ip) {
             const int mr = std::min(kGemmMR, mc - ip * kGemmMR);
             float acc[kGemmMR * kGemmNR];
-            microKernel(kc, apack + static_cast<std::size_t>(ip) * kc * kGemmMR,
-                        bp, acc);
+            microKernel(kc, apack + static_cast<std::size_t>(ip) * astride, bp,
+                        acc);
             storeTile(acc, alpha, beta, first, last, ep, c, ldc,
                       ic + ip * kGemmMR, jc + jp * kGemmNR, mr, nr);
           }

@@ -109,13 +109,38 @@ void Q1Q2Net::predict(const double* u, const double* v, const double* t,
   predictBatch(1, u, v, t, q, p, q1, q2, ws);
 }
 
+std::vector<QuantizedWeights> Q1Q2Net::buildQuantSnapshot(Precision prec) const {
+  // Layer order: conv_in, res convs in sequence, head -- the order
+  // predictBatch consumes them.
+  std::vector<QuantizedWeights> snap;
+  snap.reserve(2 + res_convs_.size());
+  snap.push_back(QuantizedWeights::pack(prec, conv_in_.w));
+  for (const auto& p : res_convs_) snap.push_back(QuantizedWeights::pack(prec, p.w));
+  snap.push_back(QuantizedWeights::pack(prec, head_.w));
+  return snap;
+}
+
+void Q1Q2Net::ensureQuantized(Precision prec) const {
+  if (prec == Precision::kFp32) return;
+  qcache_.get(prec, [this](Precision pp) { return buildQuantSnapshot(pp); });
+}
+
+std::uint64_t Q1Q2Net::quantizedVersion(Precision prec) const {
+  return prec == Precision::kFp32 ? 0 : qcache_.version(prec);
+}
+
 void Q1Q2Net::predictBatch(int batch, const double* u, const double* v,
                            const double* t, const double* q, const double* p,
-                           double* q1, double* q2,
-                           common::Workspace& ws) const {
+                           double* q1, double* q2, common::Workspace& ws,
+                           Precision prec) const {
   const int nlev = config_.nlev;
   const int chan = config_.channels;
   const std::size_t bl = static_cast<std::size_t>(batch) * nlev;
+  const std::vector<QuantizedWeights>* qw = nullptr;
+  if (prec != Precision::kFp32) {
+    qw = &qcache_.get(prec,
+                      [this](Precision pp) { return buildQuantSnapshot(pp); });
+  }
   common::Workspace::Frame frame(ws);
 
   // Gather + normalize the five coupling variables into [5, batch*nlev].
@@ -137,18 +162,28 @@ void Q1Q2Net::predictBatch(int batch, const double* u, const double* v,
   float* tmp = ws.get<float>(static_cast<std::size_t>(chan) * bl);
   float* y = ws.get<float>(kOutputChannels * bl);
 
-  conv1dForwardBatched(conv_in_, xn, batch, nlev, col, h, /*relu=*/true);
+  // Layer index into the snapshot mirrors buildQuantSnapshot's order.
+  const auto conv = [&](const Conv1dParams& cp, int layer, const float* x,
+                        float* out, bool relu) {
+    if (qw) {
+      conv1dForwardBatchedQuant(cp, (*qw)[layer], x, batch, nlev, col, out,
+                                relu);
+    } else {
+      conv1dForwardBatched(cp, x, batch, nlev, col, out, relu);
+    }
+  };
+
+  conv(conv_in_, 0, xn, h, /*relu=*/true);
   for (int r = 0; r < config_.res_units; ++r) {
-    conv1dForwardBatched(res_convs_[2 * r], h, batch, nlev, col, mid, true);
-    conv1dForwardBatched(res_convs_[2 * r + 1], mid, batch, nlev, col, tmp,
-                         false);
+    conv(res_convs_[2 * r], 1 + 2 * r, h, mid, true);
+    conv(res_convs_[2 * r + 1], 2 + 2 * r, mid, tmp, false);
     const std::size_t cbl = static_cast<std::size_t>(chan) * bl;
     for (std::size_t i = 0; i < cbl; ++i) {
       const float s = tmp[i] + h[i];  // conv output + identity skip
       h[i] = s > 0.f ? s : 0.f;
     }
   }
-  conv1dForwardBatched(head_, h, batch, nlev, col, y, false);
+  conv(head_, 1 + 2 * config_.res_units, h, y, false);
 
   for (std::size_t i = 0; i < bl; ++i) {
     q1[i] = y[i] * out_norm_.stdev[0] + out_norm_.mean[0];
@@ -226,6 +261,7 @@ double Q1Q2Net::trainBatch(const std::vector<ColumnSample>& batch, Adam& adam) {
     backward(cache, dout);
   }
   adam.step();
+  qcache_.invalidate();  // weights changed: snapshots are stale
   return loss / static_cast<double>(batch.size());
 }
 
@@ -316,6 +352,7 @@ void Q1Q2Net::load(const std::string& path) {
   readFloats(in, in_norm_.stdev);
   readFloats(in, out_norm_.mean);
   readFloats(in, out_norm_.stdev);
+  qcache_.invalidate();  // weights changed: snapshots are stale
 }
 
 } // namespace grist::ml

@@ -1,0 +1,241 @@
+#include "grist/ml/quant.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "grist/common/workspace.hpp"
+
+namespace grist::ml {
+namespace {
+
+namespace bq = backend::quant;
+using common::Workspace;
+
+// Same fork threshold as the fp32 kernel: below it the OpenMP fork costs
+// more than the panel loop saves (and inside the suite's column-block
+// parallel region we never nest).
+constexpr double kParallelQuantFlops = 2.0e6;
+
+std::atomic<std::uint64_t> g_pack_version{0};
+
+// Elements per cache-line-padded weight strip for an element of `bytes`.
+std::size_t stripStrideElems(int k2, std::size_t bytes) {
+  const std::size_t payload =
+      static_cast<std::size_t>(k2) * bq::kQuantMR * 2 * bytes;
+  return common::roundUpToCacheLine(payload) / bytes;
+}
+
+// Per-column absolute maxima of op(B) (k x n), written to amax[n].
+void columnAbsMax(int k, int n, const float* b, int ldb, bool trans_b,
+                  float* amax) {
+  std::fill(amax, amax + n, 0.0f);
+  if (trans_b) {
+    for (int j = 0; j < n; ++j) {
+      const float* col = b + static_cast<std::size_t>(j) * ldb;
+      float m = 0.0f;
+      for (int kk = 0; kk < k; ++kk) m = std::max(m, std::fabs(col[kk]));
+      amax[j] = m;
+    }
+  } else {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* row = b + static_cast<std::size_t>(kk) * ldb;
+      for (int j = 0; j < n; ++j) amax[j] = std::max(amax[j], std::fabs(row[j]));
+    }
+  }
+}
+
+} // namespace
+
+const char* precisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+QuantizedWeights QuantizedWeights::pack(Precision prec, const Matrix& w) {
+  if (prec == Precision::kFp32) {
+    throw std::invalid_argument(
+        "QuantizedWeights::pack: fp32 is served by the fp32 kernel");
+  }
+  if (w.rows <= 0 || w.cols <= 0) {
+    throw std::invalid_argument("QuantizedWeights::pack: empty weights");
+  }
+  for (float v : w.a) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("QuantizedWeights::pack: non-finite weight");
+    }
+  }
+
+  QuantizedWeights q;
+  q.prec_ = prec;
+  q.m_ = w.rows;
+  q.k_ = w.cols;
+  q.nstrips_ = (w.rows + bq::kQuantMR - 1) / bq::kQuantMR;
+  const int k2 = bq::quantKPairs(w.cols);
+  const int k = w.cols;
+
+  if (prec == Precision::kBf16) {
+    q.strip_stride_ = stripStrideElems(k2, sizeof(std::uint16_t));
+    // value-init: fringe rows, odd-k tail and the cache-line pad are zero.
+    q.wbf16_.assign(q.strip_stride_ * q.nstrips_, 0);
+    for (int s = 0; s < q.nstrips_; ++s) {
+      std::uint16_t* strip = q.wbf16_.data() + q.strip_stride_ * s;
+      const int mr = std::min(bq::kQuantMR, w.rows - s * bq::kQuantMR);
+      for (int t = 0; t < k2; ++t) {
+        std::uint16_t* dst =
+            strip + static_cast<std::size_t>(t) * bq::kQuantMR * 2;
+        for (int i = 0; i < mr; ++i) {
+          const int r = s * bq::kQuantMR + i;
+          dst[2 * i] = bq::floatToBf16(w.at(r, 2 * t));
+          if (2 * t + 1 < k) dst[2 * i + 1] = bq::floatToBf16(w.at(r, 2 * t + 1));
+        }
+      }
+    }
+  } else {
+    q.strip_stride_ = stripStrideElems(k2, sizeof(std::int8_t));
+    q.wint8_.assign(q.strip_stride_ * q.nstrips_, 0);
+    q.row_scale_.resize(w.rows);
+    for (int r = 0; r < w.rows; ++r) {
+      float amax = 0.0f;
+      for (int c = 0; c < k; ++c) amax = std::max(amax, std::fabs(w.at(r, c)));
+      // amax == 0: the row is all zeros; scale 0 dequantizes to exactly 0.
+      q.row_scale_[r] = amax / 127.0f;
+      const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+      const int s = r / bq::kQuantMR;
+      const int i = r % bq::kQuantMR;
+      std::int8_t* strip = q.wint8_.data() + q.strip_stride_ * s;
+      for (int t = 0; t < k2; ++t) {
+        std::int8_t* dst =
+            strip + static_cast<std::size_t>(t) * bq::kQuantMR * 2;
+        dst[2 * i] = bq::quantizeInt8(w.at(r, 2 * t), inv);
+        if (2 * t + 1 < k) dst[2 * i + 1] = bq::quantizeInt8(w.at(r, 2 * t + 1), inv);
+      }
+    }
+  }
+  q.version_ = ++g_pack_version;
+  return q;
+}
+
+std::size_t QuantizedWeights::packedBytes() const {
+  return wbf16_.size() * sizeof(std::uint16_t) +
+         wint8_.size() * sizeof(std::int8_t) + row_scale_.size() * sizeof(float);
+}
+
+void gemmQuant(const QuantizedWeights& w, int n, const float* b, int ldb,
+               bool trans_b, float* c, int ldc, const GemmEpilogue& ep) {
+  if (w.empty()) throw std::invalid_argument("gemmQuant: empty weights");
+  if (w.precision() == Precision::kFp32) {
+    throw std::invalid_argument("gemmQuant: fp32 weights are not packed");
+  }
+  if (n <= 0) return;
+  const int m = w.rows();
+  const int k = w.cols();
+  const int k2 = bq::quantKPairs(k);
+  const int npanels = (n + bq::kQuantNR - 1) / bq::kQuantNR;
+  const bool int8 = w.precision() == Precision::kInt8;
+  const auto& tbl = bq::table();
+
+  const std::size_t panel_elems =
+      static_cast<std::size_t>(k2) * bq::kQuantNR * 2;
+  const std::size_t panel_bytes = int8 ? Workspace::bytesFor<std::int8_t>(panel_elems)
+                                       : Workspace::bytesFor<std::uint16_t>(panel_elems);
+
+  Workspace& ws = detail::gemmArena();
+  // Empty between gemm calls (matrix.cpp contract), so reserve is legal:
+  // int8 column scales + inverse scales on this thread, one B panel per
+  // thread (worker arenas grow themselves once, on first use).
+  ws.reserve(2 * Workspace::bytesFor<float>(static_cast<std::size_t>(n)) +
+             panel_bytes);
+  Workspace::Frame outer(ws);
+
+  float* bscale = nullptr;  // per-column dequant scale (int8)
+  float* binv = nullptr;    // per-column quantization inverse scale
+  if (int8) {
+    bscale = ws.get<float>(static_cast<std::size_t>(n));
+    binv = ws.get<float>(static_cast<std::size_t>(n));
+    columnAbsMax(k, n, b, ldb, trans_b, bscale);
+    for (int j = 0; j < n; ++j) {
+      const float amax = bscale[j];
+      bscale[j] = amax / 127.0f;
+      binv[j] = amax > 0.0f ? 127.0f / amax : 0.0f;
+    }
+  }
+
+  const double flops = 2.0 * m * n * k;
+  const bool threaded = flops >= kParallelQuantFlops && !omp_in_parallel() &&
+                        omp_get_max_threads() > 1;
+
+#pragma omp parallel for schedule(static) if (threaded)
+  for (int jp = 0; jp < npanels; ++jp) {
+    Workspace& tws = detail::gemmArena();
+    Workspace::Frame frame(tws);
+    const int j0 = jp * bq::kQuantNR;
+    const int nr = std::min(bq::kQuantNR, n - j0);
+    // op(B) element [kk][j0 + j] through (row_stride, col_stride).
+    const float* bbase;
+    std::ptrdiff_t rs, cs;
+    if (trans_b) {
+      bbase = b + static_cast<std::size_t>(j0) * ldb;
+      rs = 1;
+      cs = ldb;
+    } else {
+      bbase = b + j0;
+      rs = ldb;
+      cs = 1;
+    }
+
+    if (int8) {
+      std::int8_t* bp = tws.get<std::int8_t>(panel_elems);
+      tbl.pack_b_int8(k, nr, bbase, rs, cs, binv + j0, bp);
+      alignas(64) std::int32_t acc[bq::kQuantMR * bq::kQuantNR];
+      for (int s = 0; s < w.stripCount(); ++s) {
+        tbl.int8_tile(k2, w.int8Strip(s), bp, acc);
+        const int i0 = s * bq::kQuantMR;
+        const int mr = std::min(bq::kQuantMR, m - i0);
+        const float* rscale = w.rowScales();
+        for (int i = 0; i < mr; ++i) {
+          float* crow = c + static_cast<std::size_t>(i0 + i) * ldc + j0;
+          const std::int32_t* arow = acc + i * bq::kQuantNR;
+          const float si = rscale[i0 + i];
+          const float bias = ep.bias ? ep.bias[i0 + i] : 0.0f;
+          for (int j = 0; j < nr; ++j) {
+            float v = static_cast<float>(arow[j]) * (si * bscale[j0 + j]) + bias;
+            if (ep.relu) v = v > 0.0f ? v : 0.0f;
+            crow[j] = v;
+          }
+        }
+      }
+    } else {
+      std::uint16_t* bp = tws.get<std::uint16_t>(panel_elems);
+      tbl.pack_b_bf16(k, nr, bbase, rs, cs, bp);
+      alignas(64) float acc[bq::kQuantMR * bq::kQuantNR];
+      for (int s = 0; s < w.stripCount(); ++s) {
+        tbl.bf16_tile(k2, w.bf16Strip(s), bp, acc);
+        const int i0 = s * bq::kQuantMR;
+        const int mr = std::min(bq::kQuantMR, m - i0);
+        for (int i = 0; i < mr; ++i) {
+          float* crow = c + static_cast<std::size_t>(i0 + i) * ldc + j0;
+          const float* arow = acc + i * bq::kQuantNR;
+          const float bias = ep.bias ? ep.bias[i0 + i] : 0.0f;
+          for (int j = 0; j < nr; ++j) {
+            float v = arow[j] + bias;
+            if (ep.relu) v = v > 0.0f ? v : 0.0f;
+            crow[j] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace grist::ml

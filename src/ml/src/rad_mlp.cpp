@@ -88,9 +88,34 @@ void RadMlp::predict(const double* t, const double* qv, double tskin, double cos
   predictBatch(1, t, qv, &tskin, &coszr, gsw, glw, ws);
 }
 
+std::vector<QuantizedWeights> RadMlp::buildQuantSnapshot(Precision prec) const {
+  // Layer order: in, mid pairs in sequence, head.
+  std::vector<QuantizedWeights> snap;
+  snap.reserve(2 + mid_.size());
+  snap.push_back(QuantizedWeights::pack(prec, in_.w));
+  for (const auto& p : mid_) snap.push_back(QuantizedWeights::pack(prec, p.w));
+  snap.push_back(QuantizedWeights::pack(prec, head_.w));
+  return snap;
+}
+
+void RadMlp::ensureQuantized(Precision prec) const {
+  if (prec == Precision::kFp32) return;
+  qcache_.get(prec, [this](Precision pp) { return buildQuantSnapshot(pp); });
+}
+
+std::uint64_t RadMlp::quantizedVersion(Precision prec) const {
+  return prec == Precision::kFp32 ? 0 : qcache_.version(prec);
+}
+
 void RadMlp::predictBatch(int batch, const double* t, const double* qv,
                           const double* tskin, const double* coszr, double* gsw,
-                          double* glw, common::Workspace& ws) const {
+                          double* glw, common::Workspace& ws,
+                          Precision prec) const {
+  const std::vector<QuantizedWeights>* qw = nullptr;
+  if (prec != Precision::kFp32) {
+    qw = &qcache_.get(prec,
+                      [this](Precision pp) { return buildQuantSnapshot(pp); });
+  }
   const int nlev = config_.nlev;
   const int nin = inputSize();
   const int hidden = config_.hidden;
@@ -125,17 +150,27 @@ void RadMlp::predictBatch(int batch, const double* t, const double* qv,
   float* tmp = ws.get<float>(static_cast<std::size_t>(hidden) * nb);
   float* y = ws.get<float>(kOutputs * nb);
 
-  denseForwardBatched(in_, xn, batch, h, /*relu=*/true);
+  // Layer index into the snapshot mirrors buildQuantSnapshot's order.
+  const auto dense = [&](const DenseParams& dp, int layer, const float* x,
+                         float* out, bool relu) {
+    if (qw) {
+      denseForwardBatchedQuant(dp, (*qw)[layer], x, batch, out, relu);
+    } else {
+      denseForwardBatched(dp, x, batch, out, relu);
+    }
+  };
+
+  dense(in_, 0, xn, h, /*relu=*/true);
   for (int j = 0; j < 3; ++j) {
-    denseForwardBatched(mid_[2 * j], h, batch, mid, true);
-    denseForwardBatched(mid_[2 * j + 1], mid, batch, tmp, false);
+    dense(mid_[2 * j], 1 + 2 * j, h, mid, true);
+    dense(mid_[2 * j + 1], 2 + 2 * j, mid, tmp, false);
     const std::size_t hb = static_cast<std::size_t>(hidden) * nb;
     for (std::size_t i = 0; i < hb; ++i) {
       const float s = tmp[i] + h[i];  // dense output + identity skip
       h[i] = s > 0.f ? s : 0.f;
     }
   }
-  denseForwardBatched(head_, h, batch, y, false);
+  dense(head_, 7, h, y, false);
 
   for (int b = 0; b < batch; ++b) {
     gsw[b] = std::max(0.0, static_cast<double>(y[b] * y_std_[0] + y_mean_[0]));
@@ -194,6 +229,7 @@ double RadMlp::trainBatch(const std::vector<RadSample>& batch, Adam& adam) {
     backward(acts, std::move(dout));
   }
   adam.step();
+  qcache_.invalidate();  // weights changed: snapshots are stale
   return loss / batch.size();
 }
 
@@ -277,6 +313,7 @@ void RadMlp::load(const std::string& path) {
   readVec(in, x_std_);
   readVec(in, y_mean_);
   readVec(in, y_std_);
+  qcache_.invalidate();  // weights changed: snapshots are stale
 }
 
 } // namespace grist::ml

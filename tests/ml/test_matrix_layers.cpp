@@ -146,6 +146,57 @@ TEST(Gemm, BetaZeroNeverReadsC) {
   for (const float v : c.a) EXPECT_FLOAT_EQ(v, 12.f);
 }
 
+TEST(Gemm, PackedPathKeepsDocumentedAccumulationOrderBitExact) {
+  // The accumulation-order contract (matrix.hpp): per output element, a
+  // k-ascending fp32 sum chain split into kGemmKC blocks -- partial sum per
+  // block, alpha applied per block, beta folded into the first block's
+  // store, epilogue on the last. The packed path must reproduce that chain
+  // BIT-EXACTLY (this pins the cache-aligned panel-stride refactor: padding
+  // lanes must never leak into the sums). k > kGemmKC forces two K blocks;
+  // m, n, k exercise fringe tiles; the flop count forces the packed path.
+  std::mt19937 rng(808);
+  const int m = 21, n = 19, k = kGemmKC + 37;
+  const Matrix a = randomMatrix(m, k, rng);
+  const Matrix b = randomMatrix(k, n, rng);
+  std::vector<float> bias(m);
+  std::uniform_real_distribution<float> dist(-1.f, 1.f);
+  for (float& v : bias) v = dist(rng);
+  const GemmEpilogue ep{bias.data(), true};
+  const float alpha = 0.75f, beta = -0.5f;
+
+  Matrix c_ref = randomMatrix(m, n, rng);
+  Matrix c_blk = c_ref;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float out = 0.f;
+      for (int k0 = 0; k0 < k; k0 += kGemmKC) {
+        const int kc = std::min(kGemmKC, k - k0);
+        float acc = 0.f;
+        for (int kk = 0; kk < kc; ++kk) {
+          acc += a.at(i, k0 + kk) * b.at(k0 + kk, j);
+        }
+        float v = alpha * acc;
+        if (k0 == 0) {
+          v += beta * c_ref.at(i, j);
+        } else {
+          v += out;
+        }
+        out = v;
+      }
+      out += bias[i];
+      if (out < 0.f) out = 0.f;
+      c_ref.at(i, j) = out;
+    }
+  }
+  gemmBlocked(m, n, k, alpha, a.a.data(), k, false, b.a.data(), n, false, beta,
+              c_blk.a.data(), n, ep);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(c_blk.at(i, j), c_ref.at(i, j)) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
 TEST(Gemm, SmallCallStaysSerialAndExact) {
   // Tiny products route through the serial direct path; the result must be
   // identical to the packed path's operation order by construction, so a

@@ -89,6 +89,26 @@ TEST(MlAllocationGuard, SuiteRunIsHeapFreeWhenWarm) {
   EXPECT_EQ(allocsDuring(run), 0);
 }
 
+TEST(MlAllocationGuard, QuantizedSuiteRunIsHeapFreeWhenWarm) {
+  // The first quantized run builds the weight snapshots and executes the
+  // acceptance gate (both allocate); warm runs serve the cached snapshots
+  // through the shared gemm packing arena and must stay off the heap.
+  const int nlev = 20;
+  const Index ncol = 37;
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], ncol, nlev);
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    MlSuiteConfig cfg;
+    cfg.precision = prec;
+    // Untrained random nets exceed the trained-net 5% envelope on int8.
+    if (prec == Precision::kInt8) cfg.quant_tolerance = 0.12;
+    MlPhysicsSuite suite(ncol, nlev, smallQ1Q2(nlev), smallRad(nlev), cfg);
+    physics::PhysicsOutput out(ncol, nlev);
+    const auto run = [&] { suite.run(in, 600.0, out); };
+    run();  // warm-up: snapshots quantized, gate run, arenas grown
+    EXPECT_EQ(allocsDuring(run), 0) << precisionName(prec);
+  }
+}
+
 TEST(MlAllocationGuard, EnsembleSuiteRunIsHeapFreeWhenWarm) {
   const int nlev = 20;
   const Index ncol = 24;

@@ -1,0 +1,434 @@
+// Quantized inference path: offline bf16/int8 weight packing, the fused
+// dequant-epilogue GEMM, cross-tier kernel parity, the net-level precision
+// knob, and the suite's rel-L2 acceptance gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "grist/backend/quant.hpp"
+#include "grist/backend/simd.hpp"
+#include "grist/ml/layers.hpp"
+#include "grist/ml/matrix.hpp"
+#include "grist/ml/ml_suite.hpp"
+#include "grist/ml/quant.hpp"
+#include "grist/ml/traindata.hpp"
+
+namespace grist::ml {
+namespace {
+
+namespace bq = grist::backend::quant;
+namespace simd = grist::backend::simd;
+
+Matrix randomMatrix(int rows, int cols, std::mt19937& rng, float lo = -1.f,
+                    float hi = 1.f) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  Matrix m(rows, cols);
+  for (float& v : m.a) v = dist(rng);
+  return m;
+}
+
+/// Reference for the quantized GEMM built from the SAME scalar quantization
+/// helpers the pack paths use: quantize W and B exactly like the production
+/// path, accumulate in plain fp32/int32, apply the epilogue. gemmQuant's
+/// numerical contract is "equals this reference", not "equals fp32".
+void gemmQuantReference(Precision prec, const Matrix& w, int n, const float* b,
+                        int ldb, bool trans_b, float* c, int ldc,
+                        const GemmEpilogue& ep) {
+  const int m = w.rows, k = w.cols;
+  const auto bAt = [&](int kk, int j) {
+    return trans_b ? b[static_cast<std::size_t>(j) * ldb + kk]
+                   : b[static_cast<std::size_t>(kk) * ldb + j];
+  };
+  for (int i = 0; i < m; ++i) {
+    // int8: symmetric per-row weight scale, as QuantizedWeights::pack.
+    float amax = 0.f;
+    for (int kk = 0; kk < k; ++kk) amax = std::max(amax, std::abs(w.at(i, kk)));
+    const float wscale = amax / 127.f;
+    const float winv = amax > 0.f ? 127.f / amax : 0.f;
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.f;
+      if (prec == Precision::kBf16) {
+        // Fixed even-then-odd per-pair chain (the kernels' k-ascending order).
+        for (int kk = 0; kk < k; ++kk) {
+          acc += bq::bf16ToFloat(bq::floatToBf16(w.at(i, kk))) *
+                 bq::bf16ToFloat(bq::floatToBf16(bAt(kk, j)));
+        }
+        c[static_cast<std::size_t>(i) * ldc + j] = acc;
+      } else {
+        float bmax = 0.f;
+        for (int kk = 0; kk < k; ++kk) {
+          bmax = std::max(bmax, std::abs(bAt(kk, j)));
+        }
+        const float bscale = bmax / 127.f;
+        const float binv = bmax > 0.f ? 127.f / bmax : 0.f;
+        std::int32_t iacc = 0;
+        for (int kk = 0; kk < k; ++kk) {
+          iacc += static_cast<std::int32_t>(bq::quantizeInt8(w.at(i, kk), winv)) *
+                  static_cast<std::int32_t>(bq::quantizeInt8(bAt(kk, j), binv));
+        }
+        c[static_cast<std::size_t>(i) * ldc + j] =
+            static_cast<float>(iacc) * (wscale * bscale);
+      }
+      float& v = c[static_cast<std::size_t>(i) * ldc + j];
+      if (ep.bias) v += ep.bias[i];
+      if (ep.relu && v < 0.f) v = 0.f;
+    }
+  }
+}
+
+void expectQuantMatchesReference(Precision prec, int m, int n, int k,
+                                 bool trans_b, const GemmEpilogue& ep,
+                                 std::mt19937& rng) {
+  const Matrix w = randomMatrix(m, k, rng);
+  const Matrix b = trans_b ? randomMatrix(n, k, rng) : randomMatrix(k, n, rng);
+  const QuantizedWeights qw = QuantizedWeights::pack(prec, w);
+  std::vector<float> c_ref(static_cast<std::size_t>(m) * n),
+      c_q(static_cast<std::size_t>(m) * n,
+          std::numeric_limits<float>::quiet_NaN());
+  gemmQuantReference(prec, w, n, b.a.data(), b.cols, trans_b, c_ref.data(), n,
+                     ep);
+  gemmQuant(qw, n, b.a.data(), b.cols, trans_b, c_q.data(), n, ep);
+  const bool native = bq::table().native_bf16 && prec == Precision::kBf16;
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    if (prec == Precision::kInt8 || !native) {
+      // Exact integer accumulation / exact fp32 pair products with a fixed
+      // chain: bitwise equal to the scalar reference.
+      EXPECT_EQ(c_q[i], c_ref[i])
+          << "prec=" << precisionName(prec) << " m=" << m << " n=" << n
+          << " k=" << k << " tb=" << trans_b << " i=" << i;
+    } else {
+      // vdpbf16ps may order the per-pair accumulation differently.
+      const float denom = std::max(1.f, std::abs(c_ref[i]));
+      EXPECT_NEAR(c_q[i], c_ref[i], 2e-3f * denom)
+          << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(QuantPack, RejectsFp32AndNonFinite) {
+  Matrix w(2, 2);
+  w.a = {1.f, 2.f, 3.f, 4.f};
+  EXPECT_THROW(QuantizedWeights::pack(Precision::kFp32, w),
+               std::invalid_argument);
+  w.a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(QuantizedWeights::pack(Precision::kBf16, w),
+               std::invalid_argument);
+  w.a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(QuantizedWeights::pack(Precision::kInt8, w),
+               std::invalid_argument);
+}
+
+TEST(QuantPack, VersionsAreUniqueAndMonotonic) {
+  std::mt19937 rng(1);
+  const Matrix w = randomMatrix(3, 5, rng);
+  const QuantizedWeights a = QuantizedWeights::pack(Precision::kBf16, w);
+  const QuantizedWeights b = QuantizedWeights::pack(Precision::kBf16, w);
+  EXPECT_GT(a.version(), 0u);
+  EXPECT_GT(b.version(), a.version());
+}
+
+TEST(QuantPack, Int8RowScalesAreSymmetricMaxAbs) {
+  Matrix w(3, 4);
+  // Row 0 spans [-2, 1], row 1 is all zero, row 2 peaks at 63.5.
+  w.a = {1.f, -2.f, 0.5f, 0.25f, 0.f, 0.f, 0.f, 0.f, 63.5f, -10.f, 3.f, 0.f};
+  const QuantizedWeights qw = QuantizedWeights::pack(Precision::kInt8, w);
+  ASSERT_EQ(qw.rows(), 3);
+  EXPECT_FLOAT_EQ(qw.rowScales()[0], 2.f / 127.f);
+  EXPECT_FLOAT_EQ(qw.rowScales()[1], 0.f);  // all-zero row dequantizes to 0
+  EXPECT_FLOAT_EQ(qw.rowScales()[2], 63.5f / 127.f);
+}
+
+TEST(QuantPack, PackedBytesShrinkWithPrecision) {
+  std::mt19937 rng(2);
+  const Matrix w = randomMatrix(64, 128, rng);
+  const std::size_t fp32_bytes = sizeof(float) * w.size();
+  const QuantizedWeights b16 = QuantizedWeights::pack(Precision::kBf16, w);
+  const QuantizedWeights i8 = QuantizedWeights::pack(Precision::kInt8, w);
+  EXPECT_LT(b16.packedBytes(), fp32_bytes);
+  EXPECT_LT(i8.packedBytes(), b16.packedBytes());
+}
+
+TEST(GemmQuant, MatchesReferenceFringeSizes) {
+  std::mt19937 rng(11);
+  // Every dimension 1..17 exercises the kQuantMR=8 / kQuantNR=16 fringes and
+  // the odd-k zero-padded tail.
+  for (int s = 1; s <= 17; ++s) {
+    for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+      expectQuantMatchesReference(prec, s, s, s, false, {}, rng);
+      expectQuantMatchesReference(prec, s, 2 * s + 1, s + 3, false, {}, rng);
+    }
+  }
+}
+
+TEST(GemmQuant, MatchesReferenceTransposedB) {
+  std::mt19937 rng(12);
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    expectQuantMatchesReference(prec, 24, 31, 72, true, {}, rng);
+    expectQuantMatchesReference(prec, 7, 16, 9, true, {}, rng);
+  }
+}
+
+TEST(GemmQuant, FusedBiasAndReluEpilogue) {
+  std::mt19937 rng(13);
+  std::vector<float> bias(21);
+  std::uniform_real_distribution<float> dist(-1.f, 1.f);
+  for (float& v : bias) v = dist(rng);
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    expectQuantMatchesReference(prec, 21, 33, 17, false, {bias.data(), false},
+                                rng);
+    expectQuantMatchesReference(prec, 21, 33, 17, false, {bias.data(), true},
+                                rng);
+    expectQuantMatchesReference(prec, 21, 33, 17, false, {nullptr, true}, rng);
+  }
+}
+
+TEST(GemmQuant, OutputFullyWrittenFromNaN) {
+  // beta == 0 by contract: every output must be defined even if C starts NaN.
+  std::mt19937 rng(14);
+  const Matrix w = randomMatrix(9, 13, rng);
+  const Matrix b = randomMatrix(13, 19, rng);
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    const QuantizedWeights qw = QuantizedWeights::pack(prec, w);
+    std::vector<float> c(9 * 19, std::numeric_limits<float>::quiet_NaN());
+    gemmQuant(qw, 19, b.a.data(), 19, false, c.data(), 19, {});
+    for (const float v : c) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GemmQuant, ApproximatesFp32WithinPrecisionBudget) {
+  // The Fig. 8 conv shape {m, n, k} = {24, 640, 72}: quantized results track
+  // the fp32 GEMM within each encoding's error budget.
+  std::mt19937 rng(15);
+  const int m = 24, n = 640, k = 72;
+  const Matrix w = randomMatrix(m, k, rng);
+  const Matrix b = randomMatrix(k, n, rng);
+  std::vector<float> c_fp(m * n), c_q(m * n);
+  gemmNaive(m, n, k, 1.f, w.a.data(), k, false, b.a.data(), n, false, 0.f,
+            c_fp.data(), n, {});
+  const auto relL2 = [&] {
+    double num = 0, den = 0;
+    for (int i = 0; i < m * n; ++i) {
+      num += static_cast<double>(c_q[i] - c_fp[i]) * (c_q[i] - c_fp[i]);
+      den += static_cast<double>(c_fp[i]) * c_fp[i];
+    }
+    return std::sqrt(num / den);
+  };
+  const QuantizedWeights qb = QuantizedWeights::pack(Precision::kBf16, w);
+  gemmQuant(qb, n, b.a.data(), n, false, c_q.data(), n, {});
+  EXPECT_LT(relL2(), 5e-3);  // two bf16 roundings
+  const QuantizedWeights qi = QuantizedWeights::pack(Precision::kInt8, w);
+  gemmQuant(qi, n, b.a.data(), n, false, c_q.data(), n, {});
+  EXPECT_LT(relL2(), 5e-2);  // 7-bit symmetric quantization
+}
+
+class QuantTierParity : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::clearForcedTier(); }
+};
+
+TEST_F(QuantTierParity, Int8BitwiseIdenticalAcrossTiers) {
+  std::mt19937 rng(21);
+  const Matrix w = randomMatrix(17, 37, rng);
+  const Matrix b = randomMatrix(37, 29, rng);
+  const QuantizedWeights qw = QuantizedWeights::pack(Precision::kInt8, w);
+  std::vector<std::vector<float>> results;
+  for (const simd::Tier t : simd::availableTiers()) {
+    simd::forceTier(t);
+    std::vector<float> c(17 * 29, std::numeric_limits<float>::quiet_NaN());
+    gemmQuant(qw, 29, b.a.data(), 29, false, c.data(), 29, {});
+    results.push_back(std::move(c));
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      // Integer accumulation is exact: every tier agrees bit for bit.
+      EXPECT_EQ(results[t][i], results[0][i]) << "tier=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST_F(QuantTierParity, Bf16TiersAgree) {
+  std::mt19937 rng(22);
+  const Matrix w = randomMatrix(17, 37, rng);
+  const Matrix b = randomMatrix(37, 29, rng);
+  const QuantizedWeights qw = QuantizedWeights::pack(Precision::kBf16, w);
+  std::vector<std::vector<float>> results;
+  std::vector<bool> native;
+  for (const simd::Tier t : simd::availableTiers()) {
+    simd::forceTier(t);
+    std::vector<float> c(17 * 29, std::numeric_limits<float>::quiet_NaN());
+    gemmQuant(qw, 29, b.a.data(), 29, false, c.data(), 29, {});
+    results.push_back(std::move(c));
+    native.push_back(bq::table().native_bf16);
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      if (!native[t] && !native[0]) {
+        // Widen tiers share the fixed fp32 pair chain: bitwise identical.
+        EXPECT_EQ(results[t][i], results[0][i]) << "tier=" << t << " i=" << i;
+      } else {
+        // Native vdpbf16ps: hardware pair-accumulation order unspecified.
+        const float denom = std::max(1.f, std::abs(results[0][i]));
+        EXPECT_NEAR(results[t][i], results[0][i], 2e-3f * denom)
+            << "tier=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantLayers, Conv1dQuantShapeMismatchThrows) {
+  std::mt19937 rng(31);
+  Conv1dParams p(3, 4, 3);
+  initConv(p, 5);
+  const QuantizedWeights wrong =
+      QuantizedWeights::pack(Precision::kBf16, randomMatrix(4, 4, rng));
+  std::vector<float> x(3 * 2 * 5), col(3 * 3 * 2 * 5), out(4 * 2 * 5);
+  EXPECT_THROW(conv1dForwardBatchedQuant(p, wrong, x.data(), 2, 5, col.data(),
+                                         out.data(), false),
+               std::invalid_argument);
+}
+
+TEST(QuantNet, PredictBatchTracksFp32WithinRelL2) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = 20;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  const Q1Q2Net net(cfg);
+  const int batch = 8, nlev = cfg.nlev;
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const std::size_t bl = static_cast<std::size_t>(batch) * nlev;
+  std::vector<double> u(bl), v(bl), t(bl), q(bl), p(bl);
+  for (std::size_t i = 0; i < bl; ++i) {
+    u[i] = 20 * dist(rng) - 10;
+    v[i] = 20 * dist(rng) - 10;
+    t[i] = 220 + 80 * dist(rng);
+    q[i] = 0.02 * dist(rng);
+    p[i] = 1e4 + 9e4 * dist(rng);
+  }
+  auto& ws = common::Workspace::threadLocal();
+  if (ws.used() == 0) ws.reserve(net.predictScratchBytes(batch));
+  std::vector<double> q1_fp(bl), q2_fp(bl), q1_q(bl), q2_q(bl);
+  net.predictBatch(batch, u.data(), v.data(), t.data(), q.data(), p.data(),
+                   q1_fp.data(), q2_fp.data(), ws);
+  const auto relL2 = [&](const std::vector<double>& a,
+                         const std::vector<double>& b) {
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      num += (a[i] - b[i]) * (a[i] - b[i]);
+      den += b[i] * b[i];
+    }
+    return std::sqrt(num / den);
+  };
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    net.predictBatch(batch, u.data(), v.data(), t.data(), q.data(), p.data(),
+                     q1_q.data(), q2_q.data(), ws, prec);
+    EXPECT_LT(relL2(q1_q, q1_fp), 0.05) << precisionName(prec);
+    EXPECT_LT(relL2(q2_q, q2_fp), 0.05) << precisionName(prec);
+  }
+}
+
+TEST(QuantNet, SnapshotVersionLifecycle) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = 12;
+  cfg.channels = 8;
+  cfg.res_units = 1;
+  Q1Q2Net net(cfg);
+  EXPECT_EQ(net.quantizedVersion(Precision::kInt8), 0u);  // not built yet
+  EXPECT_EQ(net.quantizedVersion(Precision::kFp32), 0u);  // fp32 never has one
+  net.ensureQuantized(Precision::kInt8);
+  const std::uint64_t v1 = net.quantizedVersion(Precision::kInt8);
+  EXPECT_GT(v1, 0u);
+  net.ensureQuantized(Precision::kInt8);  // idempotent
+  EXPECT_EQ(net.quantizedVersion(Precision::kInt8), v1);
+  // Training invalidates: the next build gets a strictly newer version.
+  std::vector<ColumnSample> batch(2);
+  std::mt19937 rng(51);
+  std::uniform_real_distribution<float> dist(-1.f, 1.f);
+  for (auto& s : batch) {
+    s.x = Matrix(5, cfg.nlev);
+    s.y = Matrix(2, cfg.nlev);
+    for (float& x : s.x.a) x = dist(rng);
+    for (float& y : s.y.a) y = dist(rng);
+  }
+  Adam adam;
+  adam.registerParams(net.paramViews());
+  net.trainBatch(batch, adam);
+  EXPECT_EQ(net.quantizedVersion(Precision::kInt8), 0u);  // invalidated
+  net.ensureQuantized(Precision::kInt8);
+  EXPECT_GT(net.quantizedVersion(Precision::kInt8), v1);
+}
+
+std::shared_ptr<Q1Q2Net> smallQ1Q2(int nlev) {
+  Q1Q2NetConfig cfg;
+  cfg.nlev = nlev;
+  cfg.channels = 16;
+  cfg.res_units = 2;
+  return std::make_shared<Q1Q2Net>(cfg);
+}
+
+std::shared_ptr<RadMlp> smallRad(int nlev) {
+  RadMlpConfig cfg;
+  cfg.nlev = nlev;
+  cfg.hidden = 32;
+  return std::make_shared<RadMlp>(cfg);
+}
+
+TEST(QuantSuite, QuantizedRunPassesGateAndStaysFinite) {
+  const int nlev = 20;
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], 12, nlev);
+  for (const Precision prec : {Precision::kBf16, Precision::kInt8}) {
+    MlSuiteConfig cfg;
+    cfg.precision = prec;
+    // Untrained random-weight nets sit above the trained operating point the
+    // 5% Table 3 envelope is calibrated for (the 8-layer RadMlp compounds the
+    // 7-bit activation quantization); widen the int8 envelope accordingly.
+    if (prec == Precision::kInt8) cfg.quant_tolerance = 0.12;
+    MlPhysicsSuite suite(in.ncolumns, nlev, smallQ1Q2(nlev), smallRad(nlev),
+                         cfg);
+    physics::PhysicsOutput out(in.ncolumns, nlev);
+    suite.run(in, 600.0, out);
+    // The gate ran and recorded all four outputs within the envelope.
+    ASSERT_EQ(suite.quantGateRecords().size(), 4u) << precisionName(prec);
+    for (const auto& [var, rel] : suite.quantGateRecords()) {
+      EXPECT_LE(rel, cfg.quant_tolerance) << precisionName(prec) << " " << var;
+    }
+    for (Index c = 0; c < in.ncolumns; ++c) {
+      for (int k = 0; k < nlev; ++k) {
+        ASSERT_TRUE(std::isfinite(out.dtdt(c, k)));
+        ASSERT_TRUE(std::isfinite(out.dqvdt(c, k)));
+      }
+    }
+  }
+}
+
+TEST(QuantSuite, GateRefusesOutOfEnvelopeQuantization) {
+  // An impossible tolerance: the suite must refuse to serve the quantized
+  // snapshot rather than silently degrade.
+  const int nlev = 20;
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], 8, nlev);
+  MlSuiteConfig cfg;
+  cfg.precision = Precision::kInt8;
+  cfg.quant_tolerance = 1e-12;
+  MlPhysicsSuite suite(in.ncolumns, nlev, smallQ1Q2(nlev), smallRad(nlev), cfg);
+  physics::PhysicsOutput out(in.ncolumns, nlev);
+  EXPECT_THROW(suite.run(in, 600.0, out), std::runtime_error);
+}
+
+TEST(QuantSuite, Fp32PathUnchangedByPrecisionMachinery) {
+  // Default-precision runs must not consult the gate at all.
+  const int nlev = 20;
+  physics::PhysicsInput in = synthesizeColumns(table1Scenarios()[0], 6, nlev);
+  MlSuiteConfig cfg;
+  cfg.quant_tolerance = 0.0;  // would reject everything if the gate ran
+  MlPhysicsSuite suite(in.ncolumns, nlev, smallQ1Q2(nlev), smallRad(nlev), cfg);
+  physics::PhysicsOutput out(in.ncolumns, nlev);
+  EXPECT_NO_THROW(suite.run(in, 600.0, out));
+  EXPECT_TRUE(suite.quantGateRecords().empty());
+}
+
+} // namespace
+} // namespace grist::ml
