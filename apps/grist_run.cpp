@@ -3,33 +3,158 @@
 // analog of the paper artifact's ParGRIST-GCM executable driven by
 // run-*.sh scripts (Appendix B).
 //
-//   grist_run <namelist> [steps]
+//   grist_run <namelist> [steps] [--ranks N] [--transport threads|shm]
+//             [--pin] [--wire-latency S]
 //
 // Extra namelist keys beyond the factory's (see core/factory.hpp):
 //   steps (48)            dynamics steps to run (overridden by argv[2])
 //   restart_in            restart file to resume from
 //   restart_out           restart file to write at the end
 //   report_interval (12)  steps between progress lines
+//
+// With --ranks N > 1 the run becomes the multi-rank dynamics step (the
+// decomposition gate configuration: dynamics only, no physics/IO):
+//   --transport threads   the in-process persistent worker pool
+//   --transport shm       one OS process per rank over the POSIX
+//                         shared-memory transport; this binary fork+execs
+//                         ITSELF as the rank workers, so worker dispatch
+//                         runs first in main(). A rank that dies takes the
+//                         whole run down and its exit code is propagated.
+//   --pin                 sched_setaffinity rank r -> core r % ncores (shm)
+//   --wire-latency S      emulate S seconds of interconnect delivery delay
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "grist/common/timer.hpp"
 #include "grist/core/factory.hpp"
+#include "grist/core/mp_runner.hpp"
+#include "grist/core/parallel_model.hpp"
 #include "grist/dycore/diagnostics.hpp"
+#include "grist/dycore/init.hpp"
 #include "grist/io/restart.hpp"
+
+namespace {
+
+/// The multi-rank dynamics run (both transports share the reporting).
+int runMultiRank(const grist::Config& config, int steps, grist::Index nranks,
+                 const std::string& transport, bool pin, double wire_latency) {
+  using namespace grist;
+  const int glevel = config.getInt("grid_level", 4);
+  dycore::DycoreConfig cfg;
+  cfg.nlev = config.getInt("nlev", 20);
+  cfg.dt = config.getDouble("dt_dyn", 300.0);
+  const std::string scheme = config.getString("scheme", "DP-PHY");
+  cfg.ns = scheme.rfind("MIX", 0) == 0 ? precision::NsMode::kSingle
+                                       : precision::NsMode::kDouble;
+
+  std::printf("multi-rank dynamics: grid G%d, nlev %d, %d ranks, transport %s%s\n",
+              glevel, cfg.nlev, static_cast<int>(nranks), transport.c_str(),
+              pin ? " (pinned)" : "");
+  Timer timer;
+  parallel::CommStats stats;
+  double sdays = 0.0;
+  if (transport == "shm") {
+    core::mp::RunSpec spec;
+    spec.grid_level = glevel;
+    spec.nlev = cfg.nlev;
+    spec.dt = cfg.dt;
+    spec.ns = cfg.ns;
+    spec.nranks = nranks;
+    spec.pin = pin;
+    spec.wire_latency = wire_latency;
+    core::mp::MpSession session(spec);
+    session.run(steps);
+    stats = session.commStats();
+    sdays = steps * cfg.dt / 86400.0;
+  } else if (transport == "threads") {
+    const grid::HexMesh mesh = grid::buildHexMesh(glevel);
+    const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+    const dycore::State initial = dycore::initBaroclinicWave(mesh, cfg);
+    core::ParallelModel model(mesh, trsk, cfg, nranks, initial);
+    model.setWireLatency(wire_latency);
+    model.run(steps);
+    stats = model.commStats();
+    sdays = steps * cfg.dt / 86400.0;
+  } else {
+    std::fprintf(stderr, "grist_run: unknown transport '%s' (threads|shm)\n",
+                 transport.c_str());
+    return 2;
+  }
+  const double wall = timer.elapsed();
+  std::printf("done: %d steps (%.3f simulated days) in %.1f s wall (%.1f SDPD)\n",
+              steps, sdays, wall, sdays / (wall / 86400.0));
+  std::printf("comm: %lld messages, %.3f MB, %lld exchange rounds\n",
+              static_cast<long long>(stats.messages), stats.bytes / 1.0e6,
+              static_cast<long long>(stats.exchanges));
+  return 0;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace grist;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: grist_run <namelist> [steps]\n");
+  // Worker dispatch first: under --transport shm this binary is re-exec'd
+  // as the rank worker processes.
+  if (auto rc = core::mp::maybeRunWorker(argc, argv)) return *rc;
+
+  Index ranks = 1;
+  std::string transport = "threads";
+  bool pin = false;
+  double wire_latency = 0.0;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "grist_run: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--ranks") {
+      ranks = std::atoi(value());
+    } else if (arg == "--transport") {
+      transport = value();
+    } else if (arg == "--pin") {
+      pin = true;
+    } else if (arg == "--wire-latency") {
+      wire_latency = std::atof(value());
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: grist_run <namelist> [steps] [--ranks N] "
+                 "[--transport threads|shm] [--pin] [--wire-latency S]\n");
+    return 2;
+  }
+  if (transport != "threads" && transport != "shm") {
+    std::fprintf(stderr, "grist_run: unknown transport '%s' (threads|shm)\n",
+                 transport.c_str());
     return 2;
   }
   Config config;
   try {
-    config = Config::fromFile(argv[1]);
+    config = Config::fromFile(pos[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "grist_run: %s\n", e.what());
     return 2;
+  }
+
+  if (ranks > 1 || transport == "shm") {
+    const int steps =
+        pos.size() > 1 ? std::atoi(pos[1]) : config.getInt("steps", 48);
+    try {
+      return runMultiRank(config, steps, std::max<Index>(ranks, 1), transport,
+                          pin, wire_latency);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "grist_run: %s\n", e.what());
+      return 1;
+    }
   }
 
   std::unique_ptr<core::ModelBundle> bundle;
@@ -53,7 +178,8 @@ int main(int argc, char** argv) {
                 header.sim_seconds / 86400.0);
   }
 
-  const int steps = argc > 2 ? std::atoi(argv[2]) : config.getInt("steps", 48);
+  const int steps =
+      pos.size() > 1 ? std::atoi(pos[1]) : config.getInt("steps", 48);
   const int report = std::max(1, config.getInt("report_interval", 12));
   std::printf("scheme %s, grid G%d (%d cells), %d steps\n", model.schemeName(),
               config.getInt("grid_level", 4), mesh.ncells, steps);

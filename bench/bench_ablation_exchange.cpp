@@ -13,16 +13,23 @@
 //     spawn + unpacked exchange), the pooled lockstep schedule (persistent
 //     workers + packed collective exchange), and the pooled overlapped
 //     schedule (boundary-first sweeps + post/wait exchange).
+// (4) Transport: the same overlapped step with ranks as THREADS of this
+//     process vs as OS PROCESSES over the POSIX shm transport (BM_StepShm*,
+//     with and without core pinning and the emulated wire). This binary
+//     fork+execs itself as the rank workers, so worker dispatch runs first
+//     in main().
 //
 // The BM_Exchange*/BM_Step* pairs emit the standard google-benchmark JSON
 // with --benchmark_format=json (same schema as the bench_host_kernels
-// pairs); the narrative tables print first.
+// pairs); the narrative tables print first. scripts/check.sh records the
+// pairs to BENCH_exchange_schedules.json under GRIST_EXCHANGE_BENCH=1.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "grist/core/mp_runner.hpp"
 #include "grist/core/parallel_model.hpp"
 #include "grist/dycore/init.hpp"
 #include "grist/io/table.hpp"
@@ -165,6 +172,40 @@ void BM_StepOverlapPackedWire(benchmark::State& state) {
 }
 
 // ---------------------------------------------------------------------------
+// Transport ablation: the same overlapped step with one OS process per rank
+// over the shm transport. Identical kernels, identical exchanged bytes
+// (bitwise-identical states, see tests/multiprocess/); what changes hands
+// is the address-space boundary and the doorbell primitive (futexes on
+// mapped words instead of in-process atomics).
+// ---------------------------------------------------------------------------
+void benchStepShm(benchmark::State& state, bool pin, double wire_latency) {
+  StepFixture& f = stepFixture();
+  core::mp::RunSpec spec;
+  spec.grid_level = 4;
+  spec.nlev = f.cfg.nlev;
+  spec.dt = f.cfg.dt;
+  spec.nranks = f.nranks;
+  spec.pin = pin;
+  spec.wire_latency = wire_latency;
+  core::mp::MpSession session(spec);
+  session.run(1);  // warm-up: fleet up, plans live, slots recycled
+  for (auto _ : state) {
+    session.run(1);
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh.ncells * f.cfg.nlev);
+}
+
+void BM_StepShmOverlap(benchmark::State& state) {
+  benchStepShm(state, /*pin=*/false, 0.0);
+}
+void BM_StepShmOverlapPinned(benchmark::State& state) {
+  benchStepShm(state, /*pin=*/true, 0.0);
+}
+void BM_StepShmOverlapWire(benchmark::State& state) {
+  benchStepShm(state, /*pin=*/false, stepFixture().wire_tau);
+}
+
+// ---------------------------------------------------------------------------
 // Narrative tables (printed before the google-benchmark runs).
 // ---------------------------------------------------------------------------
 void printBatchingTable() {
@@ -218,6 +259,12 @@ void printBatchingTable() {
       "   schedules stall 4 windows per step; the overlapped schedule\n"
       "   computes its interior band under them. --\n\n",
       stepFixture().wire_tau * 1e6);
+  std::printf(
+      "-- the BM_StepShm* variants run the SAME overlapped step with one\n"
+      "   OS process per rank over the POSIX shm transport (pack buffers in\n"
+      "   the mapped segment, futex doorbells): the transport ablation of\n"
+      "   DESIGN.md. States stay bitwise identical to the threaded pool\n"
+      "   (tests/multiprocess/). --\n\n");
 }
 
 } // namespace
@@ -230,8 +277,13 @@ BENCHMARK(BM_StepOverlapPacked)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StepSeedSpawnUnpackedWire)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StepLockstepPackedWire)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StepOverlapPackedWire)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepShmOverlap)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepShmOverlapPinned)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepShmOverlapWire)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  // The BM_StepShm* fixtures fork+exec this binary as their rank workers.
+  if (auto rc = grist::core::mp::maybeRunWorker(argc, argv)) return *rc;
   printBatchingTable();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -11,6 +11,11 @@
 #   GRIST_QUANT_BENCH=1 scripts/check.sh # also record BENCH_quantized_ml.json
 #                                        # (and diff it against the committed
 #                                        # baseline via scripts/bench_compare.py)
+#   GRIST_SKIP_MULTIPROC=1 scripts/check.sh  # skip the cross-process stage
+#   GRIST_EXCHANGE_BENCH=1 scripts/check.sh  # also record
+#                                        # BENCH_exchange_schedules.json
+#                                        # (schedule + transport ablation,
+#                                        # bench_compare.py-gated)
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
 # and runs the ml and common test binaries -- the two subsystems that hand
@@ -101,6 +106,39 @@ else
         BENCH_quantized_ml.new.json
     fi
     mv BENCH_quantized_ml.new.json BENCH_quantized_ml.json
+  fi
+fi
+
+if [[ "${GRIST_SKIP_MULTIPROC:-0}" == "1" ]]; then
+  echo "== skipping cross-process pass (GRIST_SKIP_MULTIPROC=1) =="
+else
+  # Transport contract: the multi-rank step must hold its gates on BOTH
+  # transports -- the in-process pool (test_parallel/test_core, already in
+  # tier-1 and re-run under TSan below) and one-OS-process-per-rank over
+  # POSIX shm (the MULTIPROCESS-labeled binaries: bitwise identity vs the
+  # threaded pool, CommStats parity, irregular odd-rank round-trips, stale
+  # /dev/shm reclaim, shape-mismatch errors, and the warm-step alloc guard).
+  # TSan stays on the in-process binaries: it cannot see across address
+  # spaces, and the in-process transport exercises the same Communicator
+  # pack/post/wait paths.
+  echo "== cross-process pass: MULTIPROCESS suites (shm transport) =="
+  ctest --test-dir build -L MULTIPROCESS --output-on-failure
+  if [[ "${GRIST_EXCHANGE_BENCH:-0}" == "1" ]]; then
+    # Schedule x transport ablation (threads vs shm, +/- pinning and the
+    # emulated wire), recorded for the README table; a committed baseline
+    # turns the run into a >5% regression gate through bench_compare.py.
+    echo "-- recording BENCH_exchange_schedules.json (schedule x transport)"
+    ./build/bench/bench_ablation_exchange \
+      --benchmark_filter='BM_(Exchange|Step)' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+      --benchmark_format=json --benchmark_out=BENCH_exchange_schedules.new.json \
+      >/dev/null
+    if [[ -f BENCH_exchange_schedules.json ]]; then
+      echo "-- diffing against committed BENCH_exchange_schedules.json"
+      python3 scripts/bench_compare.py BENCH_exchange_schedules.json \
+        BENCH_exchange_schedules.new.json
+    fi
+    mv BENCH_exchange_schedules.new.json BENCH_exchange_schedules.json
   fi
 fi
 

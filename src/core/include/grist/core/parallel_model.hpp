@@ -32,6 +32,18 @@
 
 namespace grist::core {
 
+/// Remap the global TRSK table onto a rank's local edge ids. Only owned
+/// edges compute tendencies, and their neighbor edges are always local with
+/// halo depth 2. Shared by the in-process pool and the one-process-per-rank
+/// model (mp_runner.hpp).
+grid::TrskWeights localTrskWeights(const grid::TrskWeights& global,
+                                   const parallel::LocalDomain& dom);
+
+/// Scatter the global state into a rank-local state (all local entities).
+dycore::State scatterLocalState(const dycore::State& global,
+                                const parallel::LocalDomain& dom, int nlev,
+                                int ntracers);
+
 class ParallelModel {
  public:
   enum class Schedule {

@@ -10,12 +10,7 @@ using dycore::State;
 using grid::TrskWeights;
 using parallel::LocalDomain;
 
-namespace {
-
-// Remap the global TRSK table onto a rank's local edge ids. Only owned
-// edges compute tendencies, and their neighbor edges (the edge rings of
-// their two cells) are always local with halo depth 2.
-TrskWeights localTrsk(const TrskWeights& global, const LocalDomain& dom) {
+TrskWeights localTrskWeights(const TrskWeights& global, const LocalDomain& dom) {
   std::unordered_map<Index, Index> edge_l;
   edge_l.reserve(dom.edge_global.size());
   for (Index le = 0; le < static_cast<Index>(dom.edge_global.size()); ++le) {
@@ -41,9 +36,8 @@ TrskWeights localTrsk(const TrskWeights& global, const LocalDomain& dom) {
   return local;
 }
 
-// Scatter the global state into a rank-local state (all local entities).
-State scatterState(const State& global, const LocalDomain& dom, int nlev,
-                   int ntracers) {
+State scatterLocalState(const State& global, const LocalDomain& dom, int nlev,
+                        int ntracers) {
   State local(dom.mesh, nlev, ntracers);
   for (Index lc = 0; lc < dom.mesh.ncells; ++lc) {
     const Index g = dom.cell_global[lc];
@@ -65,8 +59,6 @@ State scatterState(const State& global, const LocalDomain& dom, int nlev,
   }
   return local;
 }
-
-} // namespace
 
 void ParallelModel::StageExchange::operator()() const noexcept {
   model->comm_.exchange(model->lists_);
@@ -90,7 +82,7 @@ ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
   states_.reserve(decomp_.nranks);
   for (Index r = 0; r < decomp_.nranks; ++r) {
     const LocalDomain& dom = decomp_.domains[r];
-    local_trsk_.push_back(localTrsk(trsk, dom));
+    local_trsk_.push_back(localTrskWeights(trsk, dom));
     dycore::Bounds bounds;
     bounds.cells_prog = dom.ncells_owned;
     bounds.cells_diag = dom.ncells_inner1;
@@ -106,7 +98,7 @@ ParallelModel::ParallelModel(const grid::HexMesh& mesh, const TrskWeights& trsk,
     bands.boundary_edges = dom.boundary_edges;
     bands.interior_edges = dom.interior_edges;
     dycores_.back()->setBands(std::move(bands));
-    states_.push_back(scatterState(global_initial, dom, config_.nlev, ntracers));
+    states_.push_back(scatterLocalState(global_initial, dom, config_.nlev, ntracers));
   }
   // Exchange lists reference stable field storage inside states_.
   lists_.resize(decomp_.nranks);

@@ -6,23 +6,31 @@
 // (src/network) converts them into projected communication time.
 //
 // Transport: each pattern's variables are PACKED into one contiguous
-// per-pattern message buffer (pack -> one memcpy-like transfer -> unpack,
-// mirroring a real MPI transport). The exchange is available in two forms:
+// per-pattern message buffer (pack -> one copy -> unpack, mirroring a real
+// MPI transport). WHERE that buffer lives and how sender/receiver
+// synchronize on it is the Transport seam (transport.hpp): the default
+// InProcessTransport keeps PR 3's heap buffers + std::atomic wait/notify;
+// ShmTransport puts the same single-slot buffers in a POSIX shared-memory
+// segment with futex doorbells so each rank can be its own OS process. The
+// pack buffers themselves live in the transport's memory, so crossing a
+// process boundary adds no copy: the sender packs straight into the shared
+// slot and the receiver's unpack IS the one copy.
+//
+// The exchange is available in two forms:
 //   exchange(lists)  - collective: pack every pattern, then unpack every
 //                      pattern (single orchestrating thread, pack/unpack
-//                      parallelized across patterns);
+//                      parallelized across patterns); in-process only;
 //   post(r)/wait(r)  - split halves for communication-computation overlap:
-//                      rank r's thread packs and publishes its outgoing
-//                      messages in post() as soon as its boundary band is
-//                      computed, then blocks in wait() only when it actually
-//                      consumes halos. Senders and receivers synchronize
-//                      through per-pattern sequence numbers, so no global
-//                      barrier is involved.
+//                      rank r's thread (or process) packs and publishes its
+//                      outgoing messages in post() as soon as its boundary
+//                      band is computed, then blocks in wait() only when it
+//                      actually consumes halos. Senders and receivers
+//                      synchronize through per-pattern sequence numbers, so
+//                      no global barrier is involved.
 // Message sizes per pattern are fixed by the variable shapes, which plan()
 // validates and caches once; per-exchange CommStats updates are O(1).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -30,6 +38,7 @@
 
 #include "grist/parallel/decompose.hpp"
 #include "grist/parallel/field.hpp"
+#include "grist/parallel/transport.hpp"
 
 namespace grist::parallel {
 
@@ -66,31 +75,28 @@ class ExchangeList {
   std::vector<Var> edge_vars_;
 };
 
-/// Traffic accounting for one or more exchange calls.
-struct CommStats {
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
-  std::int64_t exchanges = 0;
-
-  CommStats& operator+=(const CommStats& o) {
-    messages += o.messages;
-    bytes += o.bytes;
-    exchanges += o.exchanges;
-    return *this;
-  }
-};
-
-/// In-process communicator: executes the decomposition's exchange patterns
-/// through packed per-pattern message buffers.
+/// Executes the decomposition's exchange patterns through packed
+/// per-pattern message buffers over a Transport (transport.hpp).
 class Communicator {
  public:
+  /// In-process communicator over the default InProcessTransport: one
+  /// instance serves every rank (they share the address space).
   explicit Communicator(const Decomposition& decomp);
+
+  /// Communicator over an explicit transport. For a distributed transport
+  /// (one OS process per rank) `local_rank` names the rank THIS process
+  /// plays: planLocal()/post()/wait() operate on that rank only and the
+  /// collective exchange forms are unavailable.
+  Communicator(const Decomposition& decomp, std::shared_ptr<Transport> transport,
+               Index local_rank = kAllRanks);
+
+  static constexpr Index kAllRanks = -1;
 
   /// One collective exchange call: every variable in every rank's list is
   /// updated in that rank's halo. `lists` must have one entry per rank, and
   /// every rank's list must contain the same variable shapes (as in MPI,
   /// the call is collective and symmetric). Plans automatically on first
-  /// use or when the queued shapes change.
+  /// use or when the queued shapes change. In-process transports only.
   void exchange(std::vector<ExchangeList>& lists);
 
   /// Seed-style element-wise exchange (no packing): kept as the ablation
@@ -105,56 +111,60 @@ class Communicator {
   /// reuses the buffers (no allocation).
   void plan(std::vector<ExchangeList>& lists);
 
-  /// Overlap protocol, called from rank r's thread once per exchange round:
-  /// post(r) packs and publishes every outgoing message of rank r;
-  /// wait(r) blocks until every incoming message of rank r for this round
-  /// is published, then unpacks it into r's halos. EVERY rank must call
-  /// post() then wait() exactly once per round (even ranks with no
-  /// traffic), in the same round order on all ranks.
+  /// Distributed form of plan(): bind THIS process's rank list only. Every
+  /// rank process must call it collectively with identically-shaped lists;
+  /// shapes are cross-validated through the transport's shared shape slots
+  /// and a mismatch throws naming the transport and the peer rank/pid.
+  /// `list` must outlive subsequent post()/wait() calls.
+  void planLocal(ExchangeList& list);
+
+  /// Overlap protocol, called from rank r's thread (or process) once per
+  /// exchange round: post(r) packs and publishes every outgoing message of
+  /// rank r; wait(r) blocks until every incoming message of rank r for
+  /// this round is published, then unpacks it into r's halos. EVERY rank
+  /// must call post() then wait() exactly once per round (even ranks with
+  /// no traffic), in the same round order on all ranks. In local mode r
+  /// must be the bound local rank.
   void post(Index rank);
   void wait(Index rank);
 
-  CommStats stats() const;
-  void resetStats();
+  CommStats stats() const { return transport_->stats(); }
+  void resetStats() { transport_->resetStats(); }
+
+  const Transport& transport() const { return *transport_; }
+  Index localRank() const { return local_rank_; }
 
   /// Emulated interconnect latency (seconds) per exchange round. The
-  /// in-process transport delivers instantly, which no real interconnect
+  /// host transports deliver near-instantly, which no real interconnect
   /// does, so overlap-on and overlap-off schedules tie on any shared-memory
   /// host. With a wire latency set, a posted message only becomes
   /// consumable tau after post(): wait() sleeps out the remainder of tau
   /// (usually none -- interior compute already covered it), while the
   /// collective exchange() stalls one full tau window per round, exactly
   /// like a rank blocking in MPI_Waitall right after MPI_Isend. Data is
-  /// unaffected; tau = 0 (the default) restores instant delivery.
+  /// unaffected; tau = 0 (the default) restores instant delivery. The
+  /// delivery deadline travels with the message, so it prices the wire
+  /// identically whether the receiver is a thread or another process.
   /// bench_ablation_exchange sets tau from the fat-tree model at the
   /// paper's full machine scale.
   void setWireLatency(double seconds);
   double wireLatency() const;
 
  private:
-  /// One pattern's packed message: [var0 | var1 | ...] cell vars then edge
-  /// vars, each var's rows contiguous in send-map order. `posted`/`consumed`
-  /// carry the round sequence numbers of the overlap protocol; `consumed`
-  /// also provides the back-pressure that keeps a fast sender from
-  /// overwriting a message its receiver has not unpacked yet.
-  struct PackedMessage {
-    std::vector<double> buffer;
-    std::int64_t bytes = 0;
-    std::atomic<std::uint64_t> posted{0};
-    std::atomic<std::uint64_t> consumed{0};
-    /// Emulated delivery deadline of the in-flight round (wire latency
-    /// mode only). Written before the release-store of `posted`, read
-    /// after the acquire-load in wait(), so it needs no atomicity itself.
-    std::chrono::steady_clock::time_point deliver_at{};
-  };
-
   void ensurePlan(std::vector<ExchangeList>& lists);
   void validateShapes(const std::vector<ExchangeList>& lists) const;
+  void crossValidateShapes(const ExchangeList& list);
+  void finishPlan(const ExchangeList& ref);
+  bool planMatches(const ExchangeList& ref) const;
   void packMessage(std::size_t p);
   void unpackMessage(std::size_t p);
+  const ExchangeList& listFor(Index rank) const;
 
   const Decomposition* decomp_;
-  std::vector<ExchangeList>* lists_ = nullptr;
+  std::shared_ptr<Transport> transport_;
+  Index local_rank_ = kAllRanks;
+  std::vector<ExchangeList>* lists_ = nullptr;  // collective mode
+  ExchangeList* local_list_ = nullptr;          // local (distributed) mode
 
   /// Pattern indices by endpoint rank (copied from the decomposition, or
   /// rebuilt locally for hand-assembled decompositions in tests).
@@ -162,8 +172,10 @@ class Communicator {
   std::vector<std::vector<Index>> to_;
 
   // Plan (valid while the queued shapes match plan_cell_comps_/plan_edge_comps_):
-  std::vector<std::unique_ptr<PackedMessage>> messages_;  // one per pattern
   std::vector<int> plan_cell_comps_, plan_edge_comps_;
+  std::vector<std::int64_t> pattern_doubles_;  // slot sizes handed to allocate()
+  std::vector<double*> bufs_;                  // cached transport slot pointers
+  std::vector<std::int64_t> msg_bytes_;        // per pattern
   bool planned_ = false;
   std::vector<std::int64_t> rank_out_bytes_;   // per rank, per round
   std::vector<std::int64_t> rank_out_msgs_;
@@ -171,16 +183,11 @@ class Communicator {
   std::int64_t round_msgs_ = 0;
 
   // Overlap protocol round counters (per rank; each rank's counter is only
-  // touched from that rank's thread).
+  // touched from that rank's thread/process).
   std::vector<std::uint64_t> round_;
 
   // Emulated interconnect latency per round (zero = instant delivery).
   std::chrono::steady_clock::duration wire_latency_{0};
-
-  // O(1)-updated traffic counters (atomic: post() runs on rank threads).
-  std::atomic<std::int64_t> stat_messages_{0};
-  std::atomic<std::int64_t> stat_bytes_{0};
-  std::atomic<std::int64_t> stat_exchanges_{0};
 };
 
 } // namespace grist::parallel

@@ -1,0 +1,45 @@
+// Fork/exec launcher for one-OS-process-per-rank runs over the shm
+// transport.
+//
+// Children are fork+exec'd from /proc/self/exe rather than plain-forked:
+// the parent typically has live OpenMP teams (libgomp is not fork-safe),
+// so each rank gets a fresh address space and re-enters the same binary in
+// a worker argv mode (the binary dispatches on its own argv early in main).
+// Rank-to-core pinning (sched_setaffinity on rank % ncores) is applied in
+// the child between fork and exec -- the affinity mask survives exec.
+//
+// waitRanks() implements whole-run teardown: the first rank that exits
+// nonzero (or dies on a signal) gets its exit code propagated, the
+// remaining ranks are SIGTERMed, and survivors past a grace window are
+// SIGKILLed -- a crashed rank can never leave the run wedged on a futex.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grist/common/types.hpp"
+
+namespace grist::parallel {
+
+/// Unique /dev/shm-safe segment name for one multi-process run
+/// ("/grist-mp-<pid>-<nonce>"). Uniqueness per live parent is what matters;
+/// a name leaked by a killed run is reclaimed by ShmRegion::create.
+std::string makeSegmentName();
+
+/// Fork+exec `nranks` copies of this binary. `argv_for(rank)` supplies the
+/// FULL argv (argv[0] included) for that rank's process; `pin` pins rank r
+/// to core r % ncores before exec. Returns the child pids in rank order.
+/// Throws (after killing already-spawned children) if a fork fails.
+std::vector<pid_t> spawnRanks(Index nranks, bool pin,
+                              const std::function<std::vector<std::string>(Index)>& argv_for);
+
+/// Reap every child; on the first nonzero exit (or signal death, reported
+/// as 128+signo) SIGTERM the rest, SIGKILL whatever survives `kill_grace_s`
+/// seconds, and return the first failure code. Returns 0 when all ranks
+/// exit cleanly.
+int waitRanks(const std::vector<pid_t>& pids, double kill_grace_s = 5.0);
+
+} // namespace grist::parallel

@@ -1,0 +1,81 @@
+// RAII POSIX shared-memory region with a create/attach rendezvous protocol.
+//
+// Every region starts with a fixed 64-byte header the CREATOR initializes:
+//   magic        sanity check for attachers
+//   state        kPartial once the creator claimed the name, kReady once the
+//                payload is fully initialized (attachers futex-wait on it)
+//   creator_pid  liveness anchor for stale-segment reclaim: a name left in
+//                /dev/shm by a killed run is detected at create() time by
+//                kill(creator_pid, 0) == ESRCH and silently unlinked instead
+//                of failing the new run with EEXIST
+//   bytes        total mapped size, cross-checked by attachers
+//
+// The region is NOT unlinked on destruction -- the launcher (the process
+// that outlives every rank) unlinks by name at teardown, so rank processes
+// can detach and re-attach freely while a run is live. unlink() is
+// idempotent (ENOENT is not an error).
+//
+// futexWait/futexWake are thin wrappers over the raw futex syscall WITHOUT
+// FUTEX_PRIVATE_FLAG, so waits and wakes pair up across process boundaries.
+// (libstdc++'s std::atomic::wait/notify uses a process-local proxy table for
+// exactly this case, which is why the wrappers exist.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace grist::parallel {
+
+/// Cross-process futex wait: block while *word == expected, with an optional
+/// timeout in seconds (<= 0 waits forever). Returns false on timeout.
+bool futexWait(const std::atomic<std::uint32_t>* word, std::uint32_t expected,
+               double timeout_s = 0.0);
+/// Wake up to `n` cross-process waiters on `word` (INT_MAX = all).
+void futexWake(const std::atomic<std::uint32_t>* word, int n);
+
+class ShmRegion {
+ public:
+  static constexpr std::size_t kHeaderBytes = 64;
+
+  ShmRegion() = default;
+  ShmRegion(ShmRegion&& o) noexcept;
+  ShmRegion& operator=(ShmRegion&& o) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ~ShmRegion();
+
+  /// Claim `name` exclusively and map header + `payload_bytes` of
+  /// zero-initialized memory. A leftover segment whose creator process is
+  /// dead is reclaimed (unlinked and re-created); a segment whose creator is
+  /// alive throws (a concurrent run owns the name). The payload is NOT
+  /// visible to attachers until markReady().
+  static ShmRegion create(const std::string& name, std::size_t payload_bytes);
+
+  /// Attach to a region another process create()s, blocking until it exists
+  /// and its creator called markReady(). Throws on timeout or if the header
+  /// (magic/size) does not match.
+  static ShmRegion attach(const std::string& name, std::size_t payload_bytes,
+                          double timeout_s = 30.0);
+
+  /// Creator only: payload initialization finished, release attachers.
+  void markReady();
+
+  bool valid() const { return map_ != nullptr; }
+  bool created() const { return created_; }
+  const std::string& name() const { return name_; }
+  void* payload() const;
+  std::size_t payloadBytes() const { return bytes_ - kHeaderBytes; }
+  std::int32_t creatorPid() const;
+
+  /// shm_unlink the name; missing names are fine (idempotent teardown).
+  static void unlink(const std::string& name);
+
+ private:
+  std::string name_;
+  void* map_ = nullptr;
+  std::size_t bytes_ = 0;  // header + payload
+  bool created_ = false;
+};
+
+} // namespace grist::parallel

@@ -1,5 +1,7 @@
 #include "grist/parallel/exchange.hpp"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -7,7 +9,44 @@
 
 namespace grist::parallel {
 
-Communicator::Communicator(const Decomposition& decomp) : decomp_(&decomp) {
+namespace {
+
+// Fixed-size shape signature a rank process publishes into its transport
+// shape slot so planLocal() can cross-validate queued shapes between
+// address spaces. POD on purpose: it is read raw out of shared memory.
+struct ShapeSig {
+  std::uint32_t pid = 0;
+  std::uint32_t ncell = 0;
+  std::uint32_t nedge = 0;
+  std::int32_t comps[52] = {};  // cell comps then edge comps
+};
+static_assert(sizeof(ShapeSig) <= Transport::kShapeSlotBytes,
+              "ShapeSig must fit the transport shape slot");
+constexpr std::size_t kMaxSigVars = sizeof(ShapeSig::comps) / sizeof(std::int32_t);
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+Communicator::Communicator(const Decomposition& decomp)
+    : Communicator(decomp, std::make_shared<InProcessTransport>(), kAllRanks) {}
+
+Communicator::Communicator(const Decomposition& decomp,
+                           std::shared_ptr<Transport> transport, Index local_rank)
+    : decomp_(&decomp), transport_(std::move(transport)), local_rank_(local_rank) {
+  if (transport_->distributed() && local_rank_ == kAllRanks) {
+    throw std::invalid_argument(
+        std::string("Communicator: the ") + transport_->name() +
+        " transport is distributed (one process per rank); bind a local rank");
+  }
+  if (local_rank_ != kAllRanks &&
+      (local_rank_ < 0 || local_rank_ >= decomp.nranks)) {
+    throw std::invalid_argument("Communicator: local rank out of range");
+  }
   round_.assign(static_cast<std::size_t>(decomp.nranks), 0);
   // Per-rank pattern index lists: prefer the ones decompose() precomputed,
   // fall back to a local scan for hand-built decompositions (tests).
@@ -63,47 +102,103 @@ void Communicator::validateShapes(const std::vector<ExchangeList>& lists) const 
   }
 }
 
-void Communicator::plan(std::vector<ExchangeList>& lists) {
-  if (static_cast<Index>(lists.size()) != decomp_->nranks) {
-    throw std::invalid_argument("Communicator: one list per rank required");
-  }
-  validateShapes(lists);
-  lists_ = &lists;
+void Communicator::crossValidateShapes(const ExchangeList& list) {
+  std::uint8_t* mine = transport_->shapeSlot(local_rank_);
+  if (mine == nullptr) return;  // transport has no cross-process seam
 
+  const std::size_t ncell = list.cellVars().size();
+  const std::size_t nedge = list.edgeVars().size();
+  if (ncell + nedge > kMaxSigVars) {
+    throw std::invalid_argument(
+        "Communicator: too many variables for cross-process shape "
+        "validation (" +
+        std::to_string(ncell + nedge) + " > " + std::to_string(kMaxSigVars) + ")");
+  }
+  ShapeSig sig;
+  sig.pid = static_cast<std::uint32_t>(::getpid());
+  sig.ncell = static_cast<std::uint32_t>(ncell);
+  sig.nedge = static_cast<std::uint32_t>(nedge);
+  for (std::size_t v = 0; v < ncell; ++v) sig.comps[v] = list.cellVars()[v].ncomp;
+  for (std::size_t v = 0; v < nedge; ++v) {
+    sig.comps[ncell + v] = list.edgeVars()[v].ncomp;
+  }
+  std::memcpy(mine, &sig, sizeof(sig));
+  // Rendezvous: every rank's slot is written before anyone compares.
+  transport_->barrier();
+
+  const std::string where =
+      std::string("Communicator[") + transport_->name() + "]: ";
+  const std::string me = "rank " + std::to_string(local_rank_) + " (pid " +
+                         std::to_string(sig.pid) + ")";
+  for (Index r = 0; r < decomp_->nranks; ++r) {
+    if (r == local_rank_) continue;
+    ShapeSig peer;
+    std::memcpy(&peer, transport_->shapeSlot(r), sizeof(peer));
+    const std::string who = "rank " + std::to_string(r) + " (pid " +
+                            std::to_string(peer.pid) + ")";
+    if (peer.ncell != sig.ncell) {
+      throw std::invalid_argument(where + who + " queues " +
+                                  std::to_string(peer.ncell) + " cell vars, " +
+                                  me + " queues " + std::to_string(sig.ncell));
+    }
+    if (peer.nedge != sig.nedge) {
+      throw std::invalid_argument(where + who + " queues " +
+                                  std::to_string(peer.nedge) + " edge vars, " +
+                                  me + " queues " + std::to_string(sig.nedge));
+    }
+    for (std::size_t v = 0; v < ncell + nedge; ++v) {
+      if (peer.comps[v] == sig.comps[v]) continue;
+      const bool cell = v < ncell;
+      const std::size_t idx = cell ? v : v - ncell;
+      throw std::invalid_argument(
+          where + (cell ? "cell" : "edge") + " var " + std::to_string(idx) +
+          " on " + who + " has ncomp " + std::to_string(peer.comps[v]) + ", " +
+          me + " has " + std::to_string(sig.comps[v]));
+    }
+  }
+}
+
+void Communicator::finishPlan(const ExchangeList& ref) {
   plan_cell_comps_.clear();
   plan_edge_comps_.clear();
   std::int64_t cell_doubles = 0, edge_doubles = 0;  // per send entity
-  for (const auto& v : lists[0].cellVars()) {
+  for (const auto& v : ref.cellVars()) {
     plan_cell_comps_.push_back(v.ncomp);
     cell_doubles += v.ncomp;
   }
-  for (const auto& v : lists[0].edgeVars()) {
+  for (const auto& v : ref.edgeVars()) {
     plan_edge_comps_.push_back(v.ncomp);
     edge_doubles += v.ncomp;
   }
 
   const auto& patterns = decomp_->patterns;
-  messages_.resize(patterns.size());
+  pattern_doubles_.resize(patterns.size());
+  msg_bytes_.resize(patterns.size());
   round_bytes_ = 0;
-  round_msgs_ = 0;
   for (std::size_t p = 0; p < patterns.size(); ++p) {
-    if (!messages_[p]) messages_[p] = std::make_unique<PackedMessage>();
-    PackedMessage& msg = *messages_[p];
     const std::int64_t doubles = patterns[p].nsend_cells * cell_doubles +
                                  patterns[p].nsend_edges * edge_doubles;
-    msg.buffer.resize(static_cast<std::size_t>(doubles));
-    msg.bytes = doubles * static_cast<std::int64_t>(sizeof(double));
-    round_bytes_ += msg.bytes;
+    pattern_doubles_[p] = doubles;
+    msg_bytes_[p] = doubles * static_cast<std::int64_t>(sizeof(double));
+    round_bytes_ += msg_bytes_[p];
   }
   // One message per neighbor-pair pattern per round (the paper's batching
   // invariant), independent of how many variables are queued.
   round_msgs_ = static_cast<std::int64_t>(patterns.size());
 
+  // Size the transport's single-slot buffers (collective rendezvous for a
+  // distributed transport) and cache the slot pointers for the hot path.
+  transport_->allocate(pattern_doubles_);
+  bufs_.resize(patterns.size());
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    bufs_[p] = transport_->buffer(p);
+  }
+
   rank_out_bytes_.assign(static_cast<std::size_t>(decomp_->nranks), 0);
   rank_out_msgs_.assign(static_cast<std::size_t>(decomp_->nranks), 0);
   for (Index r = 0; r < decomp_->nranks; ++r) {
     for (const Index p : from_[static_cast<std::size_t>(r)]) {
-      rank_out_bytes_[r] += messages_[p]->bytes;
+      rank_out_bytes_[r] += msg_bytes_[p];
     }
     rank_out_msgs_[r] =
         static_cast<std::int64_t>(from_[static_cast<std::size_t>(r)].size());
@@ -111,33 +206,67 @@ void Communicator::plan(std::vector<ExchangeList>& lists) {
   planned_ = true;
 }
 
+bool Communicator::planMatches(const ExchangeList& ref) const {
+  if (!planned_) return false;
+  bool match = ref.cellVars().size() == plan_cell_comps_.size() &&
+               ref.edgeVars().size() == plan_edge_comps_.size();
+  for (std::size_t v = 0; match && v < plan_cell_comps_.size(); ++v) {
+    match = ref.cellVars()[v].ncomp == plan_cell_comps_[v];
+  }
+  for (std::size_t v = 0; match && v < plan_edge_comps_.size(); ++v) {
+    match = ref.edgeVars()[v].ncomp == plan_edge_comps_[v];
+  }
+  return match;
+}
+
+void Communicator::plan(std::vector<ExchangeList>& lists) {
+  if (local_rank_ != kAllRanks) {
+    throw std::logic_error(
+        "Communicator: plan() is collective; a local-rank communicator "
+        "must use planLocal()");
+  }
+  if (static_cast<Index>(lists.size()) != decomp_->nranks) {
+    throw std::invalid_argument("Communicator: one list per rank required");
+  }
+  validateShapes(lists);
+  lists_ = &lists;
+  finishPlan(lists[0]);
+}
+
+void Communicator::planLocal(ExchangeList& list) {
+  if (local_rank_ == kAllRanks) {
+    throw std::logic_error(
+        "Communicator: planLocal() requires a local-rank communicator");
+  }
+  local_list_ = &list;
+  if (planMatches(list)) return;  // rebind only; buffers stay as planned
+  // Validate shapes BETWEEN processes before sizing any buffer: a mismatch
+  // must die with a named rank/pid, not a segment-size conflict.
+  crossValidateShapes(list);
+  finishPlan(list);
+}
+
 void Communicator::ensurePlan(std::vector<ExchangeList>& lists) {
   if (static_cast<Index>(lists.size()) != decomp_->nranks) {
     throw std::invalid_argument("Communicator: one list per rank required");
   }
   validateShapes(lists);
-  if (planned_) {
-    const ExchangeList& ref = lists[0];
-    bool match = ref.cellVars().size() == plan_cell_comps_.size() &&
-                 ref.edgeVars().size() == plan_edge_comps_.size();
-    for (std::size_t v = 0; match && v < plan_cell_comps_.size(); ++v) {
-      match = ref.cellVars()[v].ncomp == plan_cell_comps_[v];
-    }
-    for (std::size_t v = 0; match && v < plan_edge_comps_.size(); ++v) {
-      match = ref.edgeVars()[v].ncomp == plan_edge_comps_[v];
-    }
-    if (match) {
-      lists_ = &lists;  // rebind data pointers; buffers stay as planned
-      return;
-    }
+  if (planMatches(lists[0])) {
+    lists_ = &lists;  // rebind data pointers; buffers stay as planned
+    return;
   }
   plan(lists);
 }
 
+const ExchangeList& Communicator::listFor(Index rank) const {
+  return local_rank_ != kAllRanks ? *local_list_
+                                  : (*lists_)[static_cast<std::size_t>(rank)];
+}
+
 void Communicator::packMessage(std::size_t p) {
   const ExchangePattern& pat = decomp_->patterns[p];
-  const ExchangeList& src = (*lists_)[pat.from];
-  double* w = messages_[p]->buffer.data();
+  const ExchangeList& src = listFor(pat.from);
+  double* w = bufs_[p];
   for (const auto& var : src.cellVars()) {
     const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
     for (const Index lc : pat.send_cells) {
@@ -156,8 +285,8 @@ void Communicator::packMessage(std::size_t p) {
 
 void Communicator::unpackMessage(std::size_t p) {
   const ExchangePattern& pat = decomp_->patterns[p];
-  const ExchangeList& dst = (*lists_)[pat.to];
-  const double* r = messages_[p]->buffer.data();
+  const ExchangeList& dst = listFor(pat.to);
+  const double* r = bufs_[p];
   for (const auto& var : dst.cellVars()) {
     const std::size_t row = static_cast<std::size_t>(var.ncomp) * sizeof(double);
     for (const Index lc : pat.recv_cells) {
@@ -175,6 +304,11 @@ void Communicator::unpackMessage(std::size_t p) {
 }
 
 void Communicator::exchange(std::vector<ExchangeList>& lists) {
+  if (local_rank_ != kAllRanks) {
+    throw std::logic_error(
+        "Communicator: the collective exchange() needs every rank's arrays "
+        "in one address space; distributed transports use post()/wait()");
+  }
   ensurePlan(lists);
   const std::size_t npat = decomp_->patterns.size();
   // Collective form of the packed transport: pack every pattern, then
@@ -192,20 +326,17 @@ void Communicator::exchange(std::vector<ExchangeList>& lists) {
   for (std::size_t p = 0; p < npat; ++p) unpackMessage(p);
   // Keep the overlap protocol's sequence numbers in lockstep with the
   // collective rounds so the two forms can interleave between steps.
-  for (std::size_t p = 0; p < npat; ++p) {
-    PackedMessage& msg = *messages_[p];
-    msg.posted.store(msg.posted.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
-    msg.consumed.store(msg.consumed.load(std::memory_order_relaxed) + 1,
-                       std::memory_order_relaxed);
-  }
+  for (std::size_t p = 0; p < npat; ++p) transport_->advanceRound(p);
   for (auto& r : round_) ++r;
-  stat_bytes_.fetch_add(round_bytes_, std::memory_order_relaxed);
-  stat_messages_.fetch_add(round_msgs_, std::memory_order_relaxed);
-  stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+  transport_->addTraffic(round_msgs_, round_bytes_, 1);
 }
 
 void Communicator::exchangeUnpacked(std::vector<ExchangeList>& lists) {
+  if (local_rank_ != kAllRanks) {
+    throw std::logic_error(
+        "Communicator: exchangeUnpacked() needs every rank's arrays in one "
+        "address space; distributed transports use post()/wait()");
+  }
   ensurePlan(lists);  // shape validation + O(1) traffic totals
   const auto& patterns = decomp_->patterns;
   // Seed transport: element-wise copies straight from the sender's arrays
@@ -235,71 +366,58 @@ void Communicator::exchangeUnpacked(std::vector<ExchangeList>& lists) {
     }
   }
   if (wire_latency_.count() > 0) std::this_thread::sleep_for(wire_latency_);
-  for (std::size_t p = 0; p < patterns.size(); ++p) {
-    PackedMessage& msg = *messages_[p];
-    msg.posted.store(msg.posted.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
-    msg.consumed.store(msg.consumed.load(std::memory_order_relaxed) + 1,
-                       std::memory_order_relaxed);
-  }
+  for (std::size_t p = 0; p < patterns.size(); ++p) transport_->advanceRound(p);
   for (auto& r : round_) ++r;
-  stat_bytes_.fetch_add(round_bytes_, std::memory_order_relaxed);
-  stat_messages_.fetch_add(round_msgs_, std::memory_order_relaxed);
-  stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+  transport_->addTraffic(round_msgs_, round_bytes_, 1);
 }
 
 void Communicator::post(Index rank) {
   if (!planned_) {
     throw std::logic_error("Communicator::post: plan() the lists first");
   }
-  const std::uint64_t seq = ++round_[rank];
-  for (const Index p : from_[static_cast<std::size_t>(rank)]) {
-    PackedMessage& msg = *messages_[p];
-    // Back-pressure: do not overwrite a message the receiver has not
-    // consumed yet (it can be at most one round behind). Blocks on the
-    // atomic's futex rather than spinning -- rank threads are typically
-    // oversubscribed on the host cores.
-    for (std::uint64_t c = msg.consumed.load(std::memory_order_acquire);
-         c + 1 < seq; c = msg.consumed.load(std::memory_order_acquire)) {
-      msg.consumed.wait(c, std::memory_order_acquire);
-    }
-    packMessage(p);
-    if (wire_latency_.count() > 0) {
-      msg.deliver_at = std::chrono::steady_clock::now() + wire_latency_;
-    }
-    msg.posted.store(seq, std::memory_order_release);
-    msg.posted.notify_all();
+  if (local_rank_ != kAllRanks && rank != local_rank_) {
+    throw std::logic_error(
+        "Communicator::post: this process is bound to rank " +
+        std::to_string(local_rank_) + ", not rank " + std::to_string(rank));
   }
-  stat_bytes_.fetch_add(rank_out_bytes_[rank], std::memory_order_relaxed);
-  stat_messages_.fetch_add(rank_out_msgs_[rank], std::memory_order_relaxed);
-  if (rank == 0) stat_exchanges_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = ++round_[rank];
+  const bool wire = wire_latency_.count() > 0;
+  for (const Index p : from_[static_cast<std::size_t>(rank)]) {
+    // Back-pressure: the transport blocks until the receiver consumed the
+    // previous round's message (single-slot semantics on every transport).
+    transport_->waitSendSlot(static_cast<std::size_t>(p), seq);
+    packMessage(static_cast<std::size_t>(p));
+    const std::int64_t deliver_at_ns =
+        wire ? nowNs() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             wire_latency_)
+                             .count()
+             : 0;
+    transport_->publish(static_cast<std::size_t>(p), seq, deliver_at_ns);
+  }
+  transport_->addTraffic(rank_out_msgs_[rank], rank_out_bytes_[rank],
+                         rank == 0 ? 1 : 0);
 }
 
 void Communicator::wait(Index rank) {
+  if (local_rank_ != kAllRanks && rank != local_rank_) {
+    throw std::logic_error(
+        "Communicator::wait: this process is bound to rank " +
+        std::to_string(local_rank_) + ", not rank " + std::to_string(rank));
+  }
   const std::uint64_t seq = round_[rank];  // advanced by this round's post()
   for (const Index p : to_[static_cast<std::size_t>(rank)]) {
-    PackedMessage& msg = *messages_[p];
-    for (std::uint64_t got = msg.posted.load(std::memory_order_acquire);
-         got < seq; got = msg.posted.load(std::memory_order_acquire)) {
-      msg.posted.wait(got, std::memory_order_acquire);
-    }
-    if (wire_latency_.count() > 0) {
+    const std::int64_t deliver_at_ns =
+        transport_->waitPosted(static_cast<std::size_t>(p), seq);
+    if (deliver_at_ns != 0) {
       // Sleep out whatever part of the wire latency the interior compute
       // did not already cover (the overlap win: usually none of it).
-      std::this_thread::sleep_until(msg.deliver_at);
+      std::this_thread::sleep_until(std::chrono::steady_clock::time_point(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::nanoseconds(deliver_at_ns))));
     }
-    unpackMessage(p);
-    msg.consumed.store(seq, std::memory_order_release);
-    msg.consumed.notify_all();
+    unpackMessage(static_cast<std::size_t>(p));
+    transport_->consume(static_cast<std::size_t>(p), seq);
   }
-}
-
-CommStats Communicator::stats() const {
-  CommStats s;
-  s.messages = stat_messages_.load(std::memory_order_relaxed);
-  s.bytes = stat_bytes_.load(std::memory_order_relaxed);
-  s.exchanges = stat_exchanges_.load(std::memory_order_relaxed);
-  return s;
 }
 
 void Communicator::setWireLatency(double seconds) {
@@ -309,12 +427,6 @@ void Communicator::setWireLatency(double seconds) {
 
 double Communicator::wireLatency() const {
   return std::chrono::duration<double>(wire_latency_).count();
-}
-
-void Communicator::resetStats() {
-  stat_messages_.store(0, std::memory_order_relaxed);
-  stat_bytes_.store(0, std::memory_order_relaxed);
-  stat_exchanges_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace grist::parallel

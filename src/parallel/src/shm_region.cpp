@@ -1,0 +1,233 @@
+#include "grist/parallel/shm_region.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace grist::parallel {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47525354;  // "GRST"
+constexpr std::uint32_t kStateEmpty = 0;
+constexpr std::uint32_t kStatePartial = 1;
+constexpr std::uint32_t kStateReady = 2;
+
+/// The fixed header at offset 0 of every region. Backed by ftruncate'd
+/// (zero-filled) pages; std::atomic<uint32_t> over zeroed memory is a valid
+/// value representation of 0 on every ABI we target (asserted below).
+struct RegionHeader {
+  std::uint32_t magic;
+  std::atomic<std::uint32_t> state;
+  std::int32_t creator_pid;
+  std::uint32_t reserved;
+  std::uint64_t bytes;  // header + payload
+  char pad[64 - 24];
+};
+static_assert(sizeof(RegionHeader) == ShmRegion::kHeaderBytes);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "cross-process futex words must be address-free");
+
+RegionHeader* header(void* map) { return static_cast<RegionHeader*>(map); }
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+bool pidAlive(std::int32_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno != ESRCH;
+}
+
+void* mapFd(int fd, std::size_t bytes) {
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) throwErrno("ShmRegion: mmap");
+  return map;
+}
+
+} // namespace
+
+bool futexWait(const std::atomic<std::uint32_t>* word, std::uint32_t expected,
+               double timeout_s) {
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_s > 0.0) {
+    ts.tv_sec = static_cast<time_t>(timeout_s);
+    ts.tv_nsec = static_cast<long>((timeout_s - static_cast<double>(ts.tv_sec)) * 1e9);
+    tsp = &ts;
+  }
+  // FUTEX_WAIT (deliberately not FUTEX_WAIT_PRIVATE): the word lives in a
+  // MAP_SHARED segment and the waker may be another process.
+  const long rc = ::syscall(SYS_futex, reinterpret_cast<const void*>(word),
+                            FUTEX_WAIT, expected, tsp, nullptr, 0);
+  if (rc == -1 && errno == ETIMEDOUT) return false;
+  return true;  // woken, value changed (EAGAIN), or EINTR -- caller re-checks
+}
+
+void futexWake(const std::atomic<std::uint32_t>* word, int n) {
+  ::syscall(SYS_futex, reinterpret_cast<const void*>(word), FUTEX_WAKE, n,
+            nullptr, nullptr, 0);
+}
+
+ShmRegion::ShmRegion(ShmRegion&& o) noexcept
+    : name_(std::move(o.name_)), map_(o.map_), bytes_(o.bytes_), created_(o.created_) {
+  o.map_ = nullptr;
+  o.bytes_ = 0;
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& o) noexcept {
+  if (this != &o) {
+    this->~ShmRegion();
+    new (this) ShmRegion(std::move(o));
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (map_ != nullptr) ::munmap(map_, bytes_);
+  map_ = nullptr;
+}
+
+ShmRegion ShmRegion::create(const std::string& name, std::size_t payload_bytes) {
+  const std::size_t bytes = kHeaderBytes + payload_bytes;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd >= 0) {
+      if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        ::close(fd);
+        unlink(name);
+        throwErrno("ShmRegion: ftruncate " + name);
+      }
+      void* map = mapFd(fd, bytes);
+      ::close(fd);
+      RegionHeader* h = header(map);
+      h->magic = kMagic;
+      h->creator_pid = static_cast<std::int32_t>(::getpid());
+      h->bytes = bytes;
+      h->state.store(kStatePartial, std::memory_order_release);
+      ShmRegion r;
+      r.name_ = name;
+      r.map_ = map;
+      r.bytes_ = bytes;
+      r.created_ = true;
+      return r;
+    }
+    if (errno != EEXIST) throwErrno("ShmRegion: shm_open " + name);
+
+    // The name is taken. Attach just the header and decide whether it is a
+    // live concurrent run (error) or a leftover from a killed one (reclaim).
+    fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd < 0) continue;  // unlinked between our two shm_opens; retry create
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < kHeaderBytes) {
+      // Creator died between shm_open and ftruncate (or is still between
+      // them). Give it a grace period, then treat as stale.
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 * (attempt + 1)));
+      fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd < 0) continue;
+      if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < kHeaderBytes) {
+        ::close(fd);
+        unlink(name);
+        continue;
+      }
+    }
+    void* map = mapFd(fd, kHeaderBytes);
+    ::close(fd);
+    const RegionHeader* h = header(map);
+    const std::uint32_t magic = h->magic;
+    const std::int32_t pid = h->creator_pid;
+    ::munmap(map, kHeaderBytes);
+    if (magic == kMagic && pidAlive(pid)) {
+      throw std::runtime_error("ShmRegion: segment " + name +
+                               " is owned by live pid " + std::to_string(pid) +
+                               " (concurrent run?)");
+    }
+    // Stale (creator dead, or garbage that was never ours): reclaim.
+    unlink(name);
+  }
+  throw std::runtime_error("ShmRegion: could not claim " + name +
+                           " (create/reclaim loop exhausted)");
+}
+
+ShmRegion ShmRegion::attach(const std::string& name, std::size_t payload_bytes,
+                            double timeout_s) {
+  const std::size_t bytes = kHeaderBytes + payload_bytes;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  int fd = -1;
+  for (;;) {
+    fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && static_cast<std::size_t>(st.st_size) >= bytes) break;
+      ::close(fd);
+      fd = -1;
+    } else if (errno != ENOENT) {
+      throwErrno("ShmRegion: shm_open " + name);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("ShmRegion: timed out waiting for " + name);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  void* map = mapFd(fd, bytes);
+  ::close(fd);
+  RegionHeader* h = header(map);
+  // Wait for the creator to finish payload initialization.
+  for (std::uint32_t s = h->state.load(std::memory_order_acquire); s != kStateReady;
+       s = h->state.load(std::memory_order_acquire)) {
+    const double left = std::chrono::duration<double>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+    if (left <= 0.0) {
+      ::munmap(map, bytes);
+      throw std::runtime_error("ShmRegion: " + name + " never became ready");
+    }
+    futexWait(&h->state, s, left < 0.05 ? left : 0.05);
+  }
+  if (h->magic != kMagic || h->bytes != bytes) {
+    ::munmap(map, bytes);
+    throw std::runtime_error("ShmRegion: " + name + " has an unexpected layout");
+  }
+  ShmRegion r;
+  r.name_ = name;
+  r.map_ = map;
+  r.bytes_ = bytes;
+  r.created_ = false;
+  return r;
+}
+
+void ShmRegion::markReady() {
+  RegionHeader* h = header(map_);
+  h->state.store(kStateReady, std::memory_order_release);
+  futexWake(&h->state, INT_MAX);
+}
+
+void* ShmRegion::payload() const {
+  return static_cast<char*>(map_) + kHeaderBytes;
+}
+
+std::int32_t ShmRegion::creatorPid() const { return header(map_)->creator_pid; }
+
+void ShmRegion::unlink(const std::string& name) {
+  if (::shm_unlink(name.c_str()) != 0 && errno != ENOENT) {
+    // Teardown path: report loudly enough for tests without aborting a run.
+    // (EACCES here would mean another uid owns the name.)
+  }
+  errno = 0;
+}
+
+} // namespace grist::parallel

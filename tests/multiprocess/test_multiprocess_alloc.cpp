@@ -1,0 +1,129 @@
+// Zero-allocation guard for the warm CROSS-PROCESS step: once a rank worker
+// has planned its packed exchange through the shm transport, step() must
+// perform no heap allocation -- pack buffers live in the mapped segment and
+// the futex doorbells are syscalls on mapped words, so crossing the process
+// boundary adds no allocation over the in-process pool (whose guard is
+// tests/core/test_parallel_model_alloc.cpp).
+//
+// This binary overrides the global allocation operators AND re-enters
+// itself as the rank workers ("--alloc-worker"), so every worker process
+// carries the counter; a worker exits nonzero if its warm step allocated.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "grist/core/mp_runner.hpp"
+#include "grist/core/parallel_model.hpp"
+#include "grist/dycore/init.hpp"
+#include "grist/parallel/mp_launch.hpp"
+#include "grist/parallel/shm_transport.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same pattern as test_parallel_model_alloc.cpp).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long> g_heap_allocs{0};
+} // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  ++g_heap_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace grist {
+namespace {
+
+long allocsDuring(const std::function<void()>& fn) {
+  const long before = g_heap_allocs.load();
+  fn();
+  return g_heap_allocs.load() - before;
+}
+
+/// One rank of the standard gate run (G3, 8 levels, dt 450): warm up two
+/// steps, then a measured step must not touch the heap. All ranks measure
+/// the same step, so the fleet stays collectively in lockstep.
+int allocWorker(const std::string& seg, Index nranks, Index rank) {
+  grid::HexMesh mesh = grid::buildHexMesh(3);
+  grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
+  dycore::DycoreConfig cfg;
+  cfg.nlev = 8;
+  cfg.dt = 450.0;
+  const dycore::State initial = dycore::initBaroclinicWave(mesh, cfg);
+  auto transport = std::make_shared<parallel::ShmTransport>(seg, nranks, rank);
+  core::mp::RankProcessModel model(mesh, trsk, cfg, nranks, rank, initial,
+                                   transport);
+  model.run(2);  // warm-up: plan is live, slots recycled at least once
+  const long allocs = allocsDuring([&] { model.step(); });
+  if (allocs != 0) {
+    std::fprintf(stderr, "rank %d: warm shm step made %ld heap allocations\n",
+                 static_cast<int>(rank), allocs);
+    return 1;
+  }
+  model.run(1);  // one more collective step so no rank exits mid-protocol
+  return 0;
+}
+
+TEST(MultiProcessAlloc, WarmShmStepIsAllocationFree) {
+  const Index nranks = 4;
+  const std::string seg = parallel::makeSegmentName() + "-alloc";
+  auto pids = parallel::spawnRanks(nranks, /*pin=*/false, [&](Index r) {
+    return std::vector<std::string>{"test_multiprocess_alloc", "--alloc-worker",
+                                    seg, std::to_string(nranks),
+                                    std::to_string(r)};
+  });
+  EXPECT_EQ(parallel::waitRanks(pids), 0);
+  parallel::ShmTransport::unlinkSegments(seg);
+}
+
+TEST(MultiProcessAlloc, CounterSeesAllocations) {
+  // Negative control: the counter must register ordinary heap traffic.
+  EXPECT_GT(allocsDuring([] {
+              std::vector<double> v(4096, 1.0);
+              volatile double sink = v[17];
+              (void)sink;
+            }),
+            0);
+}
+
+} // namespace
+} // namespace grist
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--alloc-worker") == 0 && argc == 5) {
+    return grist::allocWorker(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
