@@ -1,16 +1,26 @@
 // The grist-sw command-line driver: run a namelist-described configuration
-// for a given number of steps, with optional restart read/write -- the
+// for a given number of steps, with elastic checkpoint/restart -- the
 // analog of the paper artifact's ParGRIST-GCM executable driven by
 // run-*.sh scripts (Appendix B).
 //
 //   grist_run <namelist> [steps] [--ranks N] [--transport threads|shm]
 //             [--pin] [--wire-latency S]
+//             [--checkpoint-every K --checkpoint-dir D] [--restart PATH]
 //
 // Extra namelist keys beyond the factory's (see core/factory.hpp):
 //   steps (48)            dynamics steps to run (overridden by argv[2])
-//   restart_in            restart file to resume from
+//   restart_in            restart file to resume from (--restart overrides)
 //   restart_out           restart file to write at the end
 //   report_interval (12)  steps between progress lines
+//
+// Checkpoint/restart (io/snapshot.hpp, core/checkpoint.hpp):
+//   --checkpoint-every K  write an atomic snapshot every K dynamics steps
+//   --checkpoint-dir D    into D/ckpt-<step>.grist (keep-last-2 rotation)
+//   --restart PATH        resume from a snapshot (v2) or a legacy GRISTSW1
+//                         restart file. Checkpoints store the GLOBAL state,
+//                         so a checkpoint written at N ranks restores at
+//                         any M ranks (repartition-on-restart), across
+//                         both transports.
 //
 // With --ranks N > 1 the run becomes the multi-rank dynamics step (the
 // decomposition gate configuration: dynamics only, no physics/IO):
@@ -22,6 +32,9 @@
 //                         whole run down and its exit code is propagated.
 //   --pin                 sched_setaffinity rank r -> core r % ncores (shm)
 //   --wire-latency S      emulate S seconds of interconnect delivery delay
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,18 +42,34 @@
 #include <vector>
 
 #include "grist/common/timer.hpp"
+#include "grist/core/checkpoint.hpp"
 #include "grist/core/factory.hpp"
 #include "grist/core/mp_runner.hpp"
 #include "grist/core/parallel_model.hpp"
 #include "grist/dycore/diagnostics.hpp"
 #include "grist/dycore/init.hpp"
 #include "grist/io/restart.hpp"
+#include "grist/io/snapshot.hpp"
+#include "grist/partition/partitioner.hpp"
 
 namespace {
 
+/// Validated checkpoint/restart options shared by all run modes.
+struct CkptOpts {
+  int every = 0;          ///< 0 = no periodic checkpoints
+  std::string dir;
+  std::string restart;    ///< snapshot/legacy file to resume from
+};
+
+bool fileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
 /// The multi-rank dynamics run (both transports share the reporting).
 int runMultiRank(const grist::Config& config, int steps, grist::Index nranks,
-                 const std::string& transport, bool pin, double wire_latency) {
+                 const std::string& transport, bool pin, double wire_latency,
+                 const CkptOpts& ckpt) {
   using namespace grist;
   const int glevel = config.getInt("grid_level", 4);
   dycore::DycoreConfig cfg;
@@ -49,47 +78,104 @@ int runMultiRank(const grist::Config& config, int steps, grist::Index nranks,
   const std::string scheme = config.getString("scheme", "DP-PHY");
   cfg.ns = scheme.rfind("MIX", 0) == 0 ? precision::NsMode::kSingle
                                        : precision::NsMode::kDouble;
+  const int ntracers = 1;  // decomposition gate configuration
 
   std::printf("multi-rank dynamics: grid G%d, nlev %d, %d ranks, transport %s%s\n",
               glevel, cfg.nlev, static_cast<int>(nranks), transport.c_str(),
               pin ? " (pinned)" : "");
+  long step_base = 0;  // global step the run resumes at
   Timer timer;
   parallel::CommStats stats;
-  double sdays = 0.0;
+  // Chunked stepping shared by both transports: run to the next checkpoint
+  // boundary, snapshot the gathered global state, repeat.
+  const auto drive = [&](auto&& run_steps, auto&& capture) {
+    long done = 0;
+    while (done < steps) {
+      const int chunk =
+          ckpt.every > 0
+              ? static_cast<int>(std::min<long>(ckpt.every, steps - done))
+              : static_cast<int>(steps - done);
+      run_steps(chunk);
+      done += chunk;
+      if (ckpt.every > 0 && (done % ckpt.every == 0 || done == steps)) {
+        const std::string path = io::writeCheckpoint(
+            ckpt.dir, capture(step_base + done), step_base + done);
+        std::printf("checkpoint: step %ld -> %s\n", step_base + done,
+                    path.c_str());
+      }
+    }
+  };
   if (transport == "shm") {
     core::mp::RunSpec spec;
     spec.grid_level = glevel;
     spec.nlev = cfg.nlev;
     spec.dt = cfg.dt;
     spec.ns = cfg.ns;
+    spec.ntracers = ntracers;
     spec.nranks = nranks;
     spec.pin = pin;
     spec.wire_latency = wire_latency;
+    spec.restart = ckpt.restart;
+    if (!ckpt.restart.empty()) {
+      // Validate in the parent for a friendly error before spawning the
+      // fleet (each worker re-reads + re-validates the file itself).
+      const grid::HexMesh mesh = grid::buildHexMesh(glevel);
+      core::loadDynRestart(ckpt.restart, mesh, cfg, ntracers, &step_base);
+      std::printf("resuming from %s at step %ld\n", ckpt.restart.c_str(),
+                  step_base);
+    }
     core::mp::MpSession session(spec);
-    session.run(steps);
+    const std::uint64_t part_fp = partition::Partitioner::fingerprint(
+        partition::Partitioner::partition(session.mesh(), nranks));
+    drive([&](int n) { session.run(n); },
+          [&](long step) {
+            return core::captureDynRun(session.gather(), cfg, glevel, step,
+                                       nranks, part_fp);
+          });
     stats = session.commStats();
-    sdays = steps * cfg.dt / 86400.0;
   } else if (transport == "threads") {
     const grid::HexMesh mesh = grid::buildHexMesh(glevel);
     const grid::TrskWeights trsk = grid::buildTrskWeights(mesh);
-    const dycore::State initial = dycore::initBaroclinicWave(mesh, cfg);
+    dycore::State initial =
+        ckpt.restart.empty()
+            ? dycore::initBaroclinicWave(mesh, cfg, ntracers)
+            : core::loadDynRestart(ckpt.restart, mesh, cfg, ntracers,
+                                   &step_base);
+    if (!ckpt.restart.empty()) {
+      std::printf("resuming from %s at step %ld\n", ckpt.restart.c_str(),
+                  step_base);
+    }
     core::ParallelModel model(mesh, trsk, cfg, nranks, initial);
     model.setWireLatency(wire_latency);
-    model.run(steps);
+    const std::uint64_t part_fp =
+        partition::Partitioner::fingerprint(model.decomposition().cell_part);
+    drive([&](int n) { model.run(n); },
+          [&](long step) {
+            return core::captureDynRun(model.gatherState(), cfg, glevel, step,
+                                       nranks, part_fp);
+          });
     stats = model.commStats();
-    sdays = steps * cfg.dt / 86400.0;
   } else {
     std::fprintf(stderr, "grist_run: unknown transport '%s' (threads|shm)\n",
                  transport.c_str());
     return 2;
   }
   const double wall = timer.elapsed();
+  const double sdays = steps * cfg.dt / 86400.0;
   std::printf("done: %d steps (%.3f simulated days) in %.1f s wall (%.1f SDPD)\n",
               steps, sdays, wall, sdays / (wall / 86400.0));
   std::printf("comm: %lld messages, %.3f MB, %lld exchange rounds\n",
               static_cast<long long>(stats.messages), stats.bytes / 1.0e6,
               static_cast<long long>(stats.exchanges));
   return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: grist_run <namelist> [steps] [--ranks N] "
+               "[--transport threads|shm] [--pin] [--wire-latency S]\n"
+               "                 [--checkpoint-every K --checkpoint-dir D] "
+               "[--restart PATH]\n");
 }
 
 } // namespace
@@ -104,6 +190,7 @@ int main(int argc, char** argv) {
   std::string transport = "threads";
   bool pin = false;
   double wire_latency = 0.0;
+  CkptOpts ckpt;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,19 +209,45 @@ int main(int argc, char** argv) {
       pin = true;
     } else if (arg == "--wire-latency") {
       wire_latency = std::atof(value());
+    } else if (arg == "--checkpoint-every") {
+      ckpt.every = std::atoi(value());
+      if (ckpt.every <= 0) {
+        std::fprintf(stderr,
+                     "grist_run: --checkpoint-every needs a positive step "
+                     "count (got '%d')\n",
+                     ckpt.every);
+        return 2;
+      }
+    } else if (arg == "--checkpoint-dir") {
+      ckpt.dir = value();
+    } else if (arg == "--restart") {
+      ckpt.restart = value();
     } else {
       pos.push_back(argv[i]);
     }
   }
   if (pos.empty()) {
-    std::fprintf(stderr,
-                 "usage: grist_run <namelist> [steps] [--ranks N] "
-                 "[--transport threads|shm] [--pin] [--wire-latency S]\n");
+    usage();
     return 2;
   }
   if (transport != "threads" && transport != "shm") {
     std::fprintf(stderr, "grist_run: unknown transport '%s' (threads|shm)\n",
                  transport.c_str());
+    return 2;
+  }
+  if (ckpt.every > 0 && ckpt.dir.empty()) {
+    std::fprintf(stderr,
+                 "grist_run: --checkpoint-every needs --checkpoint-dir\n");
+    return 2;
+  }
+  if (!ckpt.dir.empty() && ckpt.every == 0) {
+    std::fprintf(stderr,
+                 "grist_run: --checkpoint-dir needs --checkpoint-every\n");
+    return 2;
+  }
+  if (!ckpt.restart.empty() && !fileExists(ckpt.restart)) {
+    std::fprintf(stderr, "grist_run: restart file not found: %s\n",
+                 ckpt.restart.c_str());
     return 2;
   }
   Config config;
@@ -150,7 +263,7 @@ int main(int argc, char** argv) {
         pos.size() > 1 ? std::atoi(pos[1]) : config.getInt("steps", 48);
     try {
       return runMultiRank(config, steps, std::max<Index>(ranks, 1), transport,
-                          pin, wire_latency);
+                          pin, wire_latency, ckpt);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "grist_run: %s\n", e.what());
       return 1;
@@ -167,15 +280,19 @@ int main(int argc, char** argv) {
   core::Model& model = *bundle->model;
   const grid::HexMesh& mesh = bundle->mesh;
 
-  const std::string restart_in = config.getString("restart_in", "");
+  // --restart takes precedence over the namelist's restart_in; both accept
+  // snapshot (v2) and legacy GRISTSW1 files through the same reader.
+  const std::string restart_in =
+      !ckpt.restart.empty() ? ckpt.restart : config.getString("restart_in", "");
   if (!restart_in.empty()) {
-    std::vector<double> tskin;
-    const io::RestartHeader header = io::readRestart(restart_in, model.state(), tskin);
-    model.setTskin(std::move(tskin));
-    model.setSimSeconds(header.sim_seconds);
-    model.resyncAfterRestart();
-    std::printf("resumed from %s at sim day %.3f\n", restart_in.c_str(),
-                header.sim_seconds / 86400.0);
+    try {
+      model.restore(io::Snapshot::read(restart_in));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "grist_run: %s\n", e.what());
+      return 2;
+    }
+    std::printf("resumed from %s at sim day %.3f (step %ld)\n",
+                restart_in.c_str(), model.simDays(), model.dynSteps());
   }
 
   const int steps =
@@ -187,6 +304,13 @@ int main(int argc, char** argv) {
   Timer timer;
   for (int s = 0; s < steps; ++s) {
     model.step();
+    if (ckpt.every > 0 &&
+        ((s + 1) % ckpt.every == 0 || s + 1 == steps)) {
+      const std::string path =
+          io::writeCheckpoint(ckpt.dir, model.snapshot(), model.dynSteps());
+      std::printf("checkpoint: step %ld -> %s\n", model.dynSteps(),
+                  path.c_str());
+    }
     if ((s + 1) % report == 0) {
       double rain_max = 0;
       for (const double r : model.meanPrecipRate()) rain_max = std::max(rain_max, r);

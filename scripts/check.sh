@@ -16,6 +16,10 @@
 #                                        # BENCH_exchange_schedules.json
 #                                        # (schedule + transport ablation,
 #                                        # bench_compare.py-gated)
+#   GRIST_SKIP_RESTART=1 scripts/check.sh    # skip the elastic-restart stage
+#   GRIST_RESTART_BENCH=1 scripts/check.sh   # also record BENCH_restart.json
+#                                        # (checkpoint write/read MB/s,
+#                                        # bench_compare.py-gated)
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
 # and runs the ml and common test binaries -- the two subsystems that hand
@@ -139,6 +143,36 @@ else
         BENCH_exchange_schedules.new.json
     fi
     mv BENCH_exchange_schedules.new.json BENCH_exchange_schedules.json
+  fi
+fi
+
+if [[ "${GRIST_SKIP_RESTART:-0}" == "1" ]]; then
+  echo "== skipping elastic-restart pass (GRIST_SKIP_RESTART=1) =="
+else
+  # Elastic checkpoint/restart contract: a resume must be bitwise identical
+  # to the unbroken run on BOTH transports (threads and one-process-per-rank
+  # shm), at the writer's rank count AND at a different one (the N->M
+  # repartition-on-restart gates), in both NS precisions -- plus the
+  # snapshot-format edge cases (CRC flips, truncation, version mismatch,
+  # legacy read-compat) and the restore-then-step alloc guard. The shm leg
+  # is doubly labeled RESTART;MULTIPROCESS and carries the MULTIPROCESS
+  # timeout: a lost rank worker surfaces as a ctest timeout, never a wedge.
+  echo "== elastic-restart pass: RESTART suites (threads + shm, N->M resize) =="
+  ctest --test-dir build -L RESTART --output-on-failure
+  if [[ "${GRIST_RESTART_BENCH:-0}" == "1" ]]; then
+    # Checkpoint write / read+validate / rotation throughput in MB/s,
+    # recorded for the README table; a committed baseline turns the run
+    # into a >5% regression gate through bench_compare.py.
+    echo "-- recording BENCH_restart.json (checkpoint write/read MB/s)"
+    ./build/bench/bench_restart \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+      --benchmark_format=json --benchmark_out=BENCH_restart.new.json \
+      >/dev/null
+    if [[ -f BENCH_restart.json ]]; then
+      echo "-- diffing against committed BENCH_restart.json"
+      python3 scripts/bench_compare.py BENCH_restart.json BENCH_restart.new.json
+    fi
+    mv BENCH_restart.new.json BENCH_restart.json
   fi
 fi
 

@@ -11,6 +11,7 @@
 #include "grist/coupler/coupler.hpp"
 #include "grist/dycore/dycore.hpp"
 #include "grist/grid/trsk.hpp"
+#include "grist/io/snapshot.hpp"
 #include "grist/ml/ml_suite.hpp"
 #include "grist/physics/suite.hpp"
 
@@ -71,6 +72,20 @@ class Model {
   /// from a restart (resets the mass-flux accumulation window). Restarts
   /// are written at tracer-step boundaries so this is exact.
   void resyncAfterRestart();
+
+  /// Capture everything a bitwise resume needs: STATE + LAND + CLOCK +
+  /// DIAG (accumulator windows, so mid-tracer-window checkpoints are exact)
+  /// + CONFIG, and MLWT weight provenance under the ML scheme.
+  io::Snapshot snapshot() const;
+  /// Restore from a snapshot (including legacy GRISTSW1 conversions).
+  /// Validates CONFIG (nlev/ntracers/dt/ns/cadences) and MLWT fingerprints
+  /// when present, throwing std::runtime_error naming the mismatch. With a
+  /// DIAG section the resume is bitwise anywhere in the cadence; without
+  /// one (legacy files) it falls back to resyncAfterRestart() semantics.
+  void restore(const io::Snapshot& snap);
+
+  long dynSteps() const { return dyn_steps_; }
+  const ModelConfig& config() const { return config_; }
   const char* schemeName() const;
   physics::PhysicsSuite& suite() { return *suite_; }
   dycore::Dycore& dycore() { return dycore_; }

@@ -52,6 +52,11 @@ struct RunSpec {
   bool pin = false;        ///< sched_setaffinity rank r -> core r % ncores
   double wire_latency = 0; ///< seconds, forwarded per step command
   std::string segment;     ///< transport segment name; generated if empty
+  /// Snapshot file (io/snapshot.hpp) to restore the initial state from
+  /// instead of initBaroclinicWave. Every worker reads + validates it and
+  /// scatters its own rank slice -- the checkpoint's writer rank count is
+  /// irrelevant (repartition-on-restart). Empty = cold start.
+  std::string restart;
 };
 
 /// FNV-1a, used for the per-rank owned-state hashes in the result segment.

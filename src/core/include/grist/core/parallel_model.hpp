@@ -44,6 +44,14 @@ dycore::State scatterLocalState(const dycore::State& global,
                                 const parallel::LocalDomain& dom, int nlev,
                                 int ntracers);
 
+/// In-place variant: overwrite an existing rank-local state (all local
+/// entities, owned + halo) from the global state. Shapes must already
+/// match. Used by checkpoint restore, where replacing the State object
+/// would dangle the exchange lists' field pointers.
+void scatterIntoLocalState(const dycore::State& global,
+                           const parallel::LocalDomain& dom,
+                           dycore::State& local);
+
 class ParallelModel {
  public:
   enum class Schedule {
@@ -75,6 +83,14 @@ class ParallelModel {
 
   /// Reassemble the global prognostic state from rank-owned entities.
   dycore::State gatherState() const;
+
+  /// Overwrite every rank's local state (owned + halo) from a global state
+  /// -- checkpoint restore. In-place: exchange plans, bands and buffers
+  /// survive untouched, so warm stepping stays allocation-free afterwards.
+  /// Throws std::runtime_error on shape mismatch (nlev/ntracers/entities).
+  void restoreGlobalState(const dycore::State& global);
+
+  const dycore::DycoreConfig& config() const { return config_; }
 
   Index nranks() const { return decomp_.nranks; }
   parallel::CommStats commStats() const { return comm_.stats(); }

@@ -1,6 +1,7 @@
 #include "grist/core/model.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "grist/common/math.hpp"
@@ -74,6 +75,122 @@ void Model::setTskin(std::vector<double> tskin) {
 
 const char* Model::schemeName() const {
   return schemeLabel(config_.dyn.ns, config_.scheme);
+}
+
+io::Snapshot Model::snapshot() const {
+  io::Snapshot snap;
+  snap.state = io::StateSection::capture(state_);
+  snap.land = tskin_;
+
+  io::ClockSection clock;
+  clock.sim_seconds = sim_seconds_;
+  clock.dyn_steps = dyn_steps_;
+  snap.clock = clock;
+
+  io::DiagSection diag;
+  diag.ncells = mesh_.ncells;
+  diag.nedges = mesh_.nedges;
+  diag.nlev = config_.dyn.nlev;
+  diag.acc_steps = dycore_.accumulatedSteps();
+  const parallel::Field& af = dycore_.accumulatedMassFlux();
+  diag.acc_flux.assign(af.data(), af.data() + af.size());
+  diag.delp_at_tracer_start.assign(
+      delp_at_tracer_start_.data(),
+      delp_at_tracer_start_.data() + delp_at_tracer_start_.size());
+  diag.precip_accum = precip_accum_;
+  snap.diag = diag;
+
+  io::ConfigSection cs;
+  cs.grid_level = mesh_.level;
+  cs.writer_nranks = 1;
+  cs.nlev = config_.dyn.nlev;
+  cs.ntracers = static_cast<std::int32_t>(state_.tracers.size());
+  cs.trac_interval = config_.trac_interval;
+  cs.phy_interval = config_.phy_interval;
+  cs.dt = config_.dyn.dt;
+  cs.ns_single = config_.dyn.ns == precision::NsMode::kSingle ? 1 : 0;
+  snap.config = cs;
+
+  if (config_.scheme == PhysicsScheme::kMl) {
+    io::MlWeightsSection ml;
+    ml.q1q2_fingerprint = config_.q1q2->weightFingerprint();
+    ml.rad_fingerprint = config_.rad_mlp->weightFingerprint();
+    ml.q1q2_bf16_version = config_.q1q2->quantizedVersion(ml::Precision::kBf16);
+    ml.q1q2_int8_version = config_.q1q2->quantizedVersion(ml::Precision::kInt8);
+    ml.rad_bf16_version = config_.rad_mlp->quantizedVersion(ml::Precision::kBf16);
+    ml.rad_int8_version = config_.rad_mlp->quantizedVersion(ml::Precision::kInt8);
+    snap.ml = ml;
+  }
+  return snap;
+}
+
+void Model::restore(const io::Snapshot& snap) {
+  if (!snap.state) {
+    throw std::runtime_error("Model::restore: snapshot has no STATE section");
+  }
+  const auto mismatch = [](const char* field, double have, double want) {
+    throw std::runtime_error("Model::restore: CONFIG mismatch: " +
+                             std::string(field) + " " + std::to_string(have) +
+                             " (checkpoint) vs " + std::to_string(want) +
+                             " (run)");
+  };
+  if (snap.config) {
+    const io::ConfigSection& cs = *snap.config;
+    if (cs.nlev != config_.dyn.nlev) mismatch("nlev", cs.nlev, config_.dyn.nlev);
+    if (cs.ntracers != static_cast<std::int32_t>(state_.tracers.size())) {
+      mismatch("ntracers", cs.ntracers,
+               static_cast<double>(state_.tracers.size()));
+    }
+    if (cs.dt != config_.dyn.dt) mismatch("dt", cs.dt, config_.dyn.dt);
+    const std::uint8_t ns =
+        config_.dyn.ns == precision::NsMode::kSingle ? 1 : 0;
+    if (cs.ns_single != ns) mismatch("ns_single", cs.ns_single, ns);
+    if (cs.trac_interval != config_.trac_interval) {
+      mismatch("trac_interval", cs.trac_interval, config_.trac_interval);
+    }
+    if (cs.phy_interval != config_.phy_interval) {
+      mismatch("phy_interval", cs.phy_interval, config_.phy_interval);
+    }
+  }
+  if (snap.ml && config_.scheme == PhysicsScheme::kMl) {
+    if (snap.ml->q1q2_fingerprint != config_.q1q2->weightFingerprint()) {
+      throw std::runtime_error(
+          "Model::restore: MLWT mismatch: q1q2 weight fingerprint differs "
+          "from the checkpointed net");
+    }
+    if (snap.ml->rad_fingerprint != config_.rad_mlp->weightFingerprint()) {
+      throw std::runtime_error(
+          "Model::restore: MLWT mismatch: rad_mlp weight fingerprint differs "
+          "from the checkpointed net");
+    }
+  }
+
+  snap.state->restoreTo(state_);
+  if (snap.land) setTskin(*snap.land);
+  if (snap.clock) {
+    sim_seconds_ = snap.clock->sim_seconds;
+    // Legacy files do not record the step count (-1): start a fresh cadence.
+    dyn_steps_ = snap.clock->dyn_steps >= 0 ? snap.clock->dyn_steps : 0;
+  }
+  if (snap.diag) {
+    const io::DiagSection& d = *snap.diag;
+    if (d.ncells != mesh_.ncells || d.nedges != mesh_.nedges ||
+        d.nlev != config_.dyn.nlev) {
+      throw std::runtime_error("Model::restore: DIAG shape mismatch");
+    }
+    parallel::Field flux(mesh_.nedges, config_.dyn.nlev);
+    std::memcpy(flux.data(), d.acc_flux.data(),
+                d.acc_flux.size() * sizeof(double));
+    dycore_.restoreAccumulatedFlux(flux, d.acc_steps);
+    std::memcpy(delp_at_tracer_start_.data(), d.delp_at_tracer_start.data(),
+                d.delp_at_tracer_start.size() * sizeof(double));
+    precip_accum_ = d.precip_accum;
+  } else {
+    // No accumulator windows (legacy / dynamics-only snapshot): reset the
+    // flux window, exact only at tracer-step boundaries.
+    dycore_.resetAccumulatedFlux();
+    delp_at_tracer_start_ = state_.delp;
+  }
 }
 
 void Model::step() {

@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "grist/common/hash.hpp"
+#include "grist/core/checkpoint.hpp"
 #include "grist/dycore/init.hpp"
 #include "grist/parallel/mp_launch.hpp"
 #include "grist/parallel/shm_transport.hpp"
@@ -55,12 +57,7 @@ const char* nsName(precision::NsMode ns) {
 } // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
+  return common::fnv1a(data, bytes, h);
 }
 
 ResultLayout ResultLayout::compute(Index nranks, Index ncells, Index nedges,
@@ -206,7 +203,12 @@ int workerMain(const RunSpec& spec, Index rank) {
   cfg.dt = spec.dt;
   cfg.ntracers = spec.ntracers;
   cfg.ns = spec.ns;
-  const dycore::State initial = dycore::initBaroclinicWave(mesh, cfg);
+  // Every worker builds the same global initial state (cold: the analytic
+  // init; restart: the validated snapshot) and scatters its own rank slice.
+  const dycore::State initial =
+      spec.restart.empty()
+          ? dycore::initBaroclinicWave(mesh, cfg, spec.ntracers)
+          : loadDynRestart(spec.restart, mesh, cfg, spec.ntracers, nullptr);
   auto transport = std::make_shared<parallel::ShmTransport>(spec.segment,
                                                             spec.nranks, rank);
   RankProcessModel model(mesh, trsk, cfg, spec.nranks, rank, initial, transport);
@@ -272,8 +274,8 @@ int workerMain(const RunSpec& spec, Index rank) {
 
 std::optional<int> maybeRunWorker(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], kWorkerFlag) != 0) return std::nullopt;
-  if (argc != 10) {
-    std::fprintf(stderr, "%s: expected 8 operands, got %d\n", kWorkerFlag,
+  if (argc != 11) {
+    std::fprintf(stderr, "%s: expected 9 operands, got %d\n", kWorkerFlag,
                  argc - 2);
     return 2;
   }
@@ -287,6 +289,7 @@ std::optional<int> maybeRunWorker(int argc, char** argv) {
   spec.ntracers = std::atoi(argv[8]);
   spec.ns = std::strcmp(argv[9], "mix") == 0 ? precision::NsMode::kSingle
                                              : precision::NsMode::kDouble;
+  if (std::strcmp(argv[10], "-") != 0) spec.restart = argv[10];
   try {
     return workerMain(spec, rank);
   } catch (const std::exception& e) {
@@ -328,7 +331,8 @@ MpSession::MpSession(RunSpec spec)
         std::to_string(spec_.nlev),
         dt,
         std::to_string(spec_.ntracers),
-        nsName(spec_.ns)};
+        nsName(spec_.ns),
+        spec_.restart.empty() ? "-" : spec_.restart};
   });
   exit_codes_.assign(pids_.size(), -1);
 }

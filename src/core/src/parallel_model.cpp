@@ -39,6 +39,14 @@ TrskWeights localTrskWeights(const TrskWeights& global, const LocalDomain& dom) 
 State scatterLocalState(const State& global, const LocalDomain& dom, int nlev,
                         int ntracers) {
   State local(dom.mesh, nlev, ntracers);
+  scatterIntoLocalState(global, dom, local);
+  return local;
+}
+
+void scatterIntoLocalState(const State& global, const LocalDomain& dom,
+                           State& local) {
+  const int nlev = local.nlev;
+  const int ntracers = static_cast<int>(local.tracers.size());
   for (Index lc = 0; lc < dom.mesh.ncells; ++lc) {
     const Index g = dom.cell_global[lc];
     for (int k = 0; k < nlev; ++k) {
@@ -57,7 +65,6 @@ State scatterLocalState(const State& global, const LocalDomain& dom, int nlev,
     const Index g = dom.edge_global[le];
     for (int k = 0; k < nlev; ++k) local.u(le, k) = global.u(g, k);
   }
-  return local;
 }
 
 void ParallelModel::StageExchange::operator()() const noexcept {
@@ -178,6 +185,22 @@ void ParallelModel::step() {
 
 void ParallelModel::run(int nsteps) {
   for (int i = 0; i < nsteps; ++i) step();
+}
+
+void ParallelModel::restoreGlobalState(const State& global) {
+  const int ntracers = static_cast<int>(states_[0].tracers.size());
+  if (global.nlev != config_.nlev ||
+      static_cast<int>(global.tracers.size()) != ntracers ||
+      global.delp.entities() != mesh_.ncells ||
+      global.u.entities() != mesh_.nedges) {
+    throw std::runtime_error("ParallelModel::restoreGlobalState: shape mismatch");
+  }
+  // Scatter fills halos from the same global data the owners get, so the
+  // ranks are exchange-consistent without an extra round (and CommStats
+  // stay comparable between restored and unbroken runs).
+  for (Index r = 0; r < decomp_.nranks; ++r) {
+    scatterIntoLocalState(global, decomp_.domains[r], states_[r]);
+  }
 }
 
 State ParallelModel::gatherState() const {

@@ -63,6 +63,9 @@ class Dycore {
   /// Number of dynamics steps accumulated (to average the flux).
   int accumulatedSteps() const { return acc_steps_; }
   void resetAccumulatedFlux();
+  /// Overwrite the flux accumulator window (checkpoint restore: a snapshot
+  /// taken mid-tracer-window resumes bitwise). `flux` must be edges x nlev.
+  void restoreAccumulatedFlux(const parallel::Field& flux, int steps);
 
   const DycoreConfig& config() const { return config_; }
   const Bounds& bounds() const { return bounds_; }

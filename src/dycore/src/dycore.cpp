@@ -1,5 +1,6 @@
 #include "grist/dycore/dycore.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -86,6 +87,18 @@ Dycore::Dycore(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
 void Dycore::resetAccumulatedFlux() {
   acc_flux_.fill(0.0);
   acc_steps_ = 0;
+}
+
+void Dycore::restoreAccumulatedFlux(const parallel::Field& flux, int steps) {
+  if (flux.entities() != acc_flux_.entities() ||
+      flux.components() != acc_flux_.components()) {
+    throw std::invalid_argument("Dycore::restoreAccumulatedFlux: shape mismatch");
+  }
+  if (steps < 0) {
+    throw std::invalid_argument("Dycore::restoreAccumulatedFlux: negative steps");
+  }
+  std::copy(flux.data(), flux.data() + flux.size(), acc_flux_.data());
+  acc_steps_ = steps;
 }
 
 void Dycore::setBands(Bands bands) {

@@ -1,15 +1,20 @@
-// Restart files: serialize the full prognostic state (plus land skin
-// temperature and simulation clock) so long climate runs can be split
-// across job allocations -- operationally essential for a model whose
-// production runs simulate years.
+// LEGACY restart files (format 1, magic "GRISTSW1"): the seed-era
+// single-section serialization of prognostic state + land skin temperature
+// + simulation clock. Kept alive for read-compat — io/snapshot.hpp is the
+// current checkpoint format (sectioned, checksummed, elastic across rank
+// counts) and its reader accepts files written here transparently.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "grist/dycore/state.hpp"
 
 namespace grist::io {
+
+/// Magic of the seed-era restart format ("GRISTSW1").
+inline constexpr std::uint64_t kLegacyRestartMagic = 0x4752495354535731ull;
 
 struct RestartHeader {
   Index ncells = 0;

@@ -7,7 +7,7 @@
 namespace grist::io {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x4752495354535731ull;  // "GRISTSW1"
+constexpr std::uint64_t kMagic = kLegacyRestartMagic;  // "GRISTSW1"
 
 void writeField(std::ofstream& out, const parallel::Field& f) {
   out.write(reinterpret_cast<const char*>(f.data()),

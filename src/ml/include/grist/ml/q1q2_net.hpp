@@ -75,6 +75,11 @@ class Q1Q2Net {
   /// Version of the current snapshot for `prec`, 0 when absent (or kFp32).
   std::uint64_t quantizedVersion(Precision prec) const;
 
+  /// FNV-1a over every parameter and normalization constant -- the identity
+  /// a checkpoint records so restore can refuse to resume against nets that
+  /// would silently change the forecast.
+  std::uint64_t weightFingerprint() const;
+
   /// Fit the normalization constants to a sample set (call before training).
   void fitNormalization(const std::vector<ColumnSample>& samples);
 

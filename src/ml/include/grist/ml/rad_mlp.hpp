@@ -61,6 +61,10 @@ class RadMlp {
   /// Version of the current snapshot for `prec`, 0 when absent (or kFp32).
   std::uint64_t quantizedVersion(Precision prec) const;
 
+  /// FNV-1a over every parameter and normalization constant (see
+  /// Q1Q2Net::weightFingerprint).
+  std::uint64_t weightFingerprint() const;
+
   void fitNormalization(const std::vector<RadSample>& samples);
   double trainBatch(const std::vector<RadSample>& batch, Adam& adam);
   double evaluate(const std::vector<RadSample>& samples) const;

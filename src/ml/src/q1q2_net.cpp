@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "grist/common/hash.hpp"
+
 namespace grist::ml {
 
 struct Q1Q2Net::Cache {
@@ -127,6 +129,25 @@ void Q1Q2Net::ensureQuantized(Precision prec) const {
 
 std::uint64_t Q1Q2Net::quantizedVersion(Precision prec) const {
   return prec == Precision::kFp32 ? 0 : qcache_.version(prec);
+}
+
+std::uint64_t Q1Q2Net::weightFingerprint() const {
+  std::uint64_t h = common::kFnvOffsetBasis;
+  const auto conv = [&h](const Conv1dParams& p) {
+    h = common::fnv1a(p.w.a.data(), p.w.a.size() * sizeof(float), h);
+    h = common::fnv1a(p.b.data(), p.b.size() * sizeof(float), h);
+  };
+  const auto floats = [&h](const std::vector<float>& v) {
+    h = common::fnv1a(v.data(), v.size() * sizeof(float), h);
+  };
+  conv(conv_in_);
+  for (const auto& p : res_convs_) conv(p);
+  conv(head_);
+  floats(in_norm_.mean);
+  floats(in_norm_.stdev);
+  floats(out_norm_.mean);
+  floats(out_norm_.stdev);
+  return h;
 }
 
 void Q1Q2Net::predictBatch(int batch, const double* u, const double* v,

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "grist/common/hash.hpp"
+
 namespace grist::ml {
 
 RadMlp::RadMlp(RadMlpConfig config) : config_(config) {
@@ -105,6 +107,25 @@ void RadMlp::ensureQuantized(Precision prec) const {
 
 std::uint64_t RadMlp::quantizedVersion(Precision prec) const {
   return prec == Precision::kFp32 ? 0 : qcache_.version(prec);
+}
+
+std::uint64_t RadMlp::weightFingerprint() const {
+  std::uint64_t h = common::kFnvOffsetBasis;
+  const auto dense = [&h](const DenseParams& p) {
+    h = common::fnv1a(p.w.a.data(), p.w.a.size() * sizeof(float), h);
+    h = common::fnv1a(p.b.data(), p.b.size() * sizeof(float), h);
+  };
+  const auto floats = [&h](const std::vector<float>& v) {
+    h = common::fnv1a(v.data(), v.size() * sizeof(float), h);
+  };
+  dense(in_);
+  for (const auto& p : mid_) dense(p);
+  dense(head_);
+  floats(x_mean_);
+  floats(x_std_);
+  floats(y_mean_);
+  floats(y_std_);
+  return h;
 }
 
 void RadMlp::predictBatch(int batch, const double* t, const double* qv,

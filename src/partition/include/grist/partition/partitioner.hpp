@@ -29,6 +29,11 @@ class Partitioner {
 
   /// Number of boundary refinement sweeps (default 8); exposed for tests.
   static int& refinementSweeps();
+
+  /// FNV-1a over an assignment (cell order). Checkpoints record it as
+  /// provenance: which decomposition produced the snapshot, without storing
+  /// the assignment itself.
+  static std::uint64_t fingerprint(const std::vector<Index>& part);
 };
 
 } // namespace grist::partition

@@ -5,6 +5,7 @@
 #include <queue>
 #include <functional>
 
+#include "grist/common/hash.hpp"
 #include "grist/common/math.hpp"
 #include <stdexcept>
 
@@ -270,6 +271,10 @@ PartitionQuality Partitioner::evaluate(const grid::HexMesh& m,
     if (part[m.edge_cell[e][0]] != part[m.edge_cell[e][1]]) ++q.edge_cut;
   }
   return q;
+}
+
+std::uint64_t Partitioner::fingerprint(const std::vector<Index>& part) {
+  return common::fnv1a(part.data(), part.size() * sizeof(Index));
 }
 
 } // namespace grist::partition
