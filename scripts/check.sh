@@ -20,6 +20,10 @@
 #   GRIST_RESTART_BENCH=1 scripts/check.sh   # also record BENCH_restart.json
 #                                        # (checkpoint write/read MB/s,
 #                                        # bench_compare.py-gated)
+#   GRIST_SKIP_ENSEMBLE=1 scripts/check.sh   # skip the batched-ensemble stage
+#   GRIST_ENSEMBLE_BENCH=1 scripts/check.sh  # also record BENCH_ensemble.json
+#                                        # (batched vs solo members/s pair,
+#                                        # bench_compare.py-gated)
 #
 # The ASan/UBSan stage rebuilds with -DGRIST_SANITIZE=ON into build-asan/
 # and runs the ml and common test binaries -- the two subsystems that hand
@@ -173,6 +177,34 @@ else
       python3 scripts/bench_compare.py BENCH_restart.json BENCH_restart.new.json
     fi
     mv BENCH_restart.new.json BENCH_restart.json
+  fi
+fi
+
+if [[ "${GRIST_SKIP_ENSEMBLE:-0}" == "1" ]]; then
+  echo "== skipping batched-ensemble pass (GRIST_SKIP_ENSEMBLE=1) =="
+else
+  # Batched-ensemble contract: every member stepped through EnsembleRunner
+  # must be bitwise identical to the same seed-matched member run solo
+  # through Model -- across M in {2,4,8}, DP and MIX, fp32 and quantized
+  # (bf16/int8) ML physics, and both GEMM-batching modes -- and the warm
+  # fused step must stay off the heap (the ENSEMBLE-labeled alloc guard).
+  echo "== batched-ensemble pass: ENSEMBLE suites (member-vs-solo bitwise) =="
+  ctest --test-dir build -L ENSEMBLE --output-on-failure
+  if [[ "${GRIST_ENSEMBLE_BENCH:-0}" == "1" ]]; then
+    # Batched EnsembleRunner vs M independent Models (members/s), plus the
+    # cross-member vs per-member GEMM pair, recorded for the README table;
+    # a committed baseline turns the run into a >5% regression gate through
+    # bench_compare.py.
+    echo "-- recording BENCH_ensemble.json (batched vs solo members/s)"
+    ./build/bench/bench_ensemble \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+      --benchmark_format=json --benchmark_out=BENCH_ensemble.new.json \
+      >/dev/null
+    if [[ -f BENCH_ensemble.json ]]; then
+      echo "-- diffing against committed BENCH_ensemble.json"
+      python3 scripts/bench_compare.py BENCH_ensemble.json BENCH_ensemble.new.json
+    fi
+    mv BENCH_ensemble.new.json BENCH_ensemble.json
   fi
 fi
 

@@ -3,12 +3,13 @@
 // fully describes a run -- grid level, vertical levels, timesteps, scheme
 // (Table 3 label), initial case, and optional ML weight files.
 //
-// Recognized keys (defaults in parentheses):
+// Recognized keys (defaults in parentheses; the cadence defaults come from
+// ModelConfig in model.hpp, so namelist-less runs match programmatic runs):
 //   grid_level (4)        icosahedral level
 //   nlev (20)             vertical layers
 //   dt_dyn (300.0)        dynamics step, seconds
-//   trac_interval (4)     dynamics steps per tracer step
-//   phy_interval (4)      dynamics steps per physics step
+//   trac_interval (8)     dynamics steps per tracer step
+//   phy_interval (15)     dynamics steps per physics step
 //   scheme (DP-PHY)       DP-PHY | DP-ML | MIX-PHY | MIX-ML (Table 3)
 //   case (baroclinic)     rest | baroclinic | typhoon | bubble
 //   w_damp_tau (2*dt)     quasi-hydrostatic w damping, seconds (0 = off)
@@ -17,9 +18,11 @@
 //   q1q2_channels (24), q1q2_res_units (2), rad_hidden (48)
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "grist/common/config.hpp"
+#include "grist/core/ensemble_runner.hpp"
 #include "grist/core/model.hpp"
 
 namespace grist::core {
@@ -35,5 +38,19 @@ struct ModelBundle {
 /// Throws std::invalid_argument / std::runtime_error on bad keys or
 /// missing ML weights.
 std::unique_ptr<ModelBundle> makeModelFromConfig(const Config& config);
+
+/// Owns everything an EnsembleRunner references.
+struct EnsembleBundle {
+  grid::HexMesh mesh;
+  grid::TrskWeights trsk;
+  std::unique_ptr<EnsembleRunner> runner;
+};
+
+/// Same namelist, batched across `members` ensemble members (grist_run
+/// --ensemble M --perturb-seed S). perturb_seed 0 leaves the members
+/// identical.
+std::unique_ptr<EnsembleBundle> makeEnsembleFromConfig(const Config& config,
+                                                       int members,
+                                                       std::uint64_t perturb_seed);
 
 } // namespace grist::core

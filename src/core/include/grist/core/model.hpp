@@ -30,6 +30,10 @@ inline const char* schemeLabel(precision::NsMode ns, PhysicsScheme physics) {
   return physics == PhysicsScheme::kConventional ? "MIX-PHY" : "MIX-ML";
 }
 
+/// Default land initialization (zonally symmetric SST-like profile); used
+/// by both Model and EnsembleRunner.
+std::vector<double> initialSkinTemperature(const grid::HexMesh& mesh);
+
 struct ModelConfig {
   dycore::DycoreConfig dyn;      ///< includes ns (DP vs MIX) and dt
   int trac_interval = 8;         ///< dynamics steps per tracer step

@@ -6,20 +6,20 @@
 
 namespace grist::core {
 
-std::unique_ptr<ModelBundle> makeModelFromConfig(const Config& config) {
-  auto bundle = std::make_unique<ModelBundle>();
-  const int level = config.getInt("grid_level", 4);
-  bundle->mesh = grid::buildHexMesh(level);
-  bundle->trsk = grid::buildTrskWeights(bundle->mesh);
+namespace {
 
+// Shared namelist parsing for the solo and ensemble factories. Cadence
+// defaults are taken from ModelConfig itself (8/15) so the namelist layer
+// cannot drift from the programmatic defaults again.
+ModelConfig parseModelConfig(const Config& config) {
   ModelConfig cfg;
   cfg.dyn.nlev = config.getInt("nlev", 20);
   cfg.dyn.dt = config.getDouble("dt_dyn", 300.0);
   cfg.dyn.w_damp_tau = config.getDouble("w_damp_tau", 2.0 * cfg.dyn.dt);
   cfg.dyn.div_damp = config.getDouble("div_damp", 0.06);
   cfg.dyn.diff_coef = config.getDouble("diff_coef", 0.02);
-  cfg.trac_interval = config.getInt("trac_interval", 4);
-  cfg.phy_interval = config.getInt("phy_interval", 4);
+  cfg.trac_interval = config.getInt("trac_interval", cfg.trac_interval);
+  cfg.phy_interval = config.getInt("phy_interval", cfg.phy_interval);
 
   const std::string scheme = config.getString("scheme", "DP-PHY");
   if (scheme == "DP-PHY") {
@@ -66,24 +66,59 @@ std::unique_ptr<ModelBundle> makeModelFromConfig(const Config& config) {
     cfg.q1q2 = std::move(q1q2);
     cfg.rad_mlp = std::move(rad);
   }
+  return cfg;
+}
 
+dycore::State buildInitialState(const Config& config, const grid::HexMesh& mesh,
+                                const ModelConfig& cfg) {
   const std::string case_name = config.getString("case", "baroclinic");
-  dycore::State initial;
   if (case_name == "rest") {
-    initial = dycore::initRestState(bundle->mesh, cfg.dyn, 300.0, 3);
-  } else if (case_name == "baroclinic") {
-    initial = dycore::initBaroclinicWave(bundle->mesh, cfg.dyn, 3);
-  } else if (case_name == "typhoon") {
-    initial = dycore::initTyphoon(bundle->mesh, cfg.dyn, {}, 3);
-  } else if (case_name == "bubble") {
-    initial = dycore::initWarmBubble(bundle->mesh, cfg.dyn, 2.0, 50.0e3, 3);
-  } else {
-    throw std::invalid_argument("makeModelFromConfig: unknown case '" + case_name +
-                                "'");
+    return dycore::initRestState(mesh, cfg.dyn, 300.0, 3);
   }
+  if (case_name == "baroclinic") {
+    return dycore::initBaroclinicWave(mesh, cfg.dyn, 3);
+  }
+  if (case_name == "typhoon") {
+    return dycore::initTyphoon(mesh, cfg.dyn, {}, 3);
+  }
+  if (case_name == "bubble") {
+    return dycore::initWarmBubble(mesh, cfg.dyn, 2.0, 50.0e3, 3);
+  }
+  throw std::invalid_argument("makeModelFromConfig: unknown case '" + case_name +
+                              "'");
+}
 
+} // namespace
+
+std::unique_ptr<ModelBundle> makeModelFromConfig(const Config& config) {
+  auto bundle = std::make_unique<ModelBundle>();
+  const int level = config.getInt("grid_level", 4);
+  bundle->mesh = grid::buildHexMesh(level);
+  bundle->trsk = grid::buildTrskWeights(bundle->mesh);
+
+  ModelConfig cfg = parseModelConfig(config);
+  dycore::State initial = buildInitialState(config, bundle->mesh, cfg);
   bundle->model =
       std::make_unique<Model>(bundle->mesh, bundle->trsk, cfg, std::move(initial));
+  return bundle;
+}
+
+std::unique_ptr<EnsembleBundle> makeEnsembleFromConfig(
+    const Config& config, int members, std::uint64_t perturb_seed) {
+  auto bundle = std::make_unique<EnsembleBundle>();
+  const int level = config.getInt("grid_level", 4);
+  bundle->mesh = grid::buildHexMesh(level);
+  bundle->trsk = grid::buildTrskWeights(bundle->mesh);
+
+  EnsembleConfig ecfg;
+  ecfg.model = parseModelConfig(config);
+  ecfg.members = members;
+  ecfg.perturb_seed = perturb_seed;
+  ecfg.perturb_amplitude = config.getDouble("perturb_amplitude", 1e-3);
+  ecfg.cross_member_gemm = config.getInt("cross_member_gemm", 1) != 0;
+  dycore::State initial = buildInitialState(config, bundle->mesh, ecfg.model);
+  bundle->runner = std::make_unique<EnsembleRunner>(bundle->mesh, bundle->trsk,
+                                                    std::move(ecfg), initial);
   return bundle;
 }
 

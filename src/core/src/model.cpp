@@ -11,10 +11,10 @@
 
 namespace grist::core {
 
-namespace {
-
 std::vector<double> initialSkinTemperature(const grid::HexMesh& mesh) {
-  // Zonally symmetric SST-like profile: warm tropics, cold poles.
+  // Zonally symmetric SST-like profile: warm tropics, cold poles. Shared
+  // with EnsembleRunner so ensemble members and solo models start from the
+  // same land state (a parity precondition for the ENSEMBLE bitwise gate).
   std::vector<double> tskin(mesh.ncells);
   for (Index c = 0; c < mesh.ncells; ++c) {
     const double lat = mesh.cell_ll[c].lat;
@@ -22,8 +22,6 @@ std::vector<double> initialSkinTemperature(const grid::HexMesh& mesh) {
   }
   return tskin;
 }
-
-} // namespace
 
 Model::Model(const grid::HexMesh& mesh, const grid::TrskWeights& trsk,
              ModelConfig config, dycore::State initial)

@@ -1,0 +1,189 @@
+#include "grist/dycore/ensemble_dycore.hpp"
+
+#include <stdexcept>
+
+#include "grist/backend/simd.hpp"
+#include "grist/common/timer.hpp"
+#include "grist/dycore/ensemble_kernels.hpp"
+#include "grist/dycore/kernels.hpp"
+
+namespace grist::dycore {
+
+using parallel::Field;
+namespace ek = ensemble_kernels;
+
+EnsembleDycore::EnsembleDycore(const grid::HexMesh& mesh,
+                               const grid::TrskWeights& trsk,
+                               DycoreConfig config, int nmembers)
+    : mesh_(mesh), trsk_(trsk), config_(config), nmembers_(nmembers) {
+  if (config_.nlev < 2) throw std::invalid_argument("EnsembleDycore: nlev < 2");
+  if (config_.dt <= 0) throw std::invalid_argument("EnsembleDycore: dt <= 0");
+  if (nmembers_ < 1) {
+    throw std::invalid_argument("EnsembleDycore: nmembers < 1");
+  }
+  const int nlev = config_.nlev;
+
+  div_flux_ = Field(mesh.ncells, nlev);
+  ke_ = Field(mesh.ncells, nlev);
+  alpha_ = Field(mesh.ncells, nlev);
+  p_ = Field(mesh.ncells, nlev);
+  div_u_ = Field(mesh.ncells, nlev);
+  thetam_tend_ = Field(mesh.ncells, nlev);
+  delp_tend_ = Field(mesh.ncells, nlev);
+  delp0_ = Field(mesh.ncells, nlev);
+  thetam0_ = Field(mesh.ncells, nlev);
+  flux_ = Field(mesh.nedges, nlev);
+  uflux_ = Field(mesh.nedges, nlev);
+  u_tend_ = Field(mesh.nedges, nlev);
+  u0_ = Field(mesh.nedges, nlev);
+  vor_ = Field(mesh.nvertices, nlev);
+  qv_ = Field(mesh.nvertices, nlev);
+
+  acc_flux_.reserve(static_cast<std::size_t>(nmembers_));
+  p_solve_.reserve(static_cast<std::size_t>(nmembers_));
+  for (int m = 0; m < nmembers_; ++m) {
+    acc_flux_.emplace_back(mesh.nedges, nlev);
+    p_solve_.emplace_back(mesh.ncells, nlev);
+  }
+  const std::size_t mm = static_cast<std::size_t>(nmembers_);
+  solve_p_.resize(mm);
+  solve_w_.resize(mm);
+  solve_phi_.resize(mm);
+  solve_delp_.resize(mm);
+  solve_theta_.resize(mm);
+}
+
+void EnsembleDycore::resetAccumulatedFlux() {
+  for (Field& f : acc_flux_) f.fill(0.0);
+  acc_steps_ = 0;
+}
+
+void EnsembleDycore::step(std::vector<State>& states) {
+  if (static_cast<int>(states.size()) != nmembers_) {
+    throw std::invalid_argument("EnsembleDycore::step: member count mismatch");
+  }
+  // Per-member pointer table (capacity fixed in the ctor; no allocation).
+  static thread_local std::vector<State*> ptrs;
+  ptrs.clear();
+  for (State& s : states) ptrs.push_back(&s);
+  step(ptrs.data());
+}
+
+void EnsembleDycore::step(State* const* states) {
+  const ScopedTimer timer("ensemble.dycore");
+  if (config_.ns == precision::NsMode::kDouble) {
+    stepImpl<double>(states);
+  } else {
+    stepImpl<float>(states);
+  }
+}
+
+// Dycore::computeTendencies minus the compute_rrr call: the five fused
+// sweeps route through the same SIMD table entries (or Host kernels) with
+// the same arguments, so their outputs are bitwise the solo outputs. The
+// thermodynamic diagnostics come from rrrLite (alpha/p only) instead.
+template <typename NS>
+void EnsembleDycore::computeTendencies(const State& state) {
+  const int nlev = config_.nlev;
+  namespace k = kernels;
+  namespace simd = backend::simd;
+
+  ek::rrrLite(mesh_.ncells, nlev, state.delp.data(), state.theta.data(),
+              state.phi.data(), alpha_.data(), p_.data(), config_.ns);
+
+  if (config_.use_simd && simd::enabled()) {
+    const simd::KernelTable& tb = simd::table();
+    constexpr int si = simd::kNsIndex<NS>;
+    tb.fused_edge_fluxes[si](mesh_, mesh_.nedges, nlev, state.delp.data(),
+                             state.u.data(), flux_.data(), uflux_.data());
+    tb.fused_cell_diagnostics[si](mesh_, mesh_.ncells, nlev, flux_.data(),
+                                  uflux_.data(), state.u.data(),
+                                  div_flux_.data(), div_u_.data(), ke_.data());
+    tb.fused_vertex_diagnostics[si](mesh_, mesh_.nvertices, nlev,
+                                    state.u.data(), state.delp.data(),
+                                    constants::kOmega, vor_.data(), qv_.data());
+    tb.fused_scalar_tendencies[si](
+        mesh_, mesh_.ncells, nlev, flux_.data(), state.theta.data(),
+        state.delp.data(), div_flux_.data(), config_.diff_coef / config_.dt,
+        delp_tend_.data(), thetam_tend_.data());
+    tb.fused_momentum_tendency[si](
+        mesh_, trsk_, mesh_.nedges, nlev, ke_.data(), qv_.data(), flux_.data(),
+        state.phi.data(), alpha_.data(), p_.data(), div_u_.data(), vor_.data(),
+        config_.div_damp / config_.dt, config_.diff_coef / config_.dt,
+        u_tend_.data());
+    return;
+  }
+
+  k::fusedEdgeFluxes<NS>(mesh_, mesh_.nedges, nlev, state.delp.data(),
+                         state.u.data(), flux_.data(), uflux_.data());
+  k::fusedCellDiagnostics<NS>(mesh_, mesh_.ncells, nlev, flux_.data(),
+                              uflux_.data(), state.u.data(), div_flux_.data(),
+                              div_u_.data(), ke_.data());
+  k::fusedVertexDiagnostics<NS>(mesh_, mesh_.nvertices, nlev, state.u.data(),
+                                state.delp.data(), constants::kOmega,
+                                vor_.data(), qv_.data());
+  k::fusedScalarTendencies<NS>(mesh_, mesh_.ncells, nlev, flux_.data(),
+                               state.theta.data(), state.delp.data(),
+                               div_flux_.data(), config_.diff_coef / config_.dt,
+                               delp_tend_.data(), thetam_tend_.data());
+  k::fusedMomentumTendency<NS>(mesh_, trsk_, mesh_.nedges, nlev, ke_.data(),
+                               qv_.data(), flux_.data(), state.phi.data(),
+                               alpha_.data(), p_.data(), div_u_.data(),
+                               vor_.data(), config_.div_damp / config_.dt,
+                               config_.diff_coef / config_.dt, u_tend_.data());
+}
+
+template <typename NS>
+void EnsembleDycore::stepImpl(State* const* states) {
+  const int nlev = config_.nlev;
+
+  // Phase 1, member-sequential over shared scratch: RK3 explicit update,
+  // pre-solver pressure into the member's p_solve_, mass-flux accumulation.
+  // (flux_ is live only within the member's iteration; moving the
+  // accumulation before the solve is state-invisible because the implicit
+  // solve does not touch the mass flux.)
+  const double stage_dt[3] = {config_.dt / 3.0, config_.dt / 2.0, config_.dt};
+  for (int m = 0; m < nmembers_; ++m) {
+    State& state = *states[m];
+    ek::saveCellStart(mesh_.ncells, nlev, state.delp.data(),
+                      state.theta.data(), delp0_.data(), thetam0_.data());
+    ek::saveEdgeStart(mesh_.nedges, nlev, state.u.data(), u0_.data());
+    for (int stage = 0; stage < 3; ++stage) {
+      computeTendencies<NS>(state);
+      const double dts = stage_dt[stage];
+      ek::updateCells(mesh_.ncells, nlev, dts, delp0_.data(), thetam0_.data(),
+                      delp_tend_.data(), thetam_tend_.data(),
+                      state.delp.data(), state.theta.data());
+      ek::updateEdges(mesh_.nedges, nlev, dts, u0_.data(), u_tend_.data(),
+                      state.u.data());
+    }
+    ek::rrrPOnly(mesh_.ncells, nlev, state.delp.data(), state.theta.data(),
+                 state.phi.data(),
+                 p_solve_[static_cast<std::size_t>(m)].data());
+    ek::accumulateFlux(mesh_.nedges, nlev, flux_.data(),
+                       acc_flux_[static_cast<std::size_t>(m)].data());
+  }
+
+  // Phase 2, member-batched: the vertical implicit (w, phi) solve with
+  // members as SIMD lanes.
+  for (int m = 0; m < nmembers_; ++m) {
+    const std::size_t mi = static_cast<std::size_t>(m);
+    State& state = *states[m];
+    solve_delp_[mi] = state.delp.data();
+    solve_theta_[mi] = state.theta.data();
+    solve_p_[mi] = p_solve_[mi].data();
+    solve_w_[mi] = state.w.data();
+    solve_phi_[mi] = state.phi.data();
+  }
+  ek::vertSolveMemberLanes(nmembers_, mesh_.ncells, nlev, config_.dt,
+                           config_.ptop, solve_delp_.data(),
+                           solve_theta_.data(), solve_p_.data(),
+                           solve_w_.data(), solve_phi_.data(),
+                           config_.w_damp_tau);
+  ++acc_steps_;
+}
+
+template void EnsembleDycore::stepImpl<double>(State* const*);
+template void EnsembleDycore::stepImpl<float>(State* const*);
+
+} // namespace grist::dycore

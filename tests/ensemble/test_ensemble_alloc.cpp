@@ -1,0 +1,145 @@
+// Zero-allocation guard for the batched ensemble step: once the runner is
+// warm (shared dycore scratch sized, per-thread Workspace arenas grown,
+// coupler scratch built in the ctor, the fused physics batch allocated
+// up front, quant snapshots cached), advancing all M members -- including
+// steps that fire tracer transport AND physics -- must not touch the heap.
+//
+// This binary overrides the global allocation operators to count heap
+// traffic, so it is its own test executable (see tests/CMakeLists.txt) --
+// the same pattern as tests/ml/test_ml_alloc.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+
+#include "grist/core/ensemble_runner.hpp"
+#include "grist/dycore/init.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. malloc-backed so the override itself is free of
+// recursion; every flavor of operator new/delete funnels through here.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long> g_heap_allocs{0};
+} // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  ++g_heap_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace grist::core {
+namespace {
+
+long allocsDuring(const std::function<void()>& fn) {
+  const long before = g_heap_allocs.load();
+  fn();
+  return g_heap_allocs.load() - before;
+}
+
+ModelConfig mlConfig(int nlev, ml::Precision prec) {
+  ModelConfig mc;
+  mc.dyn.nlev = nlev;
+  mc.dyn.dt = 300.0;
+  mc.trac_interval = 4;
+  mc.phy_interval = 5;
+  mc.scheme = PhysicsScheme::kMl;
+  mc.ml.precision = prec;
+  if (prec == ml::Precision::kInt8) mc.ml.quant_tolerance = 0.2;
+  ml::Q1Q2NetConfig qcfg;
+  qcfg.nlev = nlev;
+  qcfg.channels = 12;
+  qcfg.res_units = 1;
+  mc.q1q2 = std::make_shared<ml::Q1Q2Net>(qcfg);
+  ml::RadMlpConfig rcfg;
+  rcfg.nlev = nlev;
+  rcfg.hidden = 16;
+  mc.rad_mlp = std::make_shared<ml::RadMlp>(rcfg);
+  return mc;
+}
+
+class EnsembleAllocationGuard : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mesh_ = new grid::HexMesh(grid::buildHexMesh(3));
+    trsk_ = new grid::TrskWeights(grid::buildTrskWeights(*mesh_));
+  }
+  static void TearDownTestSuite() {
+    delete trsk_;
+    delete mesh_;
+    trsk_ = nullptr;
+    mesh_ = nullptr;
+  }
+
+  static void expectWarmStepsHeapFree(ml::Precision prec,
+                                      bool cross_member_gemm) {
+    const int nlev = 10;
+    ModelConfig mc = mlConfig(nlev, prec);
+    dycore::State initial = dycore::initBaroclinicWave(*mesh_, mc.dyn, 3);
+    EnsembleConfig ec;
+    ec.model = mc;
+    ec.members = 4;
+    ec.perturb_seed = 42;
+    ec.cross_member_gemm = cross_member_gemm;
+    EnsembleRunner runner(*mesh_, *trsk_, ec, initial);
+    // Warm-up over one full cadence cycle (lcm(trac=4, phy=5) = 20 steps):
+    // arenas, OpenMP teams, quant snapshots + gate, and the timing
+    // registry's section entries all materialize here.
+    runner.run(20);
+    // The next cycle hits the same tracer/physics boundaries and must stay
+    // off the heap entirely.
+    EXPECT_EQ(allocsDuring([&] { runner.run(20); }), 0)
+        << ml::precisionName(prec)
+        << (cross_member_gemm ? " fused" : " per-member");
+  }
+
+  static grid::HexMesh* mesh_;
+  static grid::TrskWeights* trsk_;
+};
+
+grid::HexMesh* EnsembleAllocationGuard::mesh_ = nullptr;
+grid::TrskWeights* EnsembleAllocationGuard::trsk_ = nullptr;
+
+TEST_F(EnsembleAllocationGuard, WarmStepsAreHeapFreeFp32Fused) {
+  expectWarmStepsHeapFree(ml::Precision::kFp32, /*cross_member_gemm=*/true);
+}
+
+TEST_F(EnsembleAllocationGuard, WarmStepsAreHeapFreeFp32PerMember) {
+  expectWarmStepsHeapFree(ml::Precision::kFp32, /*cross_member_gemm=*/false);
+}
+
+TEST_F(EnsembleAllocationGuard, WarmStepsAreHeapFreeQuantized) {
+  expectWarmStepsHeapFree(ml::Precision::kBf16, /*cross_member_gemm=*/true);
+  expectWarmStepsHeapFree(ml::Precision::kInt8, /*cross_member_gemm=*/true);
+}
+
+} // namespace
+} // namespace grist::core

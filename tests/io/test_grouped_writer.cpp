@@ -1,8 +1,10 @@
 #include "grist/io/grouped_writer.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
+#include <string>
 
 #include "grist/grid/hex_mesh.hpp"
 
@@ -15,7 +17,10 @@ using parallel::Field;
 class GroupedWriterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "grist_io_test";
+    // Per-process dir: ctest runs each TEST as its own process in
+    // parallel, so a shared fixed path would race between test cases.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("grist_io_test." + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,9 +1,11 @@
 #include "grist/io/restart.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "grist/core/model.hpp"
 #include "grist/dycore/init.hpp"
@@ -14,7 +16,11 @@ namespace {
 class RestartTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (std::filesystem::temp_directory_path() / "grist_restart_test.bin").string();
+    // Per-process file: ctest runs each TEST as its own process in
+    // parallel, so a shared fixed path would race between test cases.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("grist_restart_test." + std::to_string(::getpid()) + ".bin"))
+                .string();
     mesh_ = grid::buildHexMesh(2);
     trsk_ = grid::buildTrskWeights(mesh_);
     cfg_.dyn.nlev = 10;

@@ -5,11 +5,13 @@
 #include "grist/io/snapshot.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "grist/dycore/init.hpp"
@@ -36,7 +38,11 @@ void dumpFile(const std::string& path, const std::vector<char>& buf) {
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "grist_snapshot_test").string();
+    // Per-process dir: ctest runs each TEST as its own process in
+    // parallel, so a shared fixed path would race between test cases.
+    dir_ = (fs::temp_directory_path() /
+            ("grist_snapshot_test." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     path_ = dir_ + "/snap.grist";

@@ -34,6 +34,20 @@ TEST(Ensemble, RejectsBadMemberSets) {
                std::invalid_argument);
 }
 
+TEST(Ensemble, RejectsBadMembersAtAnyPosition) {
+  // Validation must scan the whole set, not just the head: a null or
+  // nlev-mismatched member hiding behind valid ones still throws.
+  EXPECT_THROW(Q1Q2Ensemble({makeNet(8, 1), makeNet(8, 2), nullptr}),
+               std::invalid_argument);
+  Q1Q2NetConfig other;
+  other.nlev = 12;
+  other.channels = 12;
+  other.res_units = 1;
+  EXPECT_THROW(Q1Q2Ensemble({makeNet(8, 1), makeNet(8, 2),
+                             std::make_shared<Q1Q2Net>(other)}),
+               std::invalid_argument);
+}
+
 TEST(Ensemble, SingleMemberMatchesTheMember) {
   const int nlev = 8;
   auto net = makeNet(nlev, 7);
@@ -124,6 +138,34 @@ TEST(Ensemble, SpreadPositiveForDistinctMembersZeroForClones) {
   double total = 0;
   for (int k = 0; k < nlev; ++k) total += spread[k];
   EXPECT_GT(total, 0.0);
+}
+
+TEST(Ensemble, SpreadMatchesManualPopulationStdDev) {
+  const int nlev = 8;
+  const std::vector<std::shared_ptr<const Q1Q2Net>> nets{
+      makeNet(nlev, 11), makeNet(nlev, 22), makeNet(nlev, 33)};
+  Q1Q2Ensemble ensemble(nets);
+  const Column col(nlev);
+  std::vector<double> spread(nlev);
+  ensemble.spread(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                  col.p.data(), spread.data());
+
+  // Manual two-pass population std-dev of Q1 across the members.
+  std::vector<std::vector<double>> q1(nets.size(), std::vector<double>(nlev));
+  std::vector<double> q2(nlev);
+  for (std::size_t m = 0; m < nets.size(); ++m) {
+    nets[m]->predict(col.u.data(), col.v.data(), col.t.data(), col.q.data(),
+                     col.p.data(), q1[m].data(), q2.data());
+  }
+  for (int k = 0; k < nlev; ++k) {
+    double mu = 0;
+    for (const auto& member : q1) mu += member[k];
+    mu /= static_cast<double>(nets.size());
+    double var = 0;
+    for (const auto& member : q1) var += (member[k] - mu) * (member[k] - mu);
+    var /= static_cast<double>(nets.size());
+    EXPECT_NEAR(spread[k], std::sqrt(var), 1e-12 + 1e-9 * std::sqrt(var));
+  }
 }
 
 TEST(Ensemble, DrivesTheMlSuite) {

@@ -4,6 +4,7 @@
 // precision modes. Also covers the Model-level snapshot (mid-tracer-window
 // resume through the DIAG section) and the CONFIG-mismatch rejections.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <filesystem>
@@ -52,7 +53,11 @@ class ElasticBase : public ::testing::Test {
     trsk_ = grid::buildTrskWeights(mesh_);
     cfg_.nlev = 8;
     cfg_.dt = 450.0;
-    path_ = (fs::temp_directory_path() / "grist_elastic_ckpt.grist").string();
+    // Per-process file: ctest runs each TEST as its own process in
+    // parallel, so a shared fixed path would race between test cases.
+    path_ = (fs::temp_directory_path() /
+             ("grist_elastic_ckpt." + std::to_string(::getpid()) + ".grist"))
+                .string();
   }
   void TearDown() override { fs::remove(path_); }
 
@@ -184,7 +189,9 @@ class ModelSnapshot : public ::testing::Test {
     cfg_.trac_interval = 4;
     cfg_.phy_interval = 1 << 20;  // physics off: its caches are re-warmable,
                                   // not checkpointed (see DESIGN.md)
-    path_ = (fs::temp_directory_path() / "grist_model_snap.grist").string();
+    path_ = (fs::temp_directory_path() /
+             ("grist_model_snap." + std::to_string(::getpid()) + ".grist"))
+                .string();
   }
   void TearDown() override { fs::remove(path_); }
 
